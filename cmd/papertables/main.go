@@ -1,0 +1,309 @@
+// Command papertables regenerates every table and figure of the paper's
+// evaluation section and writes them to stdout (and optionally to CSV
+// files).
+//
+// Usage:
+//
+//	papertables [-only table3] [-csv out/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"trident/internal/accel"
+	"trident/internal/dataflow"
+	"trident/internal/dataset"
+	"trident/internal/device"
+	"trident/internal/eventsim"
+	"trident/internal/experiments"
+	"trident/internal/models"
+	"trident/internal/report"
+	"trident/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("papertables: ")
+	only := flag.String("only", "", "emit only the named artifact (table1..table5, fig3..fig6, headlines, or an extended study)")
+	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	extended := flag.Bool("extended", false, "also emit the extended studies (resolution, endurance, drift, dfa, noise)")
+	flag.Parse()
+
+	artifacts, err := buildAll(*extended || *only != "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	emitted := 0
+	for _, a := range artifacts {
+		if *only != "" && !strings.EqualFold(*only, a.key) {
+			continue
+		}
+		fmt.Println(a.table.String())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*csvDir, a.key+".csv")
+			if err := os.WriteFile(path, []byte(a.table.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("(wrote %s)\n\n", path)
+		}
+		emitted++
+	}
+	if emitted == 0 {
+		log.Fatalf("unknown artifact %q (have table1..table5, fig3..fig6, headlines)", *only)
+	}
+}
+
+type artifact struct {
+	key   string
+	table *report.Table
+}
+
+func buildAll(withExtended bool) ([]artifact, error) {
+	var out []artifact
+	out = append(out,
+		artifact{"table1", experiments.TableI()},
+		artifact{"table2", experiments.TableII()},
+		artifact{"table3", experiments.TableIII()},
+		artifact{"table4", experiments.TableIV()},
+	)
+	t5, err := experiments.TableV()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, artifact{"table5", t5})
+
+	f3, err := experiments.Figure3(81)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, artifact{"fig3", f3.Table()})
+
+	f4, err := experiments.Figure4()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, artifact{"fig4", f4})
+	out = append(out, artifact{"fig5", experiments.Figure5()})
+
+	f6, err := experiments.Figure6()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, artifact{"fig6", f6})
+
+	h, err := experiments.Headlines()
+	if err != nil {
+		return nil, err
+	}
+	ht := report.NewTable("Headline Averages (abstract claims)",
+		"Comparison", "Metric", "Measured", "Paper")
+	paperE := map[string]float64{"DEAP-CNN": 16.4, "CrossLight": 43.5, "PIXEL": 43.4}
+	paperT := map[string]float64{
+		"DEAP-CNN": 27.9, "CrossLight": 150.2, "PIXEL": 143.6,
+		"NVIDIA AGX Xavier": 107.7, "Bearkey TB96-AI": 594.7, "Google Coral": 1413.1,
+	}
+	for _, k := range []string{"DEAP-CNN", "CrossLight", "PIXEL"} {
+		ht.AddRow(k, "energy improvement",
+			fmt.Sprintf("%+.1f%%", h.EnergyImprovement[k]),
+			fmt.Sprintf("%+.1f%%", paperE[k]))
+	}
+	for _, k := range []string{"DEAP-CNN", "CrossLight", "PIXEL",
+		"NVIDIA AGX Xavier", "Bearkey TB96-AI", "Google Coral"} {
+		ht.AddRow(k, "throughput improvement",
+			fmt.Sprintf("%+.1f%%", h.ThroughputImprovement[k]),
+			fmt.Sprintf("%+.1f%%", paperT[k]))
+	}
+	out = append(out, artifact{"headlines", ht})
+	if withExtended {
+		ext, err := buildExtended()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ext...)
+	}
+	return out, nil
+}
+
+func buildExtended() ([]artifact, error) {
+	var out []artifact
+	res, err := experiments.ResolutionVsPitch()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, artifact{"resolution", res})
+	end, err := experiments.EnduranceAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, artifact{"endurance", end})
+	drift, err := experiments.DriftAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, artifact{"drift", drift})
+	dfa, err := experiments.DFAComparison(3)
+	if err != nil {
+		return nil, err
+	}
+	dt := report.NewTable("Extended: backpropagation vs direct feedback alignment (two-conv task)",
+		"Rule", "Test accuracy")
+	dt.AddRow("Backpropagation (Trident)", fmt.Sprintf("%.1f%%", dfa.BPAccuracy*100))
+	dt.AddRow("DFA (Filipovich et al.)", fmt.Sprintf("%.1f%%", dfa.DFAAccuracy*100))
+	out = append(out, artifact{"dfa", dt})
+	abl, err := accel.AblationStudy(models.ResNet50())
+	if err != nil {
+		return nil, err
+	}
+	at := report.NewTable("Extended: Trident design-choice ablation (ResNet-50)",
+		"Variant", "PEs @30W", "inf/s", "mJ/inf", "Trains?")
+	for _, r := range abl {
+		trains := "no"
+		if r.CanTrain {
+			trains = "yes"
+		}
+		at.AddRow(r.Variant, fmt.Sprintf("%d", r.PEs), r.Throughput, r.Energy.Joules()*1e3, trains)
+	}
+	out = append(out, artifact{"ablation", at})
+	noise, err := experiments.NoiseSweep(7)
+	if err != nil {
+		return nil, err
+	}
+	nt := report.NewTable("Extended: in-situ training accuracy vs laser power (analog SNR)",
+		"Laser line power", "Effective bits", "Test accuracy")
+	for _, r := range noise {
+		nt.AddRow(r.LaserPower.String(), r.SNRBits, fmt.Sprintf("%.1f%%", r.Accuracy*100))
+	}
+	out = append(out, artifact{"noise", nt})
+	faults, err := experiments.FaultRecovery(5)
+	if err != nil {
+		return nil, err
+	}
+	ft := report.NewTable("Extended: stuck-cell fault injection and in-situ healing",
+		"Fault rate", "Kind", "Clean acc", "After faults", "After healing")
+	for _, r := range faults {
+		ft.AddRow(fmt.Sprintf("%.0f%%", r.FaultRate*100), r.Kind.String(),
+			fmt.Sprintf("%.1f%%", r.Clean*100),
+			fmt.Sprintf("%.1f%%", r.Hurt*100),
+			fmt.Sprintf("%.1f%%", r.Healed*100))
+	}
+	out = append(out, artifact{"faults", ft})
+	pts, err := accel.ExploreBankGeometry(models.ResNet50(), device.PowerBudget)
+	if err != nil {
+		return nil, err
+	}
+	gt := report.NewTable("Extended: weight-bank geometry exploration (ResNet-50 @ 30 W)",
+		"Bank", "PEs", "PE power", "inf/s", "mJ/inf", "Status")
+	for _, p := range pts {
+		status := "ok"
+		if !p.Feasible {
+			status = p.Reason
+		}
+		gt.AddRow(fmt.Sprintf("%dx%d", p.Rows, p.Cols), fmt.Sprintf("%d", p.PEs),
+			p.PEPower.String(), p.Throughput, p.Energy.Joules()*1e3, status)
+	}
+	out = append(out, artifact{"dse", gt})
+
+	qd := dataset.Blobs(1000, 12, 6, 0.35, 5)
+	qr, err := train.RunQAT(qd, 24, 30, 0.1, 2, 21)
+	if err != nil {
+		return nil, err
+	}
+	qt := report.NewTable("Extended: post-training quantization vs quantization-aware fine-tuning (2-bit grid)",
+		"Flow", "Deployed accuracy")
+	qt.AddRow("Float reference (no quantization)", fmt.Sprintf("%.1f%%", qr.FloatAccuracy*100))
+	qt.AddRow("Post-training quantization", fmt.Sprintf("%.1f%%", qr.PostTraining*100))
+	qt.AddRow("QAT fine-tuning", fmt.Sprintf("%.1f%%", qr.QAT*100))
+	out = append(out, artifact{"qat", qt})
+
+	st := report.NewTable("Extended: layer scheduling (event-driven, ResNet-50-class workloads)",
+		"Workload", "Schedule", "inf/s", "Note")
+	for _, m := range []*models.Model{models.AlexNet(), models.VGG16()} {
+		ser, err := eventsim.Simulate(m, accel.Trident(), eventsim.Serial, accel.DefaultBatch)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := eventsim.Simulate(m, accel.Trident(), eventsim.Pipelined, accel.DefaultBatch)
+		if err != nil {
+			return nil, err
+		}
+		st.AddRow(m.Name, "serial (time-multiplexed)", ser.Throughput, "matches the analytic model exactly")
+		st.AddRow(m.Name, "pipelined (static partition)", pipe.Throughput,
+			fmt.Sprintf("bottleneck %s; loses to work conservation", pipe.Bottleneck))
+	}
+	out = append(out, artifact{"scheduling", st})
+
+	props, err := experiments.PropagationShares()
+	if err != nil {
+		return nil, err
+	}
+	pt := report.NewTable("Extended: latency composition (batch 1) — 'at the speed of light' in numbers",
+		"Model", "Streaming", "Tuning", "Propagation", "Propagation share")
+	for _, p := range props {
+		pt.AddRow(p.Model, p.StreamTime.String(), p.TuneTime.String(),
+			p.PropagationTime.String(), fmt.Sprintf("%.5f%%", p.PropagationFrac*100))
+	}
+	out = append(out, artifact{"propagation", pt})
+
+	lt := report.NewTable("Extended: per-layer mapping of VGG-16 on Trident (first 12 compute layers)",
+		"Layer", "Tiles", "Waves", "Pixels", "Tune events", "Spill bytes")
+	mpv, err := dataflow.Map(models.VGG16(), accel.Trident().Geometry())
+	if err != nil {
+		return nil, err
+	}
+	ca := mpv.AnalyzeCache(0, 0)
+	for i, l := range mpv.Layers {
+		if i == 12 {
+			break
+		}
+		lt.AddRow(l.Name, fmt.Sprintf("%d", l.Tiles), fmt.Sprintf("%d", l.Waves),
+			fmt.Sprintf("%d", l.Pixels), fmt.Sprintf("%d", l.TuneEvents),
+			fmt.Sprintf("%d", ca.Layers[i].SpillBytes))
+	}
+	out = append(out, artifact{"perlayer", lt})
+
+	sens, err := experiments.SensitivityAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	sx := report.NewTable("Extended: sensitivity of the headline claims to ±20% calibration perturbation",
+		"Baseline", "Metric", "Nominal", "Range", "Trident wins everywhere?")
+	for _, r := range sens {
+		sx.AddRow(r.Baseline, r.Metric, fmt.Sprintf("%+.1f%%", r.Nominal),
+			fmt.Sprintf("[%+.1f%%, %+.1f%%]", r.Min, r.Max), yesNoMain(r.RobustWin))
+	}
+	out = append(out, artifact{"sensitivity", sx})
+
+	dt2 := report.NewTable("Extended: dataflow ablation — why photonics must be weight-stationary (ResNet-50)",
+		"Dataflow", "Tune events/inference", "Tuning energy/inference", "Reprogramming waves")
+	mpr, err := dataflow.Map(models.ResNet50(), accel.Trident().Geometry())
+	if err != nil {
+		return nil, err
+	}
+	osc, err := dataflow.MapOutputStationary(models.ResNet50(), accel.Trident().Geometry())
+	if err != nil {
+		return nil, err
+	}
+	wsEnergy := float64(mpr.TotalTuneEvents()) * device.GSTWriteEnergy.Joules()
+	osEnergy := float64(osc.TuneEvents) * device.GSTWriteEnergy.Joules()
+	dt2.AddRow("weight-stationary (paper)", fmt.Sprintf("%d", mpr.TotalTuneEvents()),
+		fmt.Sprintf("%.1f mJ", wsEnergy*1e3), fmt.Sprintf("%d", mpr.TotalWaves()))
+	dt2.AddRow("output-stationary", fmt.Sprintf("%d", osc.TuneEvents),
+		fmt.Sprintf("%.1f mJ", osEnergy*1e3), fmt.Sprintf("%d", osc.Waves))
+	out = append(out, artifact{"dataflow", dt2})
+	return out, nil
+}
+
+func yesNoMain(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildAllArtifacts runs the full artifact pipeline (everything the
+// binary can emit) and checks each artifact is present and non-empty.
+func TestBuildAllArtifacts(t *testing.T) {
+	arts, err := buildAll(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"table1": false, "table2": false, "table3": false, "table4": false,
+		"table5": false, "fig3": false, "fig4": false, "fig5": false,
+		"fig6": false, "headlines": false,
+		"resolution": false, "endurance": false, "drift": false,
+		"ablation": false, "dfa": false, "noise": false, "faults": false,
+		"dse": false, "scheduling": false, "qat": false,
+		"propagation": false, "perlayer": false, "sensitivity": false, "dataflow": false,
+	}
+	for _, a := range arts {
+		if _, ok := want[a.key]; !ok {
+			t.Errorf("unexpected artifact %q", a.key)
+			continue
+		}
+		want[a.key] = true
+		if len(a.table.Rows) == 0 {
+			t.Errorf("artifact %q has no rows", a.key)
+		}
+		if a.table.String() == "" || a.table.CSV() == "" {
+			t.Errorf("artifact %q renders empty", a.key)
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("artifact %q missing", k)
+		}
+	}
+}
+
+// TestBuildAllWithoutExtended: the default run carries exactly the paper's
+// artifacts.
+func TestBuildAllWithoutExtended(t *testing.T) {
+	arts, err := buildAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 10 {
+		t.Fatalf("artifact count = %d, want 10 (paper artifacts + headlines)", len(arts))
+	}
+}
+
+// TestHeadlineTableMentionsPaperValues: the comparison table carries both
+// measured and published columns.
+func TestHeadlineTableMentionsPaperValues(t *testing.T) {
+	arts, err := buildAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arts {
+		if a.key != "headlines" {
+			continue
+		}
+		s := a.table.String()
+		for _, want := range []string{"+16.4%", "+1413.1%", "Google Coral", "energy improvement"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("headlines missing %q:\n%s", want, s)
+			}
+		}
+		return
+	}
+	t.Fatal("headlines artifact missing")
+}

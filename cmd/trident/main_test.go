@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestPhotonicByName(t *testing.T) {
+	for _, name := range []string{"Trident", "trident", "DEAP-CNN", "crosslight", "PIXEL"} {
+		if _, ok := photonicByName(name); !ok {
+			t.Errorf("photonicByName(%q) failed", name)
+		}
+	}
+	if _, ok := photonicByName("tpu"); ok {
+		t.Error("unknown accelerator should not resolve")
+	}
+}

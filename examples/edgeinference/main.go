@@ -1,0 +1,56 @@
+// Edge inference: evaluate the paper's CNN zoo on all seven modelled edge
+// accelerators — Trident, the photonic baselines and the electronic
+// devices — under the shared 30 W-class budget, reproducing the data
+// behind Figures 4 and 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trident/internal/accel"
+	"trident/internal/models"
+	"trident/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	photonic := append([]accel.PhotonicConfig{accel.Trident()}, accel.PhotonicBaselines()...)
+	electronic := accel.ElectronicBaselines()
+
+	t := report.NewTable("Edge accelerator comparison (steady state, batch 32)",
+		"Model", "Accelerator", "inf/s", "mJ/inf", "Trains?")
+	for _, m := range models.All() {
+		for _, c := range photonic {
+			r, err := accel.EvaluatePhotonic(c, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(m.Name, c.Name, r.Throughput, r.Energy.Joules()*1e3, yes(r.CanTrain))
+		}
+		for _, e := range electronic {
+			r, err := accel.EvaluateElectronic(e, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(m.Name, e.Name, r.Throughput, r.Energy.Joules()*1e3, yes(r.CanTrain))
+		}
+	}
+	fmt.Print(t.String())
+
+	fmt.Println("\nWhere the margins come from:")
+	tr := accel.Trident()
+	fmt.Printf("  Trident fits %d PEs in 30 W (PE worst case %v; 0 W weight hold after tuning)\n",
+		tr.MaxPEs(30), tr.PEPower())
+	for _, b := range accel.PhotonicBaselines() {
+		fmt.Printf("  %-11s fits %d PEs (PE worst case %v, %d-bit weights)\n",
+			b.Name, b.MaxPEs(30), b.PEPower(), b.Bits)
+	}
+}
+
+func yes(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,67 @@
+// Quickstart: program a Trident processing element's PCM-MRR weight bank,
+// run one optical matrix-vector multiplication through it, and apply the
+// GST photonic activation — the paper's Fig. 1 datapath in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trident/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	// A 4×4 processing element with noiseless detectors, so the numbers
+	// below are exactly reproducible.
+	pe, err := core.NewPE(core.PEConfig{Rows: 4, Cols: 4, DisableNoise: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Program a weight tile into the GST cells. Each weight is realized as
+	// one of 255 non-volatile material states (8-bit resolution); all 16
+	// cells program in parallel in 300 ns.
+	weights := [][]float64{
+		{0.50, -0.25, 0.00, 0.75},
+		{-1.00, 0.50, 0.25, 0.00},
+		{0.10, 0.20, 0.30, 0.40},
+		{1.00, 1.00, 1.00, 1.00},
+	}
+	if err := pe.Program(weights); err != nil {
+		log.Fatal(err)
+	}
+
+	// One inference pass: the input vector rides four WDM wavelengths, each
+	// ring weights its channel, balanced photodetectors accumulate the
+	// rows, and the GST activation cell fires only above threshold.
+	x := []float64{0.8, 0.4, 0.2, 0.6}
+	y, h, err := pe.Infer(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("input:            ", x)
+	fmt.Println("pre-activations h:", rounded(h))
+	fmt.Println("activated y=f(h): ", rounded(y))
+	fmt.Println("LDSU derivatives: ", pe.Derivatives())
+	fmt.Println()
+	fmt.Println("energy ledger after one program + one inference:")
+	fmt.Println(pe.Ledger())
+	fmt.Printf("\nstandby (weights held, non-volatile): %v\n", pe.HoldPower())
+}
+
+func rounded(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*1000+0.5*sign(x))) / 1000
+	}
+	return out
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

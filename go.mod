@@ -1,0 +1,3 @@
+module trident
+
+go 1.22

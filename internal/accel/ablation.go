@@ -1,0 +1,89 @@
+package accel
+
+import (
+	"trident/internal/device"
+	"trident/internal/models"
+	"trident/internal/units"
+)
+
+// Ablation variants of Trident: each removes exactly one of the paper's
+// design choices, quantifying what that choice buys. The three choices the
+// paper argues for are (i) non-volatile GST tuning (zero hold power →
+// more PEs per watt), (ii) 2× faster programming than thermal, and (iii)
+// the photonic activation + LDSU that eliminate per-row ADC/DAC pairs.
+
+// TridentWithADCs is Trident minus the photonic activation: the GST
+// weight bank is kept, but every row converts to digital for the
+// activation like the baselines do — per-row ADC/DAC pairs plus a digital
+// activation unit replace the activation cells and LDSUs.
+func TridentWithADCs() PhotonicConfig {
+	c := Trident()
+	c.Name = "Trident-ADC"
+	// Remove the photonic activation machinery...
+	c.ProvisionExtra -= device.PowerActivationReset + device.PowerLDSU
+	c.StreamExtra -= device.PowerActivationReset + device.PowerLDSU
+	// ...and add the converter pipeline.
+	c.ProvisionExtra += rowConverterPeak() + digitalActivationPower
+	c.StreamExtra += rowConverterStream() + digitalActivationPower
+	// Without the LDSU there is no on-PE derivative store: training
+	// requires fetching f'(h) from memory, which the paper rules out.
+	c.CanTrain = false
+	return c
+}
+
+// TridentVolatile is Trident with a hypothetical volatile GST: identical
+// write energy and speed, but the cells need a continuous hold bias equal
+// to the thermal heater power for as long as the weights are in use. The
+// GST write pulse still dominates the worst-case provisioning, so the PE
+// count is unchanged; the cost of volatility shows up as streaming energy.
+// Isolates the value of non-volatility alone.
+func TridentVolatile() PhotonicConfig {
+	c := Trident()
+	c.Name = "Trident-Volatile"
+	c.HoldPowerPerMRR = device.ThermalHoldPower
+	c.StreamExtra += units.Power(float64(device.ThermalHoldPower) * device.MRRsPerPE)
+	return c
+}
+
+// TridentSlowTuning is Trident with thermal-speed programming: the write
+// pulse power is unchanged (so the 30 W provisioning and PE count stay
+// fixed) but each write takes the thermal 0.6 µs and therefore twice the
+// energy. Isolates the value of the 2× write speed.
+func TridentSlowTuning() PhotonicConfig {
+	c := Trident()
+	c.Name = "Trident-SlowTune"
+	c.TuneTime = device.ThermalTuningTime
+	c.TuneEnergy = units.Energy(device.GSTTuningPower.OverTime(device.ThermalTuningTime))
+	return c
+}
+
+// AblationRow summarizes one variant on one workload.
+type AblationRow struct {
+	Variant    string
+	PEs        int
+	Throughput float64
+	Energy     units.Energy
+	CanTrain   bool
+}
+
+// AblationStudy evaluates Trident and its three ablations on a workload.
+func AblationStudy(m *models.Model) ([]AblationRow, error) {
+	variants := []PhotonicConfig{
+		Trident(), TridentWithADCs(), TridentVolatile(), TridentSlowTuning(),
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		r, err := EvaluatePhotonic(v, m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant:    v.Name,
+			PEs:        v.MaxPEs(device.PowerBudget),
+			Throughput: r.Throughput,
+			Energy:     r.Energy,
+			CanTrain:   v.CanTrain,
+		})
+	}
+	return rows, nil
+}

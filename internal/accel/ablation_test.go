@@ -1,0 +1,96 @@
+package accel
+
+import (
+	"testing"
+
+	"trident/internal/device"
+	"trident/internal/models"
+)
+
+// TestAblationOrdering: removing any one design choice must cost
+// performance — each ablation fits fewer PEs or runs slower/hotter than
+// full Trident, and only full Trident keeps training capability.
+func TestAblationOrdering(t *testing.T) {
+	rows, err := AblationStudy(models.ResNet50())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	full := rows[0]
+	if full.Variant != "Trident" {
+		t.Fatalf("first row = %s", full.Variant)
+	}
+	for _, r := range rows[1:] {
+		if r.Throughput > full.Throughput {
+			t.Errorf("%s throughput %.0f exceeds full Trident %.0f", r.Variant, r.Throughput, full.Throughput)
+		}
+		if r.Energy < full.Energy && r.Variant != "Trident-SlowTune" {
+			// Slower tuning costs time, not energy per write; the other
+			// two ablations must cost energy too.
+			t.Errorf("%s energy %v below full Trident %v", r.Variant, r.Energy, full.Energy)
+		}
+	}
+}
+
+// TestAblationADC: dropping the photonic activation forfeits training and
+// shrinks the PE count (converters eat the budget).
+func TestAblationADC(t *testing.T) {
+	v := TridentWithADCs()
+	if v.CanTrain {
+		t.Error("ADC variant must not train (no LDSU)")
+	}
+	if v.MaxPEs(device.PowerBudget) >= Trident().MaxPEs(device.PowerBudget) {
+		t.Errorf("ADC variant fits %d PEs, full Trident %d — converters should cost PEs",
+			v.MaxPEs(device.PowerBudget), Trident().MaxPEs(device.PowerBudget))
+	}
+}
+
+// TestAblationVolatile: volatility costs streaming energy — holding the
+// weights burns the heater budget for the whole inference, roughly
+// tripling per-inference energy, while the PE count (set by the write
+// pulse worst case) is unchanged.
+func TestAblationVolatile(t *testing.T) {
+	v := TridentVolatile()
+	full := Trident()
+	if v.MaxPEs(device.PowerBudget) != full.MaxPEs(device.PowerBudget) {
+		t.Errorf("volatile variant fits %d PEs, full %d — write pulse should set both budgets",
+			v.MaxPEs(device.PowerBudget), full.MaxPEs(device.PowerBudget))
+	}
+	m := models.ResNet50()
+	rv, err := EvaluatePhotonic(v, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := EvaluatePhotonic(full, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := rv.Energy.Joules() / rf.Energy.Joules(); ratio < 2 {
+		t.Errorf("volatility costs only %.2f× energy, expected ≥ 2×", ratio)
+	}
+}
+
+// TestAblationSlowTuning: thermal-speed writes halve nothing at large
+// batch but hurt single-inference latency.
+func TestAblationSlowTuning(t *testing.T) {
+	m := models.VGG16()
+	fast, err := EvaluatePhotonicBatch(Trident(), m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowCfg := TridentSlowTuning()
+	slow, err := EvaluatePhotonicBatch(slowCfg, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Latency <= fast.Latency {
+		t.Errorf("slow tuning latency %v not above fast %v", slow.Latency, fast.Latency)
+	}
+	// At batch 1 the tuning waves dominate VGG-16, so 2× tune time should
+	// cost well over 30% latency.
+	if ratio := slow.Latency.Seconds() / fast.Latency.Seconds(); ratio < 1.3 {
+		t.Errorf("2× tune time only costs %.2f× latency on VGG-16 at batch 1", ratio)
+	}
+}

@@ -1,0 +1,124 @@
+package accel
+
+import (
+	"fmt"
+	"sort"
+
+	"trident/internal/dataflow"
+	"trident/internal/device"
+	"trident/internal/models"
+	"trident/internal/units"
+)
+
+// Design-space exploration over the weight-bank geometry: the paper fixes
+// 16×16 banks (256 MRRs) without justifying the split; this module sweeps
+// (rows × cols) under the same 30 W discipline and shows where that choice
+// sits. Scaling laws for the per-PE devices:
+//
+//   - GST tuning power scales with the cell count (2.2 mW per ring);
+//   - BPD/TIA, activation-reset and LDSU power scale with the row count
+//     (one of each per row);
+//   - the E/O modulators scale with the column count;
+//   - the 30 mW cache and control are per-PE fixed cost — the term that
+//     punishes very small banks;
+//   - the WDM comb bounds the column count (≈37 channels at 1.6 nm over
+//     the 60 nm comb), which rules out very wide banks.
+const maxWDMColumns = 37
+
+// DesignPoint is one evaluated geometry.
+type DesignPoint struct {
+	Rows, Cols int
+	PEs        int
+	PEPower    units.Power
+	Throughput float64 // inf/s on the probe workload
+	Energy     units.Energy
+	Feasible   bool
+	Reason     string // why infeasible, when Feasible is false
+}
+
+// GeometryPEPower returns the worst-case per-PE power of a rows×cols
+// Trident bank, from the Table III device constants rescaled to the
+// geometry. At 16×16 it reproduces the 0.67 W total exactly.
+func GeometryPEPower(rows, cols int) units.Power {
+	cells := float64(rows * cols)
+	r := float64(rows) / float64(device.WeightBankRows)
+	c := float64(cols) / float64(device.WeightBankCols)
+	p := units.Power(float64(device.GSTTuningPower) * cells)
+	p += units.Power(float64(device.PowerGSTRead) * cells / float64(device.MRRsPerPE))
+	p += units.Power(float64(device.PowerBPDTIA) * r)
+	p += units.Power(float64(device.PowerActivationReset) * r)
+	p += units.Power(float64(device.PowerLDSU) * r)
+	p += units.Power(float64(device.PowerEOLaser) * c)
+	p += device.PowerCache // fixed per PE
+	return p
+}
+
+// ExploreBankGeometry sweeps bank geometries under the power budget on the
+// probe workload and returns every point (sorted by throughput, best
+// first).
+func ExploreBankGeometry(m *models.Model, budget units.Power) ([]DesignPoint, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("accel: budget %v must be positive", budget)
+	}
+	dims := []int{4, 8, 16, 32, 64}
+	var pts []DesignPoint
+	for _, rows := range dims {
+		for _, cols := range dims {
+			pt := DesignPoint{Rows: rows, Cols: cols}
+			pt.PEPower = GeometryPEPower(rows, cols)
+			if cols > maxWDMColumns {
+				pt.Reason = "exceeds WDM comb channel count"
+				pts = append(pts, pt)
+				continue
+			}
+			pes := int(budget.Watts() / pt.PEPower.Watts())
+			if pes < 1 {
+				pt.Reason = "one PE exceeds the power budget"
+				pts = append(pts, pt)
+				continue
+			}
+			pt.PEs = pes
+			g := dataflow.Geometry{PEs: pes, Rows: rows, Cols: cols}
+			mp, err := dataflow.Map(m, g)
+			if err != nil {
+				return nil, err
+			}
+			period := device.ClockRate.Period().Seconds()
+			tune := float64(mp.TotalWaves()) * device.GSTWriteTime.Seconds()
+			stream := float64(mp.TotalStreamCycles()) * VectorCyclesPerSymbol * period
+			perInf := tune/DefaultBatch + stream
+			pt.Throughput = 1 / perInf
+			active := float64(mp.TotalActivePECycles()) * VectorCyclesPerSymbol * period
+			// Streaming power rescaled like the provisioning power, with
+			// the common laser term per column.
+			streamPower := laserPowerPerPE.Watts()*float64(cols)/float64(device.WeightBankCols) +
+				GeometryPEPower(rows, cols).Watts() -
+				float64(device.GSTTuningPower)*float64(rows*cols)
+			pt.Energy = units.Energy(float64(mp.TotalTuneEvents())*device.GSTWriteEnergy.Joules()/DefaultBatch +
+				streamPower*active)
+			pt.Feasible = true
+			pts = append(pts, pt)
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Feasible != pts[j].Feasible {
+			return pts[i].Feasible
+		}
+		return pts[i].Throughput > pts[j].Throughput
+	})
+	return pts, nil
+}
+
+// BestGeometry returns the highest-throughput feasible point.
+func BestGeometry(m *models.Model, budget units.Power) (DesignPoint, error) {
+	pts, err := ExploreBankGeometry(m, budget)
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	for _, p := range pts {
+		if p.Feasible {
+			return p, nil
+		}
+	}
+	return DesignPoint{}, fmt.Errorf("accel: no feasible geometry under %v", budget)
+}

@@ -1,0 +1,87 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/device"
+	"trident/internal/models"
+)
+
+// TestGeometryPEPowerReproducesTableIII: the scaling law must hit the
+// published 0.67 W exactly at the paper's 16×16 point.
+func TestGeometryPEPowerReproducesTableIII(t *testing.T) {
+	got := GeometryPEPower(device.WeightBankRows, device.WeightBankCols)
+	if math.Abs(got.Watts()-device.PEPowerTotal.Watts()) > 1e-9 {
+		t.Errorf("16×16 PE power = %v, want Table III %v", got, device.PEPowerTotal)
+	}
+	// Monotonicity: more cells, more power.
+	if GeometryPEPower(32, 32) <= GeometryPEPower(16, 16) {
+		t.Error("bigger banks must draw more per-PE power")
+	}
+}
+
+func TestExploreBankGeometry(t *testing.T) {
+	if _, err := ExploreBankGeometry(models.ResNet50(), 0); err == nil {
+		t.Error("zero budget: want error")
+	}
+	pts, err := ExploreBankGeometry(models.ResNet50(), device.PowerBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 25 {
+		t.Fatalf("points = %d, want 25 (5×5 grid)", len(pts))
+	}
+	var sixteen, best DesignPoint
+	foundBest := false
+	for _, p := range pts {
+		if p.Cols > 37 {
+			if p.Feasible {
+				t.Errorf("%dx%d: exceeds the WDM comb but marked feasible", p.Rows, p.Cols)
+			}
+			continue
+		}
+		if p.Feasible {
+			if !foundBest {
+				best, foundBest = p, true // list is sorted best-first
+			}
+			if p.Throughput <= 0 || p.Energy <= 0 || p.PEs < 1 {
+				t.Errorf("%dx%d: degenerate point %+v", p.Rows, p.Cols, p)
+			}
+		}
+		if p.Rows == 16 && p.Cols == 16 {
+			sixteen = p
+		}
+	}
+	if !foundBest {
+		t.Fatal("no feasible point")
+	}
+	if sixteen.PEs != device.TridentPEs {
+		t.Errorf("16×16 fits %d PEs, want %d", sixteen.PEs, device.TridentPEs)
+	}
+	// The paper's 16×16 choice sits near the throughput frontier: within
+	// 15% of the best point, while keeping sane per-PE power (< 1 W) —
+	// the granularity/yield argument for many small PEs over few large
+	// ones.
+	if sixteen.Throughput < best.Throughput*0.85 {
+		t.Errorf("16×16 throughput %.0f more than 15%% below best %.0f (%dx%d)",
+			sixteen.Throughput, best.Throughput, best.Rows, best.Cols)
+	}
+	if best.PEPower.Watts() < sixteen.PEPower.Watts() {
+		t.Errorf("the frontier point should need bigger (hotter) PEs than 16×16")
+	}
+}
+
+func TestBestGeometry(t *testing.T) {
+	best, err := BestGeometry(models.MobileNetV2(), device.PowerBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Feasible || best.Throughput <= 0 {
+		t.Fatalf("degenerate best point %+v", best)
+	}
+	// A budget too small for even one 4×4 PE must fail loudly.
+	if _, err := BestGeometry(models.MobileNetV2(), 1e-6); err == nil {
+		t.Error("microwatt budget: want error")
+	}
+}

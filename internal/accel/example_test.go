@@ -1,0 +1,26 @@
+package accel_test
+
+import (
+	"fmt"
+
+	"trident/internal/accel"
+	"trident/internal/models"
+)
+
+// ExampleEvaluatePhotonic maps VGG-16 onto Trident at the 30 W budget.
+func ExampleEvaluatePhotonic() {
+	res, err := accel.EvaluatePhotonic(accel.Trident(), models.VGG16())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s on %s: positive throughput %v, trains %v\n",
+		res.Model, res.Accel, res.Throughput > 0, res.CanTrain)
+	// Output: VGG-16 on Trident: positive throughput true, trains true
+}
+
+// ExamplePhotonicConfig_MaxPEs shows the 30 W scaling that gives the paper
+// its 44 PEs.
+func ExamplePhotonicConfig_MaxPEs() {
+	fmt.Println(accel.Trident().MaxPEs(30))
+	// Output: 44
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/nn"
+	"trident/internal/tensor"
+)
+
+// CNN is a small convolutional classifier executed on Trident hardware: one
+// convolution layer whose kernel matrix lives in PCM-MRR weight banks, the
+// GST photonic activation, a global-average-pooling head, and a dense
+// classifier layer. The control unit lowers the convolution to im2col
+// patches and streams one patch per clock through the banks — exactly the
+// weight-stationary pixel streaming the dataflow cost model assumes, here
+// executed functionally.
+type CNN struct {
+	cfg     NetworkConfig
+	spec    tensor.Conv2DSpec
+	kernel  *DenseLayer // OutC × (InC·KH·KW) kernel matrix on PEs
+	head    *DenseLayer // classes × OutC classifier on PEs
+	act     *nn.GSTActivation
+	classes int
+
+	// Saved forward state for the backward pass.
+	patches *tensor.Tensor // (InC·KH·KW) × pixels
+	pre     *tensor.Tensor // OutC × pixels pre-activations
+	gap     []float64      // pooled activated features
+}
+
+// NewCNN builds the hardware CNN. The convolution must be ungrouped
+// (groups = 1): depthwise variants map onto independent single-row banks
+// and are not needed for the functional demonstrations.
+func NewCNN(cfg NetworkConfig, spec tensor.Conv2DSpec, classes int) (*CNN, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Groups != 1 {
+		return nil, fmt.Errorf("core: CNN supports groups=1 (got %d)", spec.Groups)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("core: CNN needs ≥2 classes (got %d)", classes)
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.05
+	}
+	kcols := spec.InC * spec.KH * spec.KW
+	kernel, err := newDenseLayer(cfg, LayerSpec{In: kcols, Out: spec.OutC}, 101)
+	if err != nil {
+		return nil, fmt.Errorf("core: CNN kernel banks: %w", err)
+	}
+	head, err := newDenseLayer(cfg, LayerSpec{In: spec.OutC, Out: classes}, 202)
+	if err != nil {
+		return nil, fmt.Errorf("core: CNN head banks: %w", err)
+	}
+	act := nn.NewGSTActivation("gst", cfg.PE.ActivationThreshold)
+	act.MaxOut = 1.0
+	return &CNN{
+		cfg:     cfg,
+		spec:    spec,
+		kernel:  kernel,
+		head:    head,
+		act:     act,
+		classes: classes,
+	}, nil
+}
+
+// Forward runs one image (CHW) through the hardware and returns the
+// classifier logits.
+func (c *CNN) Forward(img *tensor.Tensor) ([]float64, error) {
+	if img.Rank() != 3 || img.Dim(0) != c.spec.InC || img.Dim(1) != c.spec.InH || img.Dim(2) != c.spec.InW {
+		return nil, fmt.Errorf("core: CNN input shape %v, want [%d %d %d]",
+			img.Shape(), c.spec.InC, c.spec.InH, c.spec.InW)
+	}
+	c.patches = tensor.Im2Col(c.patches, img, c.spec, 0)
+	pixels := c.patches.Dim(1)
+	kcols := c.patches.Dim(0)
+	if c.pre == nil || c.pre.Dim(1) != pixels {
+		c.pre = tensor.New(c.spec.OutC, pixels)
+	}
+	// Stream one patch per clock through the kernel banks.
+	col := make([]float64, kcols)
+	gap := make([]float64, c.spec.OutC)
+	pd := c.patches.Data()
+	for p := 0; p < pixels; p++ {
+		for r := 0; r < kcols; r++ {
+			col[r] = pd[r*pixels+p]
+		}
+		h, err := c.kernel.MVM(col)
+		if err != nil {
+			return nil, err
+		}
+		for oc, hv := range h {
+			c.pre.Data()[oc*pixels+p] = hv
+			// GST activation fires per pixel; the activated map feeds the
+			// global average pool.
+			gap[oc] += c.act.Eval(hv)
+		}
+	}
+	for oc := range gap {
+		gap[oc] /= float64(pixels)
+	}
+	c.gap = gap
+	return c.head.Forward(gap)
+}
+
+// Predict returns the argmax class for an image.
+func (c *CNN) Predict(img *tensor.Tensor) (int, error) {
+	logits, err := c.Forward(img)
+	if err != nil {
+		return 0, err
+	}
+	best, bi := math.Inf(-1), 0
+	for i, v := range logits {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi, nil
+}
+
+// TrainSample runs one in-situ training step: forward, head update (dense
+// Table II passes), then the convolutional backward — per-pixel
+// gradient-vector and outer-product passes through the kernel banks.
+func (c *CNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
+	logits, err := c.Forward(img)
+	if err != nil {
+		return 0, err
+	}
+	probs := nn.Softmax(logits)
+	if label < 0 || label >= len(probs) {
+		return 0, fmt.Errorf("core: label %d out of range [0,%d)", label, len(probs))
+	}
+	loss := -math.Log(math.Max(probs[label], 1e-300))
+	deltaLogits := append([]float64(nil), probs...)
+	deltaLogits[label] -= 1
+
+	// Head backward: δgap = Wᵀ·δlogits (gradient-vector pass), δW_head =
+	// δlogits ⊗ gap (outer-product pass).
+	rawGap, err := c.head.TransposeMVM(deltaLogits)
+	if err != nil {
+		return 0, err
+	}
+	headGrad, err := c.head.OuterProduct(deltaLogits, c.gap)
+	if err != nil {
+		return 0, err
+	}
+	c.head.ApplyUpdate(c.cfg.LearningRate, headGrad)
+
+	// Convolution backward. The GAP distributes δgap uniformly over
+	// pixels; the LDSU-latched derivative gates each pixel's contribution.
+	pixels := c.pre.Dim(1)
+	kcols := c.patches.Dim(0)
+	scale := 1 / float64(pixels)
+	kernGrad := make([][]float64, c.spec.OutC)
+	for j := range kernGrad {
+		kernGrad[j] = make([]float64, kcols)
+	}
+	deltaH := make([]float64, c.spec.OutC)
+	col := make([]float64, kcols)
+	pd := c.patches.Data()
+	for p := 0; p < pixels; p++ {
+		nonzero := false
+		for oc := 0; oc < c.spec.OutC; oc++ {
+			d := rawGap[oc] * scale * c.act.Derivative(c.pre.Data()[oc*pixels+p])
+			deltaH[oc] = d
+			if d != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			continue // the derivative gate silenced this pixel entirely
+		}
+		for r := 0; r < kcols; r++ {
+			col[r] = pd[r*pixels+p]
+		}
+		// Outer-product pass: banks hold the patch (broadcast), inputs
+		// carry δh — one rank-1 update per pixel, accumulated in the PE
+		// caches.
+		grad, err := c.kernel.OuterProduct(deltaH, col)
+		if err != nil {
+			return 0, err
+		}
+		for j := range grad {
+			for i := range grad[j] {
+				kernGrad[j][i] += grad[j][i]
+			}
+		}
+	}
+	c.kernel.ApplyUpdate(c.cfg.LearningRate, kernGrad)
+	return loss, nil
+}
+
+// Ledger merges the energy ledgers of the kernel and head banks.
+func (c *CNN) Ledger() *Ledger {
+	out := NewLedger()
+	var maxElapsed float64
+	for _, l := range []*DenseLayer{c.kernel, c.head} {
+		for _, row := range l.tiles {
+			for _, pe := range row {
+				out.Merge(pe.Ledger())
+				if e := pe.Ledger().Elapsed().Seconds(); e > maxElapsed {
+					maxElapsed = e
+				}
+			}
+		}
+	}
+	out.Advance(durationFromSeconds(maxElapsed))
+	return out
+}
+
+// KernelWeights exposes the kernel master matrix for inspection.
+func (c *CNN) KernelWeights() [][]float64 { return c.kernel.Weights() }

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/nn"
+	"trident/internal/tensor"
+)
+
+// DeepCNN is the multi-stage generalization of CNN: a stack of convolution
+// layers, each with its kernel matrix resident in PCM-MRR banks and the GST
+// activation applied per pixel, followed by global average pooling and a
+// dense classifier. The backward pass runs the full Table II repertoire at
+// every stage: per-pixel outer products for the kernel gradients and
+// per-pixel transpose passes (banks re-encoded with Kᵀ) for the gradient
+// flowing into the previous stage, with the im2col/col2im bookkeeping in
+// the digital control unit.
+type DeepCNN struct {
+	cfg     NetworkConfig
+	stages  []*convStage
+	head    *DenseLayer
+	act     *nn.GSTActivation
+	classes int
+	gap     []float64
+}
+
+// convStage is one hardware convolution layer with its saved forward state.
+type convStage struct {
+	spec    tensor.Conv2DSpec
+	kernel  *DenseLayer // OutC × (InC·KH·KW)
+	patches *tensor.Tensor
+	pre     *tensor.Tensor // OutC × pixels
+}
+
+// NewDeepCNN builds the stack. Every spec must be ungrouped and each
+// stage's input shape must equal the previous stage's output shape.
+func NewDeepCNN(cfg NetworkConfig, specs []tensor.Conv2DSpec, classes int) (*DeepCNN, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: DeepCNN needs ≥1 conv stage")
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("core: DeepCNN needs ≥2 classes (got %d)", classes)
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.05
+	}
+	d := &DeepCNN{cfg: cfg, classes: classes}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("core: stage %d: %w", i, err)
+		}
+		if s.Groups != 1 {
+			return nil, fmt.Errorf("core: stage %d: DeepCNN supports groups=1", i)
+		}
+		if i > 0 {
+			prev := specs[i-1]
+			if s.InC != prev.OutC || s.InH != prev.OutH() || s.InW != prev.OutW() {
+				return nil, fmt.Errorf("core: stage %d input [%d %d %d] does not match stage %d output [%d %d %d]",
+					i, s.InC, s.InH, s.InW, i-1, prev.OutC, prev.OutH(), prev.OutW())
+			}
+		}
+		kcols := s.InC * s.KH * s.KW
+		kernel, err := newDenseLayer(cfg, LayerSpec{In: kcols, Out: s.OutC}, 301+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: stage %d banks: %w", i, err)
+		}
+		d.stages = append(d.stages, &convStage{spec: s, kernel: kernel})
+	}
+	last := specs[len(specs)-1]
+	head, err := newDenseLayer(cfg, LayerSpec{In: last.OutC, Out: classes}, 401)
+	if err != nil {
+		return nil, fmt.Errorf("core: DeepCNN head banks: %w", err)
+	}
+	d.head = head
+	d.act = nn.NewGSTActivation("gst", cfg.PE.ActivationThreshold)
+	d.act.MaxOut = 1.0
+	return d, nil
+}
+
+// Forward runs one image through every hardware stage and returns logits.
+func (d *DeepCNN) Forward(img *tensor.Tensor) ([]float64, error) {
+	first := d.stages[0].spec
+	if img.Rank() != 3 || img.Dim(0) != first.InC || img.Dim(1) != first.InH || img.Dim(2) != first.InW {
+		return nil, fmt.Errorf("core: DeepCNN input shape %v, want [%d %d %d]",
+			img.Shape(), first.InC, first.InH, first.InW)
+	}
+	cur := img
+	for _, st := range d.stages {
+		out, err := d.forwardStage(st, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = out
+	}
+	// Global average pool over the final activated map.
+	lastSpec := d.stages[len(d.stages)-1].spec
+	pixels := lastSpec.OutH() * lastSpec.OutW()
+	gap := make([]float64, lastSpec.OutC)
+	for oc := 0; oc < lastSpec.OutC; oc++ {
+		var s float64
+		for p := 0; p < pixels; p++ {
+			s += cur.Data()[oc*pixels+p]
+		}
+		gap[oc] = s / float64(pixels)
+	}
+	d.gap = gap
+	return d.head.Forward(gap)
+}
+
+// forwardStage streams every im2col patch of the stage through its banks
+// and returns the activated output map.
+func (d *DeepCNN) forwardStage(st *convStage, in *tensor.Tensor) (*tensor.Tensor, error) {
+	s := st.spec
+	st.patches = tensor.Im2Col(st.patches, in, s, 0)
+	pixels := st.patches.Dim(1)
+	kcols := st.patches.Dim(0)
+	if st.pre == nil || st.pre.Dim(1) != pixels {
+		st.pre = tensor.New(s.OutC, pixels)
+	}
+	out := tensor.New(s.OutC, s.OutH(), s.OutW())
+	col := make([]float64, kcols)
+	pd := st.patches.Data()
+	for p := 0; p < pixels; p++ {
+		for r := 0; r < kcols; r++ {
+			col[r] = pd[r*pixels+p]
+		}
+		h, err := st.kernel.MVM(col)
+		if err != nil {
+			return nil, err
+		}
+		for oc, hv := range h {
+			st.pre.Data()[oc*pixels+p] = hv
+			out.Data()[oc*pixels+p] = d.act.Eval(hv)
+		}
+	}
+	return out, nil
+}
+
+// Predict returns the argmax class.
+func (d *DeepCNN) Predict(img *tensor.Tensor) (int, error) {
+	logits, err := d.Forward(img)
+	if err != nil {
+		return 0, err
+	}
+	best, bi := math.Inf(-1), 0
+	for i, v := range logits {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi, nil
+}
+
+// TrainSample runs one full in-situ step through every stage.
+func (d *DeepCNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
+	logits, err := d.Forward(img)
+	if err != nil {
+		return 0, err
+	}
+	probs := nn.Softmax(logits)
+	if label < 0 || label >= len(probs) {
+		return 0, fmt.Errorf("core: label %d out of range [0,%d)", label, len(probs))
+	}
+	loss := -math.Log(math.Max(probs[label], 1e-300))
+	deltaLogits := append([]float64(nil), probs...)
+	deltaLogits[label] -= 1
+
+	// Head backward (dense Table II passes).
+	rawGap, err := d.head.TransposeMVM(deltaLogits)
+	if err != nil {
+		return 0, err
+	}
+	headGrad, err := d.head.OuterProduct(deltaLogits, d.gap)
+	if err != nil {
+		return 0, err
+	}
+	d.head.ApplyUpdate(d.cfg.LearningRate, headGrad)
+
+	// Gradient w.r.t. the last stage's activated map: GAP spreads δgap
+	// uniformly over pixels.
+	lastSpec := d.stages[len(d.stages)-1].spec
+	pixels := lastSpec.OutH() * lastSpec.OutW()
+	deltaY := tensor.New(lastSpec.OutC, lastSpec.OutH(), lastSpec.OutW())
+	scale := 1 / float64(pixels)
+	for oc := 0; oc < lastSpec.OutC; oc++ {
+		for p := 0; p < pixels; p++ {
+			deltaY.Data()[oc*pixels+p] = rawGap[oc] * scale
+		}
+	}
+
+	for si := len(d.stages) - 1; si >= 0; si-- {
+		deltaY, err = d.backwardStage(d.stages[si], deltaY, si > 0)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return loss, nil
+}
+
+// backwardStage consumes ∂L/∂(activated output map), applies the LDSU
+// derivative gate, runs the hardware transpose passes (input gradient) and
+// outer-product passes (kernel gradient), updates the kernel, and returns
+// ∂L/∂(input map of this stage) when needInput is set.
+func (d *DeepCNN) backwardStage(st *convStage, deltaY *tensor.Tensor, needInput bool) (*tensor.Tensor, error) {
+	s := st.spec
+	pixels := s.OutH() * s.OutW()
+	kcols := s.InC * s.KH * s.KW
+
+	// δh = δy ⊙ f'(pre), per pixel.
+	deltaH := tensor.New(s.OutC, pixels)
+	for oc := 0; oc < s.OutC; oc++ {
+		for p := 0; p < pixels; p++ {
+			deltaH.Data()[oc*pixels+p] = deltaY.Data()[oc*pixels+p] *
+				d.act.Derivative(st.pre.Data()[oc*pixels+p])
+		}
+	}
+
+	var deltaIn *tensor.Tensor
+	dhCol := make([]float64, s.OutC)
+	if needInput {
+		// Transpose passes first, while the banks hold Kᵀ once.
+		deltaIn = tensor.New(s.InC, s.InH, s.InW)
+		for p := 0; p < pixels; p++ {
+			zero := true
+			for oc := 0; oc < s.OutC; oc++ {
+				dhCol[oc] = deltaH.Data()[oc*pixels+p]
+				if dhCol[oc] != 0 {
+					zero = false
+				}
+			}
+			if zero {
+				continue
+			}
+			dpatch, err := st.kernel.TransposeMVM(dhCol)
+			if err != nil {
+				return nil, err
+			}
+			col2imAdd(deltaIn, dpatch, s, p)
+		}
+	}
+
+	// Outer-product passes for the kernel gradient.
+	kernGrad := make([][]float64, s.OutC)
+	for j := range kernGrad {
+		kernGrad[j] = make([]float64, kcols)
+	}
+	col := make([]float64, kcols)
+	pd := st.patches.Data()
+	for p := 0; p < pixels; p++ {
+		zero := true
+		for oc := 0; oc < s.OutC; oc++ {
+			dhCol[oc] = deltaH.Data()[oc*pixels+p]
+			if dhCol[oc] != 0 {
+				zero = false
+			}
+		}
+		if zero {
+			continue
+		}
+		for r := 0; r < kcols; r++ {
+			col[r] = pd[r*pixels+p]
+		}
+		grad, err := st.kernel.OuterProduct(dhCol, col)
+		if err != nil {
+			return nil, err
+		}
+		for j := range grad {
+			for i := range grad[j] {
+				kernGrad[j][i] += grad[j][i]
+			}
+		}
+	}
+	st.kernel.ApplyUpdate(d.cfg.LearningRate, kernGrad)
+	return deltaIn, nil
+}
+
+// col2imAdd scatters one pixel's patch gradient back onto the input map.
+func col2imAdd(dst *tensor.Tensor, dpatch []float64, s tensor.Conv2DSpec, pixel int) {
+	outW := s.OutW()
+	oy := pixel / outW
+	ox := pixel % outW
+	for r, v := range dpatch {
+		if v == 0 {
+			continue
+		}
+		c := r / (s.KH * s.KW)
+		kh := (r / s.KW) % s.KH
+		kw := r % s.KW
+		iy := oy*s.StrideH - s.PadH + kh
+		ix := ox*s.StrideW - s.PadW + kw
+		if iy < 0 || iy >= s.InH || ix < 0 || ix >= s.InW {
+			continue
+		}
+		dst.Data()[c*s.InH*s.InW+iy*s.InW+ix] += v
+	}
+}
+
+// Ledger merges every stage's and the head's PE ledgers.
+func (d *DeepCNN) Ledger() *Ledger {
+	out := NewLedger()
+	var maxElapsed float64
+	layers := []*DenseLayer{d.head}
+	for _, st := range d.stages {
+		layers = append(layers, st.kernel)
+	}
+	for _, l := range layers {
+		for _, row := range l.tiles {
+			for _, pe := range row {
+				out.Merge(pe.Ledger())
+				if e := pe.Ledger().Elapsed().Seconds(); e > maxElapsed {
+					maxElapsed = e
+				}
+			}
+		}
+	}
+	out.Advance(durationFromSeconds(maxElapsed))
+	return out
+}
+
+// Stages returns the number of convolution stages.
+func (d *DeepCNN) Stages() int { return len(d.stages) }

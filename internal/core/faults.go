@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fault injection. Fabricated GST cells fail: a cell can stick at its
+// crystalline extreme (write pulses no longer amorphize it — the common
+// wear-out signature), stick amorphous, or stick at whatever level it last
+// held. Because Trident trains on the same hardware it infers with, in-situ
+// training can route around such faults — the gradient simply stops relying
+// on the dead weight — which is an operational advantage over the
+// train-offline-then-map flow, where a dead cell silently corrupts a
+// pre-trained weight. The experiments quantify that recovery.
+
+// FaultKind classifies a stuck cell.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// StuckCrystalline pins the cell at level 0 (weight −1 territory):
+	// the amorphizing write pulse no longer melts the material.
+	StuckCrystalline FaultKind = iota
+	// StuckAmorphous pins the cell at the top level (weight +1).
+	StuckAmorphous
+	// StuckCurrent freezes the cell at its present level.
+	StuckCurrent
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case StuckCrystalline:
+		return "stuck-crystalline"
+	case StuckAmorphous:
+		return "stuck-amorphous"
+	case StuckCurrent:
+		return "stuck-current"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// fault records one stuck cell inside a PE.
+type fault struct {
+	row, col int
+	value    float64 // the weight the cell is pinned to
+}
+
+// InjectFault pins the cell at (row, col) according to kind. Subsequent
+// Program calls leave the cell at its pinned weight. Injecting twice
+// replaces the earlier fault.
+func (p *PE) InjectFault(row, col int, kind FaultKind) error {
+	if row < 0 || row >= p.cfg.Rows || col < 0 || col >= p.cfg.Cols {
+		return fmt.Errorf("core: fault position (%d,%d) outside %d×%d bank",
+			row, col, p.cfg.Rows, p.cfg.Cols)
+	}
+	var v float64
+	switch kind {
+	case StuckCrystalline:
+		v = -1
+	case StuckAmorphous:
+		v = 1
+	case StuckCurrent:
+		v = p.bank.Weight(row, col)
+	default:
+		return fmt.Errorf("core: unknown fault kind %v", kind)
+	}
+	for i, f := range p.faults {
+		if f.row == row && f.col == col {
+			p.faults[i].value = v
+			p.applyFaults()
+			return nil
+		}
+	}
+	p.faults = append(p.faults, fault{row: row, col: col, value: v})
+	p.applyFaults()
+	return nil
+}
+
+// FaultCount returns the number of stuck cells.
+func (p *PE) FaultCount() int { return len(p.faults) }
+
+// applyFaults forces every stuck cell back to its pinned weight after a
+// programming pass: the write pulse was issued (and its energy booked by
+// Program), but the dead material simply did not change state.
+func (p *PE) applyFaults() {
+	for _, f := range p.faults {
+		p.bank.OverrideWeight(f.row, f.col, f.value)
+	}
+}
+
+// InjectRandomFaults pins `count` distinct random cells of the PE with the
+// given kind, seeded deterministically. It returns the positions chosen.
+func (p *PE) InjectRandomFaults(count int, kind FaultKind, seed int64) ([][2]int, error) {
+	if count < 0 || count > p.cfg.Rows*p.cfg.Cols {
+		return nil, fmt.Errorf("core: cannot pin %d of %d cells", count, p.cfg.Rows*p.cfg.Cols)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(p.cfg.Rows * p.cfg.Cols)[:count]
+	var out [][2]int
+	for _, idx := range perm {
+		r, c := idx/p.cfg.Cols, idx%p.cfg.Cols
+		if err := p.InjectFault(r, c, kind); err != nil {
+			return nil, err
+		}
+		out = append(out, [2]int{r, c})
+	}
+	return out, nil
+}
+
+// InjectRandomFaults pins approximately `fraction` of every tile bank's
+// cells across the whole network, seeded deterministically. It returns the
+// total number of pinned cells.
+func (n *Network) InjectRandomFaults(fraction float64, kind FaultKind, seed int64) (int, error) {
+	if fraction < 0 || fraction > 1 {
+		return 0, fmt.Errorf("core: fault fraction %v outside [0,1]", fraction)
+	}
+	total := 0
+	for li, l := range n.layers {
+		for r := range l.tiles {
+			for c, pe := range l.tiles[r] {
+				count := int(fraction * float64(pe.Rows()*pe.Cols()))
+				if count == 0 && fraction > 0 {
+					count = 1
+				}
+				if _, err := pe.InjectRandomFaults(count, kind,
+					seed+int64(li)*1000+int64(r)*100+int64(c)); err != nil {
+					return total, err
+				}
+				total += count
+			}
+		}
+	}
+	return total, nil
+}
+
+// FaultCount returns the number of stuck cells across the network.
+func (n *Network) FaultCount() int {
+	total := 0
+	for _, l := range n.layers {
+		for _, row := range l.tiles {
+			for _, pe := range row {
+				total += pe.FaultCount()
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/dataset"
+)
+
+func TestInjectFaultValidation(t *testing.T) {
+	pe := newTestPE(t, 4, 4)
+	if err := pe.InjectFault(-1, 0, StuckCrystalline); err == nil {
+		t.Error("negative row: want error")
+	}
+	if err := pe.InjectFault(0, 9, StuckAmorphous); err == nil {
+		t.Error("col out of range: want error")
+	}
+	if err := pe.InjectFault(0, 0, FaultKind(99)); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}
+
+func TestStuckCellIgnoresWrites(t *testing.T) {
+	pe := newTestPE(t, 2, 2)
+	if err := pe.InjectFault(0, 0, StuckCrystalline); err != nil {
+		t.Fatal(err)
+	}
+	if pe.FaultCount() != 1 {
+		t.Fatalf("fault count = %d", pe.FaultCount())
+	}
+	if err := pe.Program([][]float64{{0.75, 0.5}, {0.25, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pe.Bank().Weight(0, 0); got != -1 {
+		t.Errorf("stuck-crystalline cell reads %v, want -1", got)
+	}
+	if got := pe.Bank().Weight(0, 1); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("healthy neighbour reads %v, want ≈0.5", got)
+	}
+}
+
+func TestFaultKinds(t *testing.T) {
+	pe := newTestPE(t, 2, 2)
+	if err := pe.Program([][]float64{{0.25, 0.25}, {0.25, 0.25}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.InjectFault(0, 0, StuckAmorphous); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.InjectFault(1, 1, StuckCurrent); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.Program([][]float64{{-0.5, -0.5}, {-0.5, -0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pe.Bank().Weight(0, 0); got != 1 {
+		t.Errorf("stuck-amorphous reads %v, want 1", got)
+	}
+	if got := pe.Bank().Weight(1, 1); math.Abs(got-0.25) > 0.01 {
+		t.Errorf("stuck-current reads %v, want ≈0.25 (its value at injection)", got)
+	}
+	if got := pe.Bank().Weight(1, 0); math.Abs(got+0.5) > 0.01 {
+		t.Errorf("healthy cell reads %v, want ≈-0.5", got)
+	}
+	// Re-injecting the same cell replaces the fault.
+	if err := pe.InjectFault(0, 0, StuckCrystalline); err != nil {
+		t.Fatal(err)
+	}
+	if pe.FaultCount() != 2 {
+		t.Errorf("fault count = %d after re-injection, want 2", pe.FaultCount())
+	}
+	if got := pe.Bank().Weight(0, 0); got != -1 {
+		t.Errorf("re-injected cell reads %v, want -1", got)
+	}
+}
+
+func TestInjectRandomFaults(t *testing.T) {
+	pe := newTestPE(t, 4, 4)
+	pos, err := pe.InjectRandomFaults(5, StuckCrystalline, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 5 || pe.FaultCount() != 5 {
+		t.Fatalf("positions=%d faults=%d, want 5", len(pos), pe.FaultCount())
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pos {
+		if seen[p] {
+			t.Errorf("duplicate fault position %v", p)
+		}
+		seen[p] = true
+	}
+	if _, err := pe.InjectRandomFaults(100, StuckCrystalline, 1); err == nil {
+		t.Error("over-count: want error")
+	}
+	if _, err := pe.InjectRandomFaults(-1, StuckCrystalline, 1); err == nil {
+		t.Error("negative count: want error")
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if StuckCrystalline.String() != "stuck-crystalline" ||
+		StuckAmorphous.String() != "stuck-amorphous" ||
+		StuckCurrent.String() != "stuck-current" {
+		t.Error("fault kind names wrong")
+	}
+	if FaultKind(42).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+// TestInSituHealing is the operational payoff of unified train/infer
+// hardware: after cells die, continued in-situ training recovers most of
+// the lost accuracy, because gradients flow through the same faulty
+// hardware and compensate.
+func TestInSituHealing(t *testing.T) {
+	data := dataset.Blobs(150, 3, 6, 0.1, 21)
+	trainSet, testSet := data.Split(0.8)
+	net := quietNet(t, 0.08,
+		LayerSpec{In: 6, Out: 16, Activate: true},
+		LayerSpec{In: 16, Out: 3},
+	)
+	eval := func() float64 {
+		correct := 0
+		for i := range testSet.Inputs {
+			cls, err := net.Predict(testSet.Inputs[i].Data())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cls == testSet.Labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(testSet.Len())
+	}
+	epoch := func() {
+		for i := range trainSet.Inputs {
+			if _, err := net.TrainSample(trainSet.Inputs[i].Data(), trainSet.Labels[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for e := 0; e < 10; e++ {
+		epoch()
+	}
+	clean := eval()
+	if clean < 0.9 {
+		t.Fatalf("clean accuracy %.2f too low to study healing", clean)
+	}
+	// Kill 10% of the cells in every bank.
+	count, err := net.InjectRandomFaults(0.10, StuckCrystalline, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 || net.FaultCount() != count {
+		t.Fatalf("injected %d faults, counter says %d", count, net.FaultCount())
+	}
+	// Force the banks to reprogram so the faults bite, then measure.
+	hurt := eval()
+	if hurt >= clean {
+		t.Logf("fault injection did not hurt (%.2f → %.2f); healing claim still checked", clean, hurt)
+	}
+	// Heal: continue training on the faulty hardware.
+	for e := 0; e < 10; e++ {
+		epoch()
+	}
+	healed := eval()
+	if healed < hurt {
+		t.Errorf("healing made things worse: %.2f → %.2f", hurt, healed)
+	}
+	if healed < clean-0.05 {
+		t.Errorf("healed accuracy %.2f did not recover to within 5 points of clean %.2f (hurt: %.2f)",
+			healed, clean, hurt)
+	}
+}

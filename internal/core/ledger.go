@@ -1,0 +1,112 @@
+// Package core implements the Trident accelerator itself: processing
+// elements built from PCM-tuned MRR weight banks, balanced photodetectors,
+// programmable TIAs, GST activation cells and LDSUs, composed into an
+// accelerator that executes both inference and in-situ backpropagation
+// training on the same hardware (Table II of the paper).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trident/internal/units"
+)
+
+// EnergyCategory labels a ledger entry. The categories mirror the rows of
+// Table III so a simulated run can be cross-checked against the paper's
+// power breakdown.
+type EnergyCategory string
+
+// Ledger categories.
+const (
+	CatGSTTuning       EnergyCategory = "gst-tuning"
+	CatGSTRead         EnergyCategory = "gst-read"
+	CatActivationReset EnergyCategory = "activation-reset"
+	CatBPDTIA          EnergyCategory = "bpd-tia"
+	CatLDSU            EnergyCategory = "ldsu"
+	CatEOLaser         EnergyCategory = "eo-laser"
+	CatCache           EnergyCategory = "cache"
+)
+
+// Ledger accumulates energy by category and elapsed simulated time.
+type Ledger struct {
+	energy  map[EnergyCategory]units.Energy
+	elapsed units.Duration
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{energy: make(map[EnergyCategory]units.Energy)}
+}
+
+// Add books energy under a category. Negative energy is a bug in the
+// caller and panics.
+func (l *Ledger) Add(cat EnergyCategory, e units.Energy) {
+	if e < 0 {
+		panic(fmt.Sprintf("core: negative energy %v for %s", e, cat))
+	}
+	l.energy[cat] += e
+}
+
+// Advance moves simulated time forward. Negative durations panic.
+func (l *Ledger) Advance(d units.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("core: negative time advance %v", d))
+	}
+	l.elapsed += d
+}
+
+// Elapsed returns the simulated wall time.
+func (l *Ledger) Elapsed() units.Duration { return l.elapsed }
+
+// Energy returns the energy booked under one category.
+func (l *Ledger) Energy(cat EnergyCategory) units.Energy { return l.energy[cat] }
+
+// TotalEnergy returns the energy summed over all categories.
+func (l *Ledger) TotalEnergy() units.Energy {
+	var t units.Energy
+	for _, e := range l.energy {
+		t += e
+	}
+	return t
+}
+
+// AveragePower returns total energy over elapsed time (zero if no time has
+// passed).
+func (l *Ledger) AveragePower() units.Power {
+	return l.TotalEnergy().OverTime(l.elapsed)
+}
+
+// Merge adds another ledger's energy (not its elapsed time — time is
+// parallel across PEs, energy is additive).
+func (l *Ledger) Merge(o *Ledger) {
+	for cat, e := range o.energy {
+		l.energy[cat] += e
+	}
+}
+
+// Reset clears the ledger.
+func (l *Ledger) Reset() {
+	l.energy = make(map[EnergyCategory]units.Energy)
+	l.elapsed = 0
+}
+
+// String renders the breakdown sorted by category for stable output.
+func (l *Ledger) String() string {
+	cats := make([]string, 0, len(l.energy))
+	for c := range l.energy {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed %v, total %v", l.elapsed, l.TotalEnergy())
+	for _, c := range cats {
+		fmt.Fprintf(&b, "\n  %-18s %v", c, l.energy[EnergyCategory(c)])
+	}
+	return b.String()
+}
+
+// durationFromSeconds converts a plain seconds value into the ledger's
+// duration type.
+func durationFromSeconds(s float64) units.Duration { return units.Duration(s) }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"trident/internal/units"
+)
+
+func TestLedgerAccumulates(t *testing.T) {
+	l := NewLedger()
+	l.Add(CatGSTTuning, 660*units.Picojoule)
+	l.Add(CatGSTTuning, 660*units.Picojoule)
+	l.Add(CatLDSU, 10*units.Picojoule)
+	if got := l.Energy(CatGSTTuning).Picojoules(); math.Abs(got-1320) > 1e-9 {
+		t.Errorf("tuning energy = %vpJ, want 1320", got)
+	}
+	if got := l.TotalEnergy().Picojoules(); math.Abs(got-1330) > 1e-9 {
+		t.Errorf("total = %vpJ, want 1330", got)
+	}
+	l.Advance(300 * units.Nanosecond)
+	l.Advance(300 * units.Nanosecond)
+	if got := l.Elapsed().Nanoseconds(); math.Abs(got-600) > 1e-9 {
+		t.Errorf("elapsed = %vns, want 600", got)
+	}
+	if p := l.AveragePower(); p <= 0 {
+		t.Errorf("average power = %v, want positive", p)
+	}
+}
+
+func TestLedgerMerge(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	a.Add(CatCache, 1*units.Nanojoule)
+	b.Add(CatCache, 2*units.Nanojoule)
+	b.Add(CatEOLaser, 1*units.Picojoule)
+	b.Advance(1 * units.Microsecond)
+	a.Merge(b)
+	if got := a.Energy(CatCache).Joules(); math.Abs(got-3e-9) > 1e-18 {
+		t.Errorf("merged cache energy = %v", got)
+	}
+	if a.Energy(CatEOLaser) == 0 {
+		t.Error("merge must carry new categories")
+	}
+	// Merge is energy-only: parallel PEs do not sum wall time.
+	if a.Elapsed() != 0 {
+		t.Errorf("merge must not add elapsed time, got %v", a.Elapsed())
+	}
+}
+
+func TestLedgerPanics(t *testing.T) {
+	l := NewLedger()
+	for _, fn := range []func(){
+		func() { l.Add(CatCache, -1) },
+		func() { l.Advance(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("negative quantities should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l := NewLedger()
+	l.Add(CatCache, 1)
+	l.Advance(1)
+	l.Reset()
+	if l.TotalEnergy() != 0 || l.Elapsed() != 0 {
+		t.Error("Reset must clear everything")
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	l := NewLedger()
+	l.Add(CatGSTTuning, 660*units.Picojoule)
+	l.Advance(300 * units.Nanosecond)
+	s := l.String()
+	if !strings.Contains(s, "gst-tuning") || !strings.Contains(s, "660pJ") {
+		t.Errorf("String() = %q, missing category breakdown", s)
+	}
+}
+
+func TestAveragePowerZeroTime(t *testing.T) {
+	l := NewLedger()
+	l.Add(CatCache, 1*units.Nanojoule)
+	if got := l.AveragePower(); got != 0 {
+		t.Errorf("power with no elapsed time = %v, want 0", got)
+	}
+}

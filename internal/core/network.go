@@ -1,0 +1,506 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/device"
+	"trident/internal/nn"
+	"trident/internal/units"
+)
+
+// LayerSpec describes one dense layer mapped onto Trident PEs.
+type LayerSpec struct {
+	In, Out int
+	// Activate selects whether the layer's outputs pass through the GST
+	// activation cells. The final classifier layer runs linear ("the GST
+	// activation cell can be set to a fully amorphous state, effectively
+	// eliminating the activation cell" — Section III-C).
+	Activate bool
+}
+
+// NetworkConfig parameterizes a hardware-mapped network.
+type NetworkConfig struct {
+	// PE geometry and analog behaviour shared by all tiles.
+	PE PEConfig
+	// LearningRate is β in equation (1).
+	LearningRate float64
+	// Momentum is the heavy-ball coefficient µ applied by the control
+	// unit's update stage (0 = the paper's plain equation (1)). The
+	// velocity buffer lives in the PE caches / L2, not in photonics.
+	Momentum float64
+}
+
+// DenseLayer is one network layer spread over a grid of PE tiles in the
+// weight-stationary style: tile (r, c) holds the weight block
+// W[r·J:(r+1)·J, c·N:(c+1)·N].
+type DenseLayer struct {
+	spec     LayerSpec
+	w        [][]float64 // control-unit master copy (float), out×in
+	tiles    [][]*PE     // [rowTile][colTile]
+	rows     int         // J per tile
+	cols     int         // N per tile
+	state    bankState   // which Table II operand the banks currently hold
+	lastX    []float64
+	lastH    []float64
+	lastY    []float64
+	derivs   []float64
+	actCells *nn.GSTActivation
+	momentum float64
+	velocity [][]float64 // heavy-ball state, allocated on first update
+}
+
+// bankState tracks which operand layout the tile banks currently hold.
+type bankState int
+
+const (
+	bankForward   bankState = iota // W (inference layout)
+	bankTranspose                  // Wᵀ (gradient-vector layout)
+	bankBroadcast                  // y broadcast (outer-product layout)
+	bankStale                      // master weights changed; banks outdated
+)
+
+// Network is a stack of DenseLayers executed on Trident hardware, capable
+// of inference and in-situ backpropagation training. It is the functional
+// counterpart of the analytic models in internal/accel: small enough to
+// simulate gate-accurately, but exercising exactly the Table II modes.
+type Network struct {
+	cfg    NetworkConfig
+	layers []*DenseLayer
+}
+
+// NewNetwork builds a hardware network for the given layer stack. Initial
+// weights are Kaiming-uniform via a deterministic per-layer seed and are
+// programmed into the PCM banks immediately.
+func NewNetwork(cfg NetworkConfig, specs ...LayerSpec) (*Network, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: network needs at least one layer")
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.LearningRate < 0 {
+		return nil, fmt.Errorf("core: learning rate %v must be positive", cfg.LearningRate)
+	}
+	if cfg.Momentum < 0 || cfg.Momentum >= 1 {
+		return nil, fmt.Errorf("core: momentum %v outside [0,1)", cfg.Momentum)
+	}
+	n := &Network{cfg: cfg}
+	for li, spec := range specs {
+		if spec.In <= 0 || spec.Out <= 0 {
+			return nil, fmt.Errorf("core: layer %d dims %d→%d must be positive", li, spec.In, spec.Out)
+		}
+		l, err := newDenseLayer(cfg, spec, int64(li))
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d: %w", li, err)
+		}
+		if li > 0 && specs[li-1].Out != spec.In {
+			return nil, fmt.Errorf("core: layer %d input %d does not match previous output %d",
+				li, spec.In, specs[li-1].Out)
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n, nil
+}
+
+func newDenseLayer(cfg NetworkConfig, spec LayerSpec, seed int64) (*DenseLayer, error) {
+	peCfg := cfg.PE
+	if peCfg.Rows == 0 {
+		peCfg.Rows = device.WeightBankRows
+	}
+	if peCfg.Cols == 0 {
+		peCfg.Cols = device.WeightBankCols
+	}
+	l := &DenseLayer{
+		spec:     spec,
+		rows:     peCfg.Rows,
+		cols:     peCfg.Cols,
+		momentum: cfg.Momentum,
+	}
+	l.actCells = nn.NewGSTActivation("gst", peCfg.ActivationThreshold)
+	l.actCells.MaxOut = 1.0 // the physical cell saturates at full transmission
+	// Master weights: Kaiming uniform, like the digital reference.
+	ref := nn.NewDense("init", spec.In, spec.Out, seed+1000)
+	l.w = make([][]float64, spec.Out)
+	for j := range l.w {
+		l.w[j] = make([]float64, spec.In)
+		for i := range l.w[j] {
+			l.w[j][i] = ref.W.Value.At(j, i)
+		}
+	}
+	rt := (spec.Out + l.rows - 1) / l.rows
+	ct := (spec.In + l.cols - 1) / l.cols
+	l.tiles = make([][]*PE, rt)
+	for r := 0; r < rt; r++ {
+		l.tiles[r] = make([]*PE, ct)
+		for c := 0; c < ct; c++ {
+			tc := peCfg
+			tc.NoiseSeed = seed*7919 + int64(r)*101 + int64(c)
+			pe, err := NewPE(tc)
+			if err != nil {
+				return nil, err
+			}
+			l.tiles[r][c] = pe
+		}
+	}
+	if err := l.programForward(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// tileBlock extracts the weight block for tile (r, c), clamped at the
+// matrix edges.
+func (l *DenseLayer) tileBlock(r, c int, transpose bool) [][]float64 {
+	src := l.w
+	outDim, inDim := l.spec.Out, l.spec.In
+	if transpose {
+		outDim, inDim = inDim, outDim
+	}
+	j0 := r * l.rows
+	j1 := minInt(j0+l.rows, outDim)
+	i0 := c * l.cols
+	i1 := minInt(i0+l.cols, inDim)
+	blk := make([][]float64, j1-j0)
+	for j := j0; j < j1; j++ {
+		row := make([]float64, i1-i0)
+		for i := i0; i < i1; i++ {
+			if transpose {
+				row[i-i0] = src[i][j]
+			} else {
+				row[i-i0] = src[j][i]
+			}
+		}
+		blk[j-j0] = row
+	}
+	return blk
+}
+
+// programForward writes W into the tile banks.
+func (l *DenseLayer) programForward() error {
+	for r := range l.tiles {
+		for c, pe := range l.tiles[r] {
+			if err := pe.Program(l.tileBlock(r, c, false)); err != nil {
+				return err
+			}
+		}
+	}
+	l.state = bankForward
+	return nil
+}
+
+// programTranspose writes Wᵀ into the tile banks (the gradient-vector
+// operand layout). The transposed matrix has In rows and Out cols, so the
+// tile grid is indexed the other way around; tile counts may differ when
+// the layer is not square, in which case the grid is re-used ragged: tile
+// (r, c) of Wᵀ is served by PE tile (c, r), whose geometry matches because
+// banks are square (J = N in the default configuration).
+func (l *DenseLayer) programTranspose() error {
+	if l.rows != l.cols {
+		return fmt.Errorf("core: transpose pass requires square PE banks (have %d×%d)", l.rows, l.cols)
+	}
+	rt := (l.spec.In + l.rows - 1) / l.rows
+	ct := (l.spec.Out + l.cols - 1) / l.cols
+	for r := 0; r < rt; r++ {
+		for c := 0; c < ct; c++ {
+			pe := l.tiles[c][r] // reuse the forward tile grid transposed
+			if err := pe.Program(l.tileBlock(r, c, true)); err != nil {
+				return err
+			}
+		}
+	}
+	l.state = bankTranspose
+	return nil
+}
+
+// MVM runs one forward-layout optical matrix-vector pass through the tile
+// grid without touching the layer's saved training state: the primitive
+// shared by Forward and by the convolutional layer's per-pixel streaming.
+func (l *DenseLayer) MVM(x []float64) ([]float64, error) {
+	if len(x) != l.spec.In {
+		return nil, fmt.Errorf("core: layer input %d, want %d", len(x), l.spec.In)
+	}
+	if l.state != bankForward {
+		if err := l.programForward(); err != nil {
+			return nil, err
+		}
+	}
+	h := make([]float64, l.spec.Out)
+	for r := range l.tiles {
+		j0 := r * l.rows
+		j1 := minInt(j0+l.rows, l.spec.Out)
+		for c, pe := range l.tiles[r] {
+			i0 := c * l.cols
+			i1 := minInt(i0+l.cols, l.spec.In)
+			part, err := pe.MVMPass(x[i0:i1])
+			if err != nil {
+				return nil, err
+			}
+			for j := j0; j < j1; j++ {
+				h[j] += part[j-j0]
+			}
+		}
+	}
+	return h, nil
+}
+
+// Forward runs the layer on hardware: tile MVM passes, electronic partial-
+// sum accumulation across column tiles, then the GST activation (if
+// enabled) on the row-tile PEs.
+func (l *DenseLayer) Forward(x []float64) ([]float64, error) {
+	h, err := l.MVM(x)
+	if err != nil {
+		return nil, err
+	}
+	l.lastX = append(l.lastX[:0], x...)
+	l.lastH = append(l.lastH[:0], h...)
+	y := make([]float64, len(h))
+	if l.spec.Activate {
+		for r := range l.tiles {
+			j0 := r * l.rows
+			j1 := minInt(j0+l.rows, l.spec.Out)
+			out, err := l.tiles[r][0].Activate(h[j0:j1])
+			if err != nil {
+				return nil, err
+			}
+			copy(y[j0:j1], out)
+		}
+	} else {
+		copy(y, h)
+	}
+	l.lastY = append(l.lastY[:0], y...)
+	// Record derivatives for the backward pass (what the LDSUs latched).
+	l.derivs = l.derivs[:0]
+	for _, hv := range h {
+		if l.spec.Activate {
+			l.derivs = append(l.derivs, l.actCells.Derivative(hv))
+		} else {
+			l.derivs = append(l.derivs, 1)
+		}
+	}
+	return y, nil
+}
+
+// TransposeMVM computes Wᵀ·δ on hardware (the gradient-vector pass before
+// the Hadamard product).
+func (l *DenseLayer) TransposeMVM(delta []float64) ([]float64, error) {
+	if len(delta) != l.spec.Out {
+		return nil, fmt.Errorf("core: layer delta %d, want %d", len(delta), l.spec.Out)
+	}
+	if l.state != bankTranspose {
+		if err := l.programTranspose(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, l.spec.In)
+	rt := (l.spec.In + l.rows - 1) / l.rows
+	ct := (l.spec.Out + l.cols - 1) / l.cols
+	for r := 0; r < rt; r++ {
+		j0 := r * l.rows
+		j1 := minInt(j0+l.rows, l.spec.In)
+		for c := 0; c < ct; c++ {
+			i0 := c * l.cols
+			i1 := minInt(i0+l.cols, l.spec.Out)
+			part, err := l.tiles[c][r].MVMPass(delta[i0:i1])
+			if err != nil {
+				return nil, err
+			}
+			for j := j0; j < j1; j++ {
+				out[j] += part[j-j0]
+			}
+		}
+	}
+	return out, nil
+}
+
+// OuterProduct computes δW = δh·yᵀ on hardware: each tile programs the
+// broadcast y slice and feeds its δh slice (Table II, third column).
+func (l *DenseLayer) OuterProduct(deltaH, y []float64) ([][]float64, error) {
+	if len(deltaH) != l.spec.Out || len(y) != l.spec.In {
+		return nil, fmt.Errorf("core: outer product dims %d×%d, want %d×%d",
+			len(deltaH), len(y), l.spec.Out, l.spec.In)
+	}
+	grad := make([][]float64, l.spec.Out)
+	for j := range grad {
+		grad[j] = make([]float64, l.spec.In)
+	}
+	for r := range l.tiles {
+		j0 := r * l.rows
+		j1 := minInt(j0+l.rows, l.spec.Out)
+		for c, pe := range l.tiles[r] {
+			i0 := c * l.cols
+			i1 := minInt(i0+l.cols, l.spec.In)
+			if err := pe.ProgramBroadcast(y[i0:i1]); err != nil {
+				return nil, err
+			}
+			rows, err := pe.OuterProductPass(deltaH[j0:j1], y[i0:i1])
+			if err != nil {
+				return nil, err
+			}
+			for j := j0; j < j1; j++ {
+				copy(grad[j][i0:i1], rows[j-j0])
+			}
+		}
+	}
+	l.state = bankBroadcast
+	return grad, nil
+}
+
+// ApplyUpdate performs the equation (1) update W ← W − β·v on the
+// control-unit master copy, where v is the plain gradient at µ = 0 and the
+// heavy-ball velocity v ← µ·v + δW otherwise. Banks are reprogrammed
+// lazily on the next forward pass.
+func (l *DenseLayer) ApplyUpdate(beta float64, grad [][]float64) {
+	if l.momentum > 0 && l.velocity == nil {
+		l.velocity = make([][]float64, l.spec.Out)
+		for j := range l.velocity {
+			l.velocity[j] = make([]float64, l.spec.In)
+		}
+	}
+	for j := range l.w {
+		for i := range l.w[j] {
+			step := grad[j][i]
+			if l.momentum > 0 {
+				l.velocity[j][i] = l.momentum*l.velocity[j][i] + grad[j][i]
+				step = l.velocity[j][i]
+			}
+			l.w[j][i] = clamp1(l.w[j][i] - beta*step)
+		}
+	}
+	l.state = bankStale
+}
+
+func clamp1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// Weights returns the master weight matrix (shared; callers must not
+// mutate).
+func (l *DenseLayer) Weights() [][]float64 { return l.w }
+
+// Derivs returns the latched derivative vector of the last forward pass.
+func (l *DenseLayer) Derivs() []float64 { return l.derivs }
+
+// Forward runs a full inference through the network.
+func (n *Network) Forward(x []float64) ([]float64, error) {
+	var err error
+	for _, l := range n.layers {
+		x, err = l.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// Predict returns the argmax class.
+func (n *Network) Predict(x []float64) (int, error) {
+	y, err := n.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	best, bi := math.Inf(-1), 0
+	for i, v := range y {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi, nil
+}
+
+// TrainSample runs one full in-situ training step — forward pass, backward
+// gradient-vector passes, outer-product weight-gradient passes, and the
+// equation (1) update — entirely through the hardware model. It returns
+// the cross-entropy loss.
+func (n *Network) TrainSample(x []float64, label int) (float64, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	probs := nn.Softmax(logits)
+	if label < 0 || label >= len(probs) {
+		return 0, fmt.Errorf("core: label %d out of range [0,%d)", label, len(probs))
+	}
+	loss := -math.Log(math.Max(probs[label], 1e-300))
+	delta := append([]float64(nil), probs...)
+	delta[label] -= 1
+
+	for k := len(n.layers) - 1; k >= 0; k-- {
+		l := n.layers[k]
+		// δh_k = (W_{k+1}ᵀ·δh_{k+1}) ⊙ f'(h_k); at the top, δh = loss grad
+		// (the classifier layer is linear, f' = 1).
+		var input []float64
+		if k == 0 {
+			input = n.layers[0].lastX
+		} else {
+			input = n.layers[k-1].lastY
+		}
+		// Gradient-vector pass first (banks go W → Wᵀ), then the
+		// outer-product pass (banks → y broadcast); the forward layout is
+		// restored lazily on the next inference.
+		var nextDelta []float64
+		if k > 0 {
+			raw, err := l.TransposeMVM(delta)
+			if err != nil {
+				return 0, err
+			}
+			prev := n.layers[k-1]
+			nextDelta = make([]float64, len(raw))
+			for i := range raw {
+				nextDelta[i] = raw[i] * prev.derivs[i]
+			}
+		}
+		grad, err := l.OuterProduct(delta, input)
+		if err != nil {
+			return 0, err
+		}
+		l.ApplyUpdate(n.cfg.LearningRate, grad)
+		delta = nextDelta
+	}
+	return loss, nil
+}
+
+// Layers returns the layer stack.
+func (n *Network) Layers() []*DenseLayer { return n.layers }
+
+// Ledger returns a merged energy ledger across every PE tile.
+func (n *Network) Ledger() *Ledger {
+	out := NewLedger()
+	var maxElapsed units.Duration
+	for _, l := range n.layers {
+		for _, row := range l.tiles {
+			for _, pe := range row {
+				out.Merge(pe.Ledger())
+				if e := pe.Ledger().Elapsed(); e > maxElapsed {
+					maxElapsed = e
+				}
+			}
+		}
+	}
+	out.Advance(maxElapsed)
+	return out
+}
+
+// PECount returns the number of PE tiles in the network.
+func (n *Network) PECount() int {
+	total := 0
+	for _, l := range n.layers {
+		for _, row := range l.tiles {
+			total += len(row)
+		}
+	}
+	return total
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"trident/internal/analog"
+	"trident/internal/device"
+	"trident/internal/mrr"
+	"trident/internal/optics"
+	"trident/internal/pcm"
+	"trident/internal/units"
+)
+
+// Mode selects which Table II operand mapping a PE executes.
+type Mode int
+
+// PE operating modes (the three columns of Table II).
+const (
+	// ModeInference: bank holds W_k, inputs carry x_k, BPD output is
+	// y = W·x, which then passes through the GST activation.
+	ModeInference Mode = iota
+	// ModeGradient: bank holds W_{k+1}ᵀ, inputs carry δh_{k+1}, and the
+	// TIAs are programmed to the stored f'(h_k) so the output is
+	// δh_k = (Wᵀδ) ⊙ f'(h) — equation (3).
+	ModeGradient
+	// ModeOuterProduct: bank holds y_{k-1}ᵀ broadcast across rows, inputs
+	// carry δh_k, and the output rows form δW_k = δh·yᵀ — equation (2).
+	ModeOuterProduct
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeInference:
+		return "inference"
+	case ModeGradient:
+		return "gradient"
+	case ModeOuterProduct:
+		return "outer-product"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// PEConfig parameterizes a processing element.
+type PEConfig struct {
+	Rows int // J, output rows; default device.WeightBankRows
+	Cols int // N, input wavelengths; default device.WeightBankCols
+	// LaserPower is the full-scale optical power per wavelength.
+	LaserPower units.Power
+	// NoiseSeed seeds the analog noise processes.
+	NoiseSeed int64
+	// DisableNoise turns off BPD noise (for bit-exactness tests).
+	DisableNoise bool
+	// ActivationThreshold is the normalized pre-activation level at which
+	// the GST activation cell fires. The control unit sets it by scaling
+	// the E/O drive so that the 430 pJ physical threshold corresponds to
+	// this numeric value.
+	ActivationThreshold float64
+}
+
+// PE is one Trident processing element: a J×N PCM-MRR weight bank, one
+// balanced photodetector + TIA per row, one LDSU per row and one GST
+// activation cell per row (Fig. 1).
+type PE struct {
+	cfg    PEConfig
+	bank   *mrr.WeightBank
+	lasers *optics.LaserBank
+	fes    []*analog.RowFrontEnd
+	ldsu   *pcm.LDSUBank
+	acts   []*pcm.ActivationCell
+	ledger *Ledger
+	rng    *rand.Rand
+	faults []fault // stuck cells (see faults.go)
+	// noiseRel is the relative RMS analog noise at full scale, derived
+	// from the BPD noise model.
+	noiseRel float64
+	scratch  []float64
+}
+
+// NewPE builds a processing element. Zero config fields take the paper's
+// defaults (16×16 bank, 1 mW lines).
+func NewPE(cfg PEConfig) (*PE, error) {
+	if cfg.Rows == 0 {
+		cfg.Rows = device.WeightBankRows
+	}
+	if cfg.Cols == 0 {
+		cfg.Cols = device.WeightBankCols
+	}
+	if cfg.Rows < 0 || cfg.Cols < 0 {
+		return nil, fmt.Errorf("core: PE bank %d×%d must be positive", cfg.Rows, cfg.Cols)
+	}
+	if cfg.LaserPower == 0 {
+		cfg.LaserPower = 1 * units.Milliwatt
+	}
+	plan, err := optics.DefaultChannelPlan(cfg.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("core: PE channel plan: %w", err)
+	}
+	bank, err := mrr.NewPCMWeightBank(cfg.Rows, cfg.Cols, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: PE weight bank: %w", err)
+	}
+	lasers, err := optics.NewLaserBank(plan, cfg.LaserPower)
+	if err != nil {
+		return nil, fmt.Errorf("core: PE lasers: %w", err)
+	}
+	pe := &PE{
+		cfg:    cfg,
+		bank:   bank,
+		lasers: lasers,
+		ldsu:   pcm.NewLDSUBank(cfg.Rows),
+		ledger: NewLedger(),
+		rng:    rand.New(rand.NewSource(cfg.NoiseSeed)),
+	}
+	for j := 0; j < cfg.Rows; j++ {
+		fe, err := analog.NewRowFrontEnd(cfg.NoiseSeed + int64(j) + 1)
+		if err != nil {
+			return nil, err
+		}
+		pe.fes = append(pe.fes, fe)
+		act, err := pcm.NewActivationCell(pcm.ActivationConfig{})
+		if err != nil {
+			return nil, err
+		}
+		pe.acts = append(pe.acts, act)
+	}
+	if !cfg.DisableNoise {
+		bpd := pe.fes[0].BPD
+		full := cfg.LaserPower
+		pe.noiseRel = bpd.NoiseSigma(full) / (bpd.Responsivity * full.Watts())
+	}
+	return pe, nil
+}
+
+// Rows returns J.
+func (p *PE) Rows() int { return p.cfg.Rows }
+
+// Cols returns N.
+func (p *PE) Cols() int { return p.cfg.Cols }
+
+// Ledger returns the PE's energy/time ledger.
+func (p *PE) Ledger() *Ledger { return p.ledger }
+
+// Bank exposes the weight bank (for endurance and quantization inspection).
+func (p *PE) Bank() *mrr.WeightBank { return p.bank }
+
+// Program writes a weight tile into the PCM-MRR bank. All cells program in
+// parallel (300 ns wall time per pass); energy is booked per changed cell.
+func (p *PE) Program(w [][]float64) error {
+	res, err := p.bank.Program(w, p.ledger.Elapsed())
+	if err != nil {
+		return err
+	}
+	p.ledger.Add(CatGSTTuning, res.Energy)
+	p.ledger.Advance(res.Elapsed)
+	// Stuck cells ignore the write pulses they just received.
+	p.applyFaults()
+	return nil
+}
+
+// step books the per-symbol energies common to every optical pass: E/O
+// encoding of n inputs, the GST read pulses that bias the bank, the BPD+TIA
+// front ends, and the per-PE cache activity, then advances one clock.
+func (p *PE) step(n int) {
+	period := device.ClockRate.Period()
+	p.ledger.Add(CatEOLaser, p.lasers.EncodeEnergy(n))
+	// Read power is a per-bank budget (Table III row over 256 cells).
+	readShare := units.Power(float64(device.PowerGSTRead) *
+		float64(p.cfg.Rows*p.cfg.Cols) / float64(device.MRRsPerPE))
+	p.ledger.Add(CatGSTRead, readShare.OverTime(period))
+	feShare := units.Power(float64(device.PowerBPDTIA) *
+		float64(p.cfg.Rows) / float64(device.WeightBankRows))
+	p.ledger.Add(CatBPDTIA, feShare.OverTime(period))
+	p.ledger.Add(CatCache, device.PowerCache.OverTime(period))
+	p.ledger.Advance(period)
+}
+
+// noisy perturbs an analog value with the BPD noise model. The vector sum
+// of n contributions carries √n of the single-channel noise.
+func (p *PE) noisy(v float64, n int) float64 {
+	if p.cfg.DisableNoise || p.noiseRel == 0 {
+		return v
+	}
+	sigma := p.noiseRel * math.Sqrt(float64(n))
+	return v + p.rng.NormFloat64()*sigma
+}
+
+// MVMPass runs one optical matrix-vector pass through the bank: encode x,
+// filter through the rings, detect on the BPDs. It returns the noisy analog
+// pre-activations and books one clock of pipeline energy.
+func (p *PE) MVMPass(x []float64) ([]float64, error) {
+	if len(x) > p.cfg.Cols {
+		return nil, fmt.Errorf("core: input length %d exceeds bank cols %d", len(x), p.cfg.Cols)
+	}
+	p.scratch = p.bank.MVM(p.scratch, x)
+	h := make([]float64, p.cfg.Rows)
+	for j := range h {
+		h[j] = p.noisy(p.scratch[j], len(x))
+	}
+	p.step(len(x))
+	return h, nil
+}
+
+// Activate pushes accumulated pre-activations h (len ≤ Rows) through the
+// PE's GST activation cells and latches the LDSUs. It returns the activated
+// outputs and books the recrystallization energy for cells that fired.
+func (p *PE) Activate(h []float64) ([]float64, error) {
+	if len(h) > p.cfg.Rows {
+		return nil, fmt.Errorf("core: %d pre-activations exceed bank rows %d", len(h), p.cfg.Rows)
+	}
+	// LDSU latches the comparator result relative to the activation
+	// threshold (normalized so the threshold sits at 1).
+	norm := make([]float64, len(h))
+	for j, v := range h {
+		norm[j] = p.normalizeToThreshold(v)
+	}
+	p.ldsu.Latch(norm)
+	p.ledger.Add(CatLDSU, device.PowerLDSU.OverTime(device.ClockRate.Period()))
+	y := make([]float64, len(h))
+	fired := false
+	for j, v := range norm {
+		y[j] = p.acts[j].ApplyNormalized(v) * p.thresholdScale()
+		if v >= 1 {
+			fired = true
+		}
+	}
+	if fired {
+		var reset units.Energy
+		for _, a := range p.acts {
+			reset += a.Reset()
+		}
+		p.ledger.Add(CatActivationReset, reset)
+	}
+	return y, nil
+}
+
+// Infer executes one full ModeInference pass on input x: optical MVM,
+// balanced detection, GST activation, LDSU latch. It returns the activated
+// outputs and the raw pre-activations.
+func (p *PE) Infer(x []float64) (y, h []float64, err error) {
+	h, err = p.MVMPass(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err = p.Activate(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return y, h, nil
+}
+
+// normalizeToThreshold maps a numeric pre-activation onto threshold units
+// (threshold at 1). With threshold θ ≤ 0 the mapping shifts so that h = θ
+// lands at 1.
+func (p *PE) normalizeToThreshold(h float64) float64 {
+	return h - p.cfg.ActivationThreshold + 1
+}
+
+// thresholdScale converts activation-cell output (threshold units) back to
+// numeric units; with the shift mapping this is 1.
+func (p *PE) thresholdScale() float64 { return 1 }
+
+// GradientPass executes ModeGradient: the bank holds Wᵀ (programmed by the
+// caller), inputs carry the upstream error δ, and the TIAs apply the
+// latched derivatives, returning δh = (Wᵀδ) ⊙ f'(h).
+func (p *PE) GradientPass(delta []float64) ([]float64, error) {
+	if len(delta) > p.cfg.Cols {
+		return nil, fmt.Errorf("core: delta length %d exceeds bank cols %d", len(delta), p.cfg.Cols)
+	}
+	p.scratch = p.bank.MVM(p.scratch, delta)
+	derivs := p.ldsu.Derivatives(nil)
+	out := make([]float64, p.cfg.Rows)
+	for j := range out {
+		v := p.noisy(p.scratch[j], len(delta))
+		// TIA programmed to f'(h_j): the Hadamard product in analog.
+		if err := p.fes[j].TIA.SetScale(derivs[j]); err != nil {
+			return nil, err
+		}
+		out[j] = v * derivs[j]
+	}
+	p.step(len(delta))
+	return out, nil
+}
+
+// OuterProductPass executes ModeOuterProduct: the bank rows hold copies of
+// yᵀ, inputs carry δh, and each row's output is one row of δW = δh·yᵀ. The
+// PE computes Rows outer-product rows per pass; the caller supplies y
+// pre-programmed via ProgramBroadcast.
+func (p *PE) OuterProductPass(deltaH []float64, y []float64) ([][]float64, error) {
+	if len(y) > p.cfg.Cols {
+		return nil, fmt.Errorf("core: y length %d exceeds bank cols %d", len(y), p.cfg.Cols)
+	}
+	if len(deltaH) > p.cfg.Rows {
+		return nil, fmt.Errorf("core: δh length %d exceeds bank rows %d", len(deltaH), p.cfg.Rows)
+	}
+	// The bank holds y on every row; feeding δh_j on row j's drive yields
+	// row j of the outer product. Physically each row sees its scalar
+	// δh_j modulating the shared y spectrum; numerically: δW[j][i] =
+	// δh[j]·y_realized[i] where y_realized is the quantized bank content.
+	out := make([][]float64, len(deltaH))
+	for j := range deltaH {
+		row := make([]float64, len(y))
+		for i := range y {
+			row[i] = p.noisy(deltaH[j]*p.bank.Weight(j, i), 1)
+		}
+		// TIAs act as plain amplifiers in this mode.
+		if err := p.fes[j%len(p.fes)].TIA.SetScale(1); err != nil {
+			return nil, err
+		}
+		out[j] = row
+	}
+	p.step(len(y))
+	return out, nil
+}
+
+// ProgramBroadcast writes the same vector y into every bank row — the
+// outer-product operand layout of Table II ("encoded with y_{k-1}ᵀ from N
+// inputs, to utilize the entire weight bank").
+func (p *PE) ProgramBroadcast(y []float64) error {
+	if len(y) > p.cfg.Cols {
+		return fmt.Errorf("core: broadcast length %d exceeds bank cols %d", len(y), p.cfg.Cols)
+	}
+	w := make([][]float64, p.cfg.Rows)
+	for j := range w {
+		w[j] = y
+	}
+	return p.Program(w)
+}
+
+// Derivatives exposes the LDSU bank contents (for tests and the trainer).
+func (p *PE) Derivatives() []float64 { return p.ldsu.Derivatives(nil) }
+
+// ClearLDSU resets the derivative latches between samples.
+func (p *PE) ClearLDSU() { p.ldsu.Clear() }
+
+// HoldPower returns the PE's standby power once programmed: zero bank hold
+// power (non-volatile GST) plus the electronic front ends — the 0.11 W
+// figure of Section IV scaled to this PE's geometry.
+func (p *PE) HoldPower() units.Power {
+	post := device.PostTuningPEPower()
+	scale := float64(p.cfg.Rows*p.cfg.Cols) / float64(device.MRRsPerPE)
+	return units.Power(float64(post) * scale)
+}

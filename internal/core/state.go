@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// State serialization: a trained Trident network's master weights can be
+// exported and re-imported — the artifact a deployment flow ships to a
+// fleet of devices, each of which programs its own PCM banks from the
+// file. (The GST states themselves are re-derived on import: cells are
+// physical and travel with the device, not the file.)
+
+// NetworkState is the serialized form of a hardware network.
+type NetworkState struct {
+	Version string       `json:"version"`
+	Layers  []LayerState `json:"layers"`
+}
+
+// LayerState is one layer's weights and shape.
+type LayerState struct {
+	In       int         `json:"in"`
+	Out      int         `json:"out"`
+	Activate bool        `json:"activate"`
+	Weights  [][]float64 `json:"weights"`
+}
+
+// stateVersion guards the wire format.
+const stateVersion = "trident-state-1"
+
+// Save writes the network's master weights as JSON.
+func (n *Network) Save(w io.Writer) error {
+	st := NetworkState{Version: stateVersion}
+	for _, l := range n.layers {
+		ls := LayerState{In: l.spec.In, Out: l.spec.Out, Activate: l.spec.Activate}
+		for _, row := range l.w {
+			ls.Weights = append(ls.Weights, append([]float64(nil), row...))
+		}
+		st.Layers = append(st.Layers, ls)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(st)
+}
+
+// LoadNetwork reconstructs a hardware network from a saved state, building
+// fresh PEs under cfg and programming the banks with the stored weights.
+func LoadNetwork(r io.Reader, cfg NetworkConfig) (*Network, error) {
+	var st NetworkState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("core: state version %q, want %q", st.Version, stateVersion)
+	}
+	if len(st.Layers) == 0 {
+		return nil, fmt.Errorf("core: state has no layers")
+	}
+	specs := make([]LayerSpec, len(st.Layers))
+	for i, ls := range st.Layers {
+		if ls.In <= 0 || ls.Out <= 0 {
+			return nil, fmt.Errorf("core: layer %d has invalid dims %d→%d", i, ls.In, ls.Out)
+		}
+		if len(ls.Weights) != ls.Out {
+			return nil, fmt.Errorf("core: layer %d has %d weight rows, want %d", i, len(ls.Weights), ls.Out)
+		}
+		for j, row := range ls.Weights {
+			if len(row) != ls.In {
+				return nil, fmt.Errorf("core: layer %d row %d has %d weights, want %d", i, j, len(row), ls.In)
+			}
+		}
+		specs[i] = LayerSpec{In: ls.In, Out: ls.Out, Activate: ls.Activate}
+	}
+	net, err := NewNetwork(cfg, specs...)
+	if err != nil {
+		return nil, err
+	}
+	for i, ls := range st.Layers {
+		l := net.layers[i]
+		for j, row := range ls.Weights {
+			for k, w := range row {
+				l.w[j][k] = clamp1(w)
+			}
+		}
+		// Program the imported weights into the banks now; subsequent
+		// passes run with them resident.
+		if err := l.programForward(); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}

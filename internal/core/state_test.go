@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"trident/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	// Train a network, save, reload on fresh hardware, compare behaviour.
+	data := dataset.Blobs(100, 2, 4, 0.1, 3)
+	cfg := NetworkConfig{PE: PEConfig{Rows: 8, Cols: 8, DisableNoise: true}, LearningRate: 0.1}
+	net, err := NewNetwork(cfg, LayerSpec{In: 4, Out: 8, Activate: true}, LayerSpec{In: 8, Out: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 5; e++ {
+		for i := range data.Inputs {
+			if _, err := net.TrainSample(data.Inputs[i].Data(), data.Labels[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same predictions on every sample, and near-identical logits (both
+	// run quantized banks from the same master weights).
+	for i := range data.Inputs {
+		a, err := net.Forward(data.Inputs[i].Data())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Forward(data.Inputs[i].Data())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-9 {
+				t.Fatalf("sample %d logit %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestSaveFormatStable(t *testing.T) {
+	cfg := NetworkConfig{PE: PEConfig{Rows: 8, Cols: 8, DisableNoise: true}}
+	net, err := NewNetwork(cfg, LayerSpec{In: 2, Out: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"version"`, "trident-state-1", `"weights"`, `"activate"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("state missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLoadNetworkValidation(t *testing.T) {
+	cfg := NetworkConfig{PE: PEConfig{Rows: 8, Cols: 8, DisableNoise: true}}
+	cases := map[string]string{
+		"garbage":        `{not json`,
+		"wrong version":  `{"version":"v9","layers":[{"in":2,"out":2,"weights":[[0,0],[0,0]]}]}`,
+		"no layers":      `{"version":"trident-state-1","layers":[]}`,
+		"bad dims":       `{"version":"trident-state-1","layers":[{"in":0,"out":2,"weights":[]}]}`,
+		"short rows":     `{"version":"trident-state-1","layers":[{"in":2,"out":2,"weights":[[0,0]]}]}`,
+		"short row cols": `{"version":"trident-state-1","layers":[{"in":2,"out":2,"weights":[[0],[0,0]]}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadNetwork(strings.NewReader(payload), cfg); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+// TestLoadClampsWeights: out-of-range weights in a state file saturate to
+// the physical [-1, 1] attenuator range.
+func TestLoadClampsWeights(t *testing.T) {
+	cfg := NetworkConfig{PE: PEConfig{Rows: 8, Cols: 8, DisableNoise: true}}
+	payload := `{"version":"trident-state-1","layers":[{"in":2,"out":1,"weights":[[5,-5]]}]}`
+	net, err := LoadNetwork(strings.NewReader(payload), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := net.Layers()[0].Weights()
+	if w[0][0] != 1 || w[0][1] != -1 {
+		t.Errorf("weights = %v, want clamped to ±1", w[0])
+	}
+}

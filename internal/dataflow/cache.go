@@ -1,0 +1,102 @@
+package dataflow
+
+import (
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+// Cache analysis: the paper gives each PE a 16 kB cache and the chip a
+// shared 32 MB L2 "to handle storing data". This file checks those
+// capacities against the working sets the weight-stationary dataflow
+// actually creates, and computes the partial-sum traffic that spills to L2
+// when a layer needs more than one column-tile wave.
+
+// bytesPerActivation is the storage cost of one activation value (int8).
+const bytesPerActivation = 1
+
+// bytesPerPartialSum is the storage cost of one in-flight partial sum: the
+// accumulation of 8-bit products needs wider intermediate precision.
+const bytesPerPartialSum = 2
+
+// LayerCacheUsage reports the memory behaviour of one compute layer.
+type LayerCacheUsage struct {
+	Name string
+	// OutputBytes is the layer's activation output volume.
+	OutputBytes int64
+	// FitsL2 reports whether the full output fits the shared L2 (so the
+	// next layer streams it without DRAM traffic).
+	FitsL2 bool
+	// PixelBlock is how many output pixels' partial sums fit in one PE
+	// cache at once; pixel streaming iterates in blocks of this size.
+	PixelBlock int64
+	// SpillBytes is the partial-sum traffic to L2: layers whose reduction
+	// spans several column-tile waves must stage partial sums off-PE
+	// between waves.
+	SpillBytes int64
+}
+
+// CacheAnalysis is the whole-model result.
+type CacheAnalysis struct {
+	PECache units.DataSize
+	L2      units.DataSize
+	Layers  []LayerCacheUsage
+}
+
+// AnalyzeCache checks the mapping against the given capacities. Zero
+// capacities take the paper's defaults (16 kB per PE, 32 MB shared).
+func (m *Mapping) AnalyzeCache(peCache, l2 units.DataSize) *CacheAnalysis {
+	if peCache == 0 {
+		peCache = device.PECacheSize
+	}
+	if l2 == 0 {
+		l2 = device.SharedL2Size
+	}
+	out := &CacheAnalysis{PECache: peCache, L2: l2}
+	rows := int64(m.Geometry.Rows)
+	for _, l := range m.Layers {
+		u := LayerCacheUsage{
+			Name:        l.Name,
+			OutputBytes: l.ActivationElems * bytesPerActivation,
+		}
+		u.FitsL2 = float64(u.OutputBytes) <= l2.Bytes()
+		// Each PE accumulates `rows` partial sums per streamed pixel; the
+		// cache bounds how many pixels can be in flight at once.
+		block := int64(peCache.Bytes()) / (rows * bytesPerPartialSum)
+		if block < 1 {
+			block = 1
+		}
+		if block > l.Pixels {
+			block = l.Pixels
+		}
+		u.PixelBlock = block
+		// A layer whose weight matrix spans multiple column tiles per row
+		// tile reduces across waves: every wave but the last writes its
+		// partial sums out and the next reads them back.
+		if l.ColTiles > 1 {
+			u.SpillBytes = 2 * (l.ColTiles - 1) * l.Pixels * rows * bytesPerPartialSum
+		}
+		out.Layers = append(out.Layers, u)
+	}
+	return out
+}
+
+// TotalSpillBytes sums the partial-sum spill traffic across layers.
+func (c *CacheAnalysis) TotalSpillBytes() int64 {
+	var t int64
+	for _, l := range c.Layers {
+		t += l.SpillBytes
+	}
+	return t
+}
+
+// AllOutputsFitL2 reports whether every inter-layer activation stays
+// on-chip — true for all five evaluation CNNs with the 32 MB L2, which is
+// why the Trident latency model carries no DRAM term.
+func (c *CacheAnalysis) AllOutputsFitL2() bool {
+	for _, l := range c.Layers {
+		if !l.FitsL2 {
+			return false
+		}
+	}
+	return true
+}

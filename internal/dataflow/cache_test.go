@@ -1,0 +1,106 @@
+package dataflow
+
+import (
+	"testing"
+
+	"trident/internal/models"
+	"trident/internal/units"
+)
+
+func TestCacheDefaults(t *testing.T) {
+	mp, err := Map(models.MobileNetV2(), tridentGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := mp.AnalyzeCache(0, 0)
+	if ca.PECache != 16*units.Kibibyte || ca.L2 != 32*units.Mebibyte {
+		t.Errorf("defaults = %v/%v, want 16KiB/32MiB", ca.PECache, ca.L2)
+	}
+}
+
+// TestAllModelsFitL2: every evaluation CNN's inter-layer activations fit
+// the 32 MB shared L2 — the premise that lets the Trident latency model
+// carry no DRAM term.
+func TestAllModelsFitL2(t *testing.T) {
+	for _, m := range models.All() {
+		mp, err := Map(m, tridentGeometry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mp.AnalyzeCache(0, 0).AllOutputsFitL2() {
+			t.Errorf("%s: activations exceed the 32MB L2", m.Name)
+		}
+	}
+}
+
+// TestTinyL2Fails: the check is live, not vacuous.
+func TestTinyL2Fails(t *testing.T) {
+	mp, err := Map(models.VGG16(), tridentGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.AnalyzeCache(0, 64*units.Kibibyte).AllOutputsFitL2() {
+		t.Error("VGG-16 activations should overflow a 64KiB L2")
+	}
+}
+
+// TestPixelBlockBounds: the 16 kB PE cache holds 512 pixels of 16-row
+// partial sums at 2 bytes each.
+func TestPixelBlockBounds(t *testing.T) {
+	mp, err := Map(models.VGG16(), tridentGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := mp.AnalyzeCache(0, 0)
+	for _, l := range ca.Layers {
+		if l.PixelBlock < 1 {
+			t.Errorf("%s: pixel block %d", l.Name, l.PixelBlock)
+		}
+		if l.PixelBlock > 512 {
+			t.Errorf("%s: pixel block %d exceeds 16kB/(16×2B) = 512", l.Name, l.PixelBlock)
+		}
+	}
+	// conv1_1 streams 50176 pixels but only 512 fit: the block must clamp
+	// to exactly 512.
+	if ca.Layers[0].PixelBlock != 512 {
+		t.Errorf("conv1_1 pixel block = %d, want 512", ca.Layers[0].PixelBlock)
+	}
+}
+
+// TestSpillOnlyForMultiColumnLayers: single-column-tile layers reduce
+// entirely on-PE; wider layers spill partial sums.
+func TestSpillOnlyForMultiColumnLayers(t *testing.T) {
+	mp, err := Map(models.VGG16(), tridentGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := mp.AnalyzeCache(0, 0)
+	for i, l := range ca.Layers {
+		ml := mp.Layers[i]
+		if ml.ColTiles == 1 && l.SpillBytes != 0 {
+			t.Errorf("%s: single-column layer spills %d bytes", l.Name, l.SpillBytes)
+		}
+		if ml.ColTiles > 1 && l.SpillBytes == 0 {
+			t.Errorf("%s: %d-column layer spills nothing", l.Name, ml.ColTiles)
+		}
+	}
+	if ca.TotalSpillBytes() <= 0 {
+		t.Error("VGG-16 must spill partial sums somewhere")
+	}
+}
+
+// TestTileGridConsistent: RowTiles × ColTiles × Groups = Tiles everywhere.
+func TestTileGridConsistent(t *testing.T) {
+	for _, m := range models.All() {
+		mp, err := Map(m, tridentGeometry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range mp.Layers {
+			if l.RowTiles*l.ColTiles*l.Groups != l.Tiles {
+				t.Errorf("%s/%s: %d×%d×%d ≠ %d tiles",
+					m.Name, l.Name, l.RowTiles, l.ColTiles, l.Groups, l.Tiles)
+			}
+		}
+	}
+}

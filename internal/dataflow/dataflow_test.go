@@ -1,0 +1,220 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trident/internal/device"
+	"trident/internal/models"
+)
+
+func tridentGeometry() Geometry {
+	return Geometry{PEs: device.TridentPEs, Rows: device.WeightBankRows, Cols: device.WeightBankCols}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	bad := []Geometry{{0, 16, 16}, {44, 0, 16}, {44, 16, 0}, {-1, -1, -1}}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("geometry %+v accepted", g)
+		}
+	}
+	if err := tridentGeometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMACConservation: the mapping must carry exactly the model's MACs —
+// no work lost or invented by tiling.
+func TestMACConservation(t *testing.T) {
+	g := tridentGeometry()
+	for _, m := range models.All() {
+		mp, err := Map(m, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp.TotalMACs() != m.TotalMACs() {
+			t.Errorf("%s: mapped MACs %d ≠ model MACs %d", m.Name, mp.TotalMACs(), m.TotalMACs())
+		}
+	}
+}
+
+// TestTuneEventsMatchWeights: one sweep writes each weight cell once, so
+// tune events equal the model's kernel weights (biases are electronic and
+// not tuned into rings).
+func TestTuneEventsMatchWeights(t *testing.T) {
+	g := tridentGeometry()
+	for _, m := range models.All() {
+		mp, err := Map(m, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Kernel-only weights: subtract biases and BN params. The check
+		// is a bound: tune events can never exceed total parameters and
+		// must be the dominant share of them.
+		w := m.TotalWeights()
+		if mp.TotalTuneEvents() > w {
+			t.Errorf("%s: tune events %d exceed parameters %d", m.Name, mp.TotalTuneEvents(), w)
+		}
+		if float64(mp.TotalTuneEvents()) < 0.9*float64(w) {
+			t.Errorf("%s: tune events %d below 90%% of parameters %d", m.Name, mp.TotalTuneEvents(), w)
+		}
+	}
+}
+
+// TestWavesCoverTiles: waves × PEs ≥ tiles per layer, with equality shape.
+func TestWavesCoverTiles(t *testing.T) {
+	g := tridentGeometry()
+	mp, err := Map(models.VGG16(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range mp.Layers {
+		if l.Waves*int64(g.PEs) < l.Tiles {
+			t.Errorf("%s: %d waves × %d PEs < %d tiles", l.Name, l.Waves, g.PEs, l.Tiles)
+		}
+		if (l.Waves-1)*int64(g.PEs) >= l.Tiles {
+			t.Errorf("%s: waves %d not minimal for %d tiles", l.Name, l.Waves, l.Tiles)
+		}
+	}
+}
+
+// TestDenseSinglePixel: dense layers stream exactly one vector per tile.
+func TestDenseSinglePixel(t *testing.T) {
+	mp, err := Map(models.VGG16(), tridentGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range mp.Layers {
+		if l.Kind == models.KindDense && l.Pixels != 1 {
+			t.Errorf("%s: dense pixels = %d, want 1", l.Name, l.Pixels)
+		}
+		if l.Kind == models.KindConv && l.Pixels <= 1 && l.Name != "fc" {
+			t.Errorf("%s: conv pixels = %d, want >1", l.Name, l.Pixels)
+		}
+		if l.StreamCycles != l.Waves*l.Pixels {
+			t.Errorf("%s: cycles %d ≠ waves %d × pixels %d", l.Name, l.StreamCycles, l.Waves, l.Pixels)
+		}
+	}
+}
+
+// TestVGGFirstLayerMapping pins a hand-computed mapping: conv1_1 is a
+// 64×27 matrix → 4 row tiles × 2 col tiles = 8 tiles, one wave on 44 PEs,
+// 224² pixels.
+func TestVGGFirstLayerMapping(t *testing.T) {
+	mp, err := Map(models.VGG16(), tridentGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := mp.Layers[0]
+	if l.Name != "conv1_1" {
+		t.Fatalf("first compute layer = %s", l.Name)
+	}
+	if l.Tiles != 8 {
+		t.Errorf("conv1_1 tiles = %d, want 8 (⌈64/16⌉×⌈27/16⌉)", l.Tiles)
+	}
+	if l.Waves != 1 {
+		t.Errorf("conv1_1 waves = %d, want 1", l.Waves)
+	}
+	if l.Pixels != 224*224 {
+		t.Errorf("conv1_1 pixels = %d, want 50176", l.Pixels)
+	}
+	if l.TuneEvents != 64*27 {
+		t.Errorf("conv1_1 tune events = %d, want 1728", l.TuneEvents)
+	}
+}
+
+// TestMorePEsNeverSlower: doubling the array never increases stream cycles.
+func TestMorePEsNeverSlower(t *testing.T) {
+	m := models.ResNet50()
+	small, err := Map(m, Geometry{PEs: 22, Rows: 16, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Map(m, Geometry{PEs: 88, Rows: 16, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TotalStreamCycles() > small.TotalStreamCycles() {
+		t.Errorf("more PEs increased cycles: %d > %d", big.TotalStreamCycles(), small.TotalStreamCycles())
+	}
+}
+
+// Property: tiles and waves scale sanely for random geometries.
+func TestQuickMappingInvariants(t *testing.T) {
+	m := models.MobileNetV2()
+	f := func(pes, rows, cols uint8) bool {
+		g := Geometry{PEs: 1 + int(pes)%64, Rows: 1 + int(rows)%32, Cols: 1 + int(cols)%32}
+		mp, err := Map(m, g)
+		if err != nil {
+			return false
+		}
+		if mp.TotalMACs() != m.TotalMACs() {
+			return false
+		}
+		for _, l := range mp.Layers {
+			if l.Tiles <= 0 || l.Waves <= 0 || l.Pixels <= 0 || l.StreamCycles <= 0 {
+				return false
+			}
+			if l.Waves > l.Tiles {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActivationTrafficPositive: every compute layer records its output
+// volume for the ADC model.
+func TestActivationTrafficPositive(t *testing.T) {
+	for _, m := range models.All() {
+		mp, err := Map(m, tridentGeometry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp.TotalActivationElems() <= 0 || mp.TotalInputElems() <= 0 {
+			t.Errorf("%s: traffic volumes missing", m.Name)
+		}
+	}
+}
+
+// TestOutputStationaryCatastrophic quantifies why the paper (and every
+// photonic accelerator) is weight-stationary: streaming weights means one
+// GST write per MAC, so ResNet-50 needs ~4.1e9 tune events per inference
+// against weight-stationary's ~25.5e6 — a ≥100× tuning-energy blowup, and
+// the 300 ns write time (vs the 0.73 ns symbol clock) inflates latency by
+// another ~400×.
+func TestOutputStationaryCatastrophic(t *testing.T) {
+	m := models.ResNet50()
+	g := tridentGeometry()
+	ws, err := Map(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := MapOutputStationary(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.TuneEvents != m.TotalMACs() {
+		t.Fatalf("OS tune events = %d, want one per MAC %d", os.TuneEvents, m.TotalMACs())
+	}
+	ratio := float64(os.TuneEvents) / float64(ws.TotalTuneEvents())
+	if ratio < 100 {
+		t.Errorf("OS/WS tune-event ratio = %.0f, want ≥ 100", ratio)
+	}
+	if os.Waves <= ws.TotalWaves() {
+		t.Errorf("OS waves %d not above WS waves %d", os.Waves, ws.TotalWaves())
+	}
+	if _, err := MapOutputStationary(m, Geometry{}); err == nil {
+		t.Error("invalid geometry: want error")
+	}
+	if WeightStationary.String() != "weight-stationary" || OutputStationary.String() != "output-stationary" {
+		t.Error("dataflow names wrong")
+	}
+	if Dataflow(9).String() == "" {
+		t.Error("unknown dataflow must render")
+	}
+}

@@ -1,0 +1,201 @@
+// Package dataset generates deterministic synthetic datasets for the
+// functional experiments. The paper trains on standard image corpora we do
+// not ship; energy/latency results never depend on data values, and the
+// functional results (convergence of in-situ training, quantization
+// behaviour) only need controllable, reproducible class structure, which
+// these generators provide.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"trident/internal/tensor"
+)
+
+// Set is a labelled dataset.
+type Set struct {
+	Inputs  []*tensor.Tensor
+	Labels  []int
+	Classes int
+}
+
+// Len returns the example count.
+func (s *Set) Len() int { return len(s.Inputs) }
+
+// Split partitions the set into train/test at the given fraction.
+func (s *Set) Split(trainFrac float64) (train, test *Set) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	n := int(trainFrac * float64(s.Len()))
+	train = &Set{Inputs: s.Inputs[:n], Labels: s.Labels[:n], Classes: s.Classes}
+	test = &Set{Inputs: s.Inputs[n:], Labels: s.Labels[n:], Classes: s.Classes}
+	return train, test
+}
+
+// Shuffle permutes the set in place with the given seed.
+func (s *Set) Shuffle(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(s.Len(), func(i, j int) {
+		s.Inputs[i], s.Inputs[j] = s.Inputs[j], s.Inputs[i]
+		s.Labels[i], s.Labels[j] = s.Labels[j], s.Labels[i]
+	})
+}
+
+// Blobs generates n points from `classes` isotropic Gaussian clusters in
+// `dim` dimensions — linearly separable when spread ≪ cluster distance.
+func Blobs(n, classes, dim int, spread float64, seed int64) *Set {
+	if n <= 0 || classes <= 1 || dim <= 0 {
+		panic(fmt.Sprintf("dataset: bad Blobs geometry n=%d classes=%d dim=%d", n, classes, dim))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for d := range centers[c] {
+			centers[c][d] = rng.Float64()*2 - 1
+		}
+	}
+	s := &Set{Classes: classes}
+	for i := 0; i < n; i++ {
+		c := i % classes
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = centers[c][d] + rng.NormFloat64()*spread
+		}
+		s.Inputs = append(s.Inputs, tensor.FromSlice(x, dim))
+		s.Labels = append(s.Labels, c)
+	}
+	s.Shuffle(seed + 1)
+	return s
+}
+
+// Spirals generates the two-class intertwined-spirals problem — not
+// linearly separable, the classic test that a non-linearity (here the GST
+// activation) is actually doing work.
+func Spirals(n int, noise float64, seed int64) *Set {
+	if n <= 0 {
+		panic("dataset: Spirals needs n > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Set{Classes: 2}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		t := float64(i/2) / float64(n/2+1) * 3 * math.Pi
+		r := 0.1 + 0.25*t/math.Pi
+		phase := float64(c) * math.Pi
+		x := r*math.Cos(t+phase) + rng.NormFloat64()*noise
+		y := r*math.Sin(t+phase) + rng.NormFloat64()*noise
+		s.Inputs = append(s.Inputs, tensor.FromSlice([]float64{x, y}, 2))
+		s.Labels = append(s.Labels, c)
+	}
+	s.Shuffle(seed + 1)
+	return s
+}
+
+// MiniImages generates `classes` procedural image classes on c×h×w grids:
+// each class is a distinct oriented grating plus noise. This exercises the
+// convolutional path end to end (spatial structure, channels) without any
+// external data.
+func MiniImages(n, classes, c, h, w int, noise float64, seed int64) *Set {
+	if n <= 0 || classes <= 1 || c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("dataset: bad MiniImages geometry n=%d classes=%d %dx%dx%d", n, classes, c, h, w))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Set{Classes: classes}
+	for i := 0; i < n; i++ {
+		cls := i % classes
+		theta := math.Pi * float64(cls) / float64(classes)
+		freq := 2*math.Pi/float64(w) + 0.2*float64(cls)
+		img := tensor.New(c, h, w)
+		phase := rng.Float64() * 2 * math.Pi
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					u := float64(x)*math.Cos(theta) + float64(y)*math.Sin(theta)
+					v := math.Sin(freq*u+phase) + rng.NormFloat64()*noise
+					img.Set(v, ch, y, x)
+				}
+			}
+		}
+		s.Inputs = append(s.Inputs, img)
+		s.Labels = append(s.Labels, cls)
+	}
+	s.Shuffle(seed + 1)
+	return s
+}
+
+// sevenSegment maps digits to segment activations (a,b,c,d,e,f,g).
+var sevenSegment = [10][7]bool{
+	{true, true, true, true, true, true, false},     // 0
+	{false, true, true, false, false, false, false}, // 1
+	{true, true, false, true, true, false, true},    // 2
+	{true, true, true, true, false, false, true},    // 3
+	{false, true, true, false, false, true, true},   // 4
+	{true, false, true, true, false, true, true},    // 5
+	{true, false, true, true, true, true, true},     // 6
+	{true, true, true, false, false, false, false},  // 7
+	{true, true, true, true, true, true, true},      // 8
+	{true, true, true, true, false, true, true},     // 9
+}
+
+// Digits generates n procedural seven-segment digit images (classes 0–9)
+// on 1×h×w grids with additive noise and per-sample brightness jitter — an
+// MNIST-flavoured corpus with zero external data.
+func Digits(n, h, w int, noise float64, seed int64) *Set {
+	if n <= 0 || h < 7 || w < 5 {
+		panic(fmt.Sprintf("dataset: bad Digits geometry n=%d %dx%d (min 7x5)", n, h, w))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Set{Classes: 10}
+	midY := h / 2
+	for i := 0; i < n; i++ {
+		d := i % 10
+		img := tensor.New(1, h, w)
+		bright := 0.8 + rng.Float64()*0.4
+		seg := sevenSegment[d]
+		drawH := func(y int) {
+			for x := 1; x < w-1; x++ {
+				img.Set(bright, 0, y, x)
+			}
+		}
+		drawV := func(x, y0, y1 int) {
+			for y := y0; y <= y1; y++ {
+				img.Set(bright, 0, y, x)
+			}
+		}
+		if seg[0] {
+			drawH(0)
+		}
+		if seg[1] {
+			drawV(w-1, 0, midY)
+		}
+		if seg[2] {
+			drawV(w-1, midY, h-1)
+		}
+		if seg[3] {
+			drawH(h - 1)
+		}
+		if seg[4] {
+			drawV(0, midY, h-1)
+		}
+		if seg[5] {
+			drawV(0, 0, midY)
+		}
+		if seg[6] {
+			drawH(midY)
+		}
+		for j := range img.Data() {
+			img.Data()[j] += rng.NormFloat64() * noise
+		}
+		s.Inputs = append(s.Inputs, img)
+		s.Labels = append(s.Labels, d)
+	}
+	s.Shuffle(seed + 1)
+	return s
+}

@@ -1,0 +1,181 @@
+// Package device collects every device-level constant used by the Trident
+// paper (Tables I and III plus the prose of Sections II–IV) as typed values.
+//
+// Keeping the constants in one package serves two purposes: the rest of the
+// simulator never embeds magic numbers, and the test suite can assert the
+// constants against the numbers printed in the paper, so a typo in a model
+// is caught as a table mismatch rather than a silently wrong result.
+package device
+
+import "trident/internal/units"
+
+// Table I — tuning method comparison.
+const (
+	// ThermalTuningEnergy is the energy to thermally tune one MRR
+	// (Table I, citing Filipovich et al. [9]).
+	ThermalTuningEnergy = 1.02 * units.Nanojoule
+	// ThermalTuningTime is the thermal tuning latency (Table I, [9]).
+	ThermalTuningTime = 0.6 * units.Microsecond
+	// ThermalHoldPower is the continuous per-MRR heater power required to
+	// keep a thermally tuned weight in place (Section III-B prose: "1.7 mW
+	// of power needed to thermally tune an MRR"). Thermal tuning is
+	// volatile, so this power is drawn for as long as the weight is held.
+	ThermalHoldPower = 1.7 * units.Milliwatt
+
+	// ElectroTuningShift is the electro-optic resonance shift per volt
+	// (Table I, citing Jung et al. [15]). The paper rules electro-optic
+	// tuning out for edge devices because reaching a useful shift needs
+	// ±100 V on a 60 µm ring.
+	ElectroTuningShift = 0.18 * units.Picometer // per volt
+	// ElectroTuningTime is the electro-optic switching latency (Table I, [15]).
+	ElectroTuningTime = 500 * units.Nanosecond
+	// ElectroMaxVoltage is the DC range required by electro-optic tuning
+	// (Section II-B prose).
+	ElectroMaxVoltage = 100.0 // volts
+	// ElectroRingRadius is the ring radius needed for electro-optic tuning
+	// (Section II-B prose).
+	ElectroRingRadius = 60 * units.Micrometer
+
+	// GSTWriteEnergy is the optical write-pulse energy to program a GST
+	// cell (Table I and Section III-B, citing Zhang et al. [37]).
+	GSTWriteEnergy = 660 * units.Picojoule
+	// GSTWriteTime is the GST programming latency (Table I, citing Guo et
+	// al. [13]; Section III-B: "0.3 µs, two times faster than thermally
+	// tuning an MRR").
+	GSTWriteTime = 300 * units.Nanosecond
+	// GSTReadEnergy is the short low-power read pulse energy (Section
+	// III-B, citing Feldmann et al. [8]).
+	GSTReadEnergy = 20 * units.Picojoule
+	// GSTTuningPower is the power drawn while a GST cell is being
+	// programmed. The prose quotes "2.0 mW"; Table III's 563.2 mW for 256
+	// MRRs corresponds to 2.2 mW per ring (= 660 pJ / 300 ns), which is the
+	// value the paper's totals are built from, so the simulator uses it.
+	GSTTuningPower = 2.2 * units.Milliwatt
+)
+
+// GST material properties (Section III-B/III-C prose).
+const (
+	// GSTLevels is the number of programmable GST states: 255 levels give
+	// 8-bit resolution (citing Chen et al. [5]).
+	GSTLevels = 255
+	// GSTBits is the weight resolution achieved with GST tuning.
+	GSTBits = 8
+	// ThermalBits is the crosstalk-limited resolution of thermally tuned
+	// MRR banks (Section II-B, citing Filipovich et al. [10]); below the
+	// 8 bits needed for training (citing Wang et al. [34]).
+	ThermalBits = 6
+	// GSTRetention is the non-volatile state retention ("non-volatile for
+	// up to 10 years", Section III-B).
+	GSTRetention = 10 * 365.25 * 24 * 3600 * units.Second
+	// GSTEnduranceCycles is the demonstrated switching endurance of PCM
+	// cells fabricated to industry standards (Section III-C, citing Kuzum
+	// et al. [17]).
+	GSTEnduranceCycles = 1e12
+)
+
+// GST activation cell (Section III-C, Fig. 3).
+const (
+	// ActivationThresholdEnergy is the weighted-sum pulse energy above
+	// which the GST activation cell switches amorphous and transmits
+	// (Section III-C: "the activation threshold, 430.0 pJ").
+	ActivationThresholdEnergy = 430 * units.Picojoule
+	// ActivationDerivativeHigh is f'(h) latched by the LDSU when h exceeds
+	// the threshold (Section III-C: "f'(h_k) is 0.34").
+	ActivationDerivativeHigh = 0.34
+	// ActivationDerivativeLow is f'(h) below threshold.
+	ActivationDerivativeLow = 0.0
+	// ActivationRingRadius is the GST activation cell ring radius
+	// (Section III-C).
+	ActivationRingRadius = 60 * units.Micrometer
+	// ActivationWavelength is the wavelength at which Fig. 3 reports the
+	// activation transfer function.
+	ActivationWavelength = 1553.4 * units.Nanometer
+)
+
+// Table III — Trident PE device power breakdown. All values are per PE with
+// a 16×16 = 256-MRR weight bank and 16 output rows.
+const (
+	// PowerLDSU is the linear derivative storage unit power (comparator +
+	// D-flip-flop, citing [3], [16]).
+	PowerLDSU = 0.09 * units.Milliwatt
+	// PowerEOLaser is the E/O laser power (citing Römer & Bechtold [28]).
+	PowerEOLaser = 0.032 * units.Milliwatt
+	// PowerGSTTuning is the weight-bank programming power: 256 MRRs at
+	// GSTTuningPower.
+	PowerGSTTuning = 563.2 * units.Milliwatt
+	// PowerGSTRead is the weight-bank read power.
+	PowerGSTRead = 17.1 * units.Milliwatt
+	// PowerActivationReset is the GST activation function reset power
+	// (cells must be recrystallized after each activation event, citing [8]).
+	PowerActivationReset = 53.3 * units.Milliwatt
+	// PowerBPDTIA is the balanced photodetector plus transimpedance
+	// amplifier power (citing Li et al. [19]).
+	PowerBPDTIA = 12.1 * units.Milliwatt
+	// PowerCache is the per-PE cache power (citing PIXEL [30]).
+	PowerCache = 30 * units.Milliwatt
+
+	// PEPowerTotal is the Table III total (printed as 0.67 W). The exact
+	// sum of the rows is 675.822 mW; tests assert both.
+	PEPowerTotal = PowerLDSU + PowerEOLaser + PowerGSTTuning + PowerGSTRead +
+		PowerActivationReset + PowerBPDTIA + PowerCache
+)
+
+// Architecture-scale constants (Section IV prose).
+const (
+	// PowerBudget is the edge power threshold all accelerators are scaled
+	// to meet.
+	PowerBudget = 30 * units.Watt
+	// TridentPEs is the maximum number of PEs within the 30 W budget.
+	TridentPEs = 44
+	// MRRsPerPE is the weight bank size per PE.
+	MRRsPerPE = 256
+	// WeightBankRows (J) and WeightBankCols (N) arrange the 256 MRRs as a
+	// 16×16 bank: an N-element input vector against J weight rows.
+	WeightBankRows = 16
+	WeightBankCols = 16
+	// ClockRate is the assumed maximum modulation clock.
+	ClockRate = 1.37 * units.Gigahertz
+	// TridentArea is the total area of 44 PEs (Section IV: 604.6 mm²).
+	TridentArea = 604.6 * units.SquareMillimeter
+	// PECacheSize is the per-PE scratch cache.
+	PECacheSize = 16 * units.Kibibyte
+	// PECacheFootprint is the cache footprint (0.092 mm × 0.085 mm).
+	PECacheFootprint = units.Area(0.092e-3 * 0.085e-3)
+	// SharedL2Size is the shared L2 cache.
+	SharedL2Size = 32 * units.Mebibyte
+	// ChannelSpacing is the minimum WDM channel spacing between MRR
+	// resonances (Section III-A, citing Tait et al. [32]).
+	ChannelSpacing = 1.6 * units.Nanometer
+)
+
+// WDM / optical constants used by the functional device models. These are
+// standard silicon-photonics values from the cited literature; the paper
+// consumes them only through the aggregate powers above.
+const (
+	// CBandStart is the first laser wavelength of the WDM comb.
+	CBandStart = 1530 * units.Nanometer
+	// WaveguideLossPerCm is the propagation loss of an SOI waveguide.
+	WaveguideLossPerCm = 2.0 // dB/cm
+	// MRRThroughLoss is the per-ring insertion loss on the through path.
+	MRRThroughLoss = 0.01 // dB
+	// MRRDropLoss is the drop-port loss of a resonant ring.
+	MRRDropLoss = 0.5 // dB
+	// LaserWallPlugEfficiency converts optical output power to electrical
+	// draw for the comb sources.
+	LaserWallPlugEfficiency = 0.2
+	// BPDResponsivity is the photodetector responsivity in A/W.
+	BPDResponsivity = 1.0
+)
+
+// PostTuningPEPower returns the Trident PE power once the weight bank has
+// been programmed: the non-volatile GST cells stop drawing the tuning power
+// (Section IV: "the power draw is reduced by 83.34% from 0.67 W to 0.11 W").
+func PostTuningPEPower() units.Power {
+	return PEPowerTotal - PowerGSTTuning
+}
+
+// GSTTuningShare returns the fraction of PE power spent programming the
+// weight bank (the paper prints 83.34%).
+func GSTTuningShare() float64 {
+	return float64(PowerGSTTuning) / float64(PEPowerTotal)
+}

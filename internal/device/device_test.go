@@ -1,0 +1,132 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/units"
+)
+
+// TestTableIConstants pins the tuning-method numbers to Table I.
+func TestTableIConstants(t *testing.T) {
+	approx := func(got, want float64) bool { return math.Abs(got-want) <= 1e-9*math.Abs(want) }
+	if !approx(ThermalTuningEnergy.Picojoules(), 1020) {
+		t.Errorf("thermal tuning energy = %v, want 1.02nJ", ThermalTuningEnergy)
+	}
+	if !approx(ThermalTuningTime.Nanoseconds(), 600) {
+		t.Errorf("thermal tuning time = %v, want 0.6µs", ThermalTuningTime)
+	}
+	if !approx(GSTWriteEnergy.Picojoules(), 660) {
+		t.Errorf("GST write energy = %v, want 660pJ", GSTWriteEnergy)
+	}
+	if !approx(GSTWriteTime.Nanoseconds(), 300) {
+		t.Errorf("GST write time = %v, want 300ns", GSTWriteTime)
+	}
+	if !approx(GSTReadEnergy.Picojoules(), 20) {
+		t.Errorf("GST read energy = %v, want 20pJ", GSTReadEnergy)
+	}
+	if !approx(ElectroTuningTime.Nanoseconds(), 500) {
+		t.Errorf("electro tuning time = %v, want 500ns", ElectroTuningTime)
+	}
+}
+
+// TestGSTTuningPowerConsistent checks that the per-ring tuning power equals
+// the write energy over the write time, and that 256 rings reproduce the
+// Table III row.
+func TestGSTTuningPowerConsistent(t *testing.T) {
+	fromPulse := GSTWriteEnergy.OverTime(GSTWriteTime)
+	if math.Abs(fromPulse.Milliwatts()-GSTTuningPower.Milliwatts()) > 1e-9 {
+		t.Errorf("660pJ/300ns = %v, want %v", fromPulse, GSTTuningPower)
+	}
+	bank := units.Power(float64(GSTTuningPower) * MRRsPerPE)
+	if math.Abs(bank.Milliwatts()-PowerGSTTuning.Milliwatts()) > 1e-6 {
+		t.Errorf("256 × %v = %v, want %v", GSTTuningPower, bank, PowerGSTTuning)
+	}
+}
+
+// TestTableIIITotal checks the PE power sum against the paper's 0.67 W and
+// the exact row sum.
+func TestTableIIITotal(t *testing.T) {
+	exact := 0.09 + 0.032 + 563.2 + 17.1 + 53.3 + 12.1 + 30 // mW
+	if math.Abs(PEPowerTotal.Milliwatts()-exact) > 1e-9 {
+		t.Errorf("PE power = %vmW, want %vmW", PEPowerTotal.Milliwatts(), exact)
+	}
+	if math.Abs(PEPowerTotal.Watts()-0.67) > 0.01 {
+		t.Errorf("PE power = %v, want ≈0.67W as printed", PEPowerTotal)
+	}
+}
+
+// TestGSTTuningShare checks the 83.34% headline from Table III / Section IV.
+func TestGSTTuningShare(t *testing.T) {
+	if got := GSTTuningShare(); math.Abs(got-0.8334) > 0.001 {
+		t.Errorf("GST tuning share = %.4f, want ≈0.8334", got)
+	}
+}
+
+// TestPostTuningPower checks the 0.67 W → 0.11 W drop from Section IV.
+func TestPostTuningPower(t *testing.T) {
+	got := PostTuningPEPower()
+	if math.Abs(got.Watts()-0.11) > 0.005 {
+		t.Errorf("post-tuning PE power = %v, want ≈0.11W", got)
+	}
+	if got >= PEPowerTotal {
+		t.Error("post-tuning power must be below total PE power")
+	}
+}
+
+// TestBudgetSupports44PEs checks that 44 PEs fit the 30 W budget and a 45th
+// does not — the paper's "maximum of 44 PEs" claim.
+func TestBudgetSupports44PEs(t *testing.T) {
+	if units.Power(44*float64(PEPowerTotal)) > PowerBudget {
+		t.Errorf("44 PEs draw %v, exceeding %v", units.Power(44*float64(PEPowerTotal)), PowerBudget)
+	}
+	if units.Power(45*float64(PEPowerTotal)) <= PowerBudget {
+		t.Errorf("45 PEs draw %v, paper says 44 is the maximum", units.Power(45*float64(PEPowerTotal)))
+	}
+}
+
+// TestWeightBankGeometry ties the row/col split to the 256-MRR bank.
+func TestWeightBankGeometry(t *testing.T) {
+	if WeightBankRows*WeightBankCols != MRRsPerPE {
+		t.Errorf("bank %d×%d ≠ %d MRRs", WeightBankRows, WeightBankCols, MRRsPerPE)
+	}
+}
+
+// TestResolutionOrdering asserts the training-capability argument: GST gives
+// 8 bits, thermal only 6.
+func TestResolutionOrdering(t *testing.T) {
+	if GSTBits != 8 || ThermalBits != 6 {
+		t.Errorf("bits: GST=%d thermal=%d, want 8 and 6", GSTBits, ThermalBits)
+	}
+	if GSTLevels != 255 {
+		t.Errorf("GST levels = %d, want 255", GSTLevels)
+	}
+}
+
+// TestGSTFasterThanThermal pins the "2× faster than thermally tuning" claim.
+func TestGSTFasterThanThermal(t *testing.T) {
+	if ratio := ThermalTuningTime / GSTWriteTime; math.Abs(float64(ratio)-2.0) > 1e-9 {
+		t.Errorf("thermal/GST tuning time = %v, want 2.0", ratio)
+	}
+}
+
+// TestActivationConstants pins the Fig. 3 / LDSU constants.
+func TestActivationConstants(t *testing.T) {
+	if math.Abs(ActivationThresholdEnergy.Picojoules()-430) > 1e-6 {
+		t.Errorf("activation threshold = %v, want 430pJ", ActivationThresholdEnergy)
+	}
+	if ActivationDerivativeHigh != 0.34 || ActivationDerivativeLow != 0 {
+		t.Errorf("derivatives = %v/%v, want 0.34/0", ActivationDerivativeHigh, ActivationDerivativeLow)
+	}
+	if math.Abs(ActivationWavelength.Nanometers()-1553.4) > 1e-6 {
+		t.Errorf("activation wavelength = %v, want 1553.4nm", ActivationWavelength)
+	}
+}
+
+// TestCacheFootprint checks the published cache footprint value.
+func TestCacheFootprint(t *testing.T) {
+	want := 0.092 * 0.085 // mm²
+	if got := PECacheFootprint.SquareMillimeters(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cache footprint = %vmm², want %vmm²", got, want)
+	}
+}

@@ -1,0 +1,179 @@
+// Package energy assembles the power and area breakdowns of the Trident
+// accelerator: Table III (per-PE device power) and Fig. 5 (chip area by
+// component).
+package energy
+
+import (
+	"fmt"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+// PowerRow is one row of the Table III breakdown.
+type PowerRow struct {
+	Component string
+	Power     units.Power
+	Share     float64 // fraction of the PE total
+}
+
+// PowerBreakdown returns Table III: the per-PE device power rows with their
+// shares, in the paper's order.
+func PowerBreakdown() []PowerRow {
+	rows := []PowerRow{
+		{Component: "LDSU", Power: device.PowerLDSU},
+		{Component: "E/O Laser", Power: device.PowerEOLaser},
+		{Component: "GST MRR Tuning", Power: device.PowerGSTTuning},
+		{Component: "GST MRR Read", Power: device.PowerGSTRead},
+		{Component: "GST Activation Function Reset", Power: device.PowerActivationReset},
+		{Component: "BPD and TIA", Power: device.PowerBPDTIA},
+		{Component: "Cache", Power: device.PowerCache},
+	}
+	total := TotalPEPower()
+	for i := range rows {
+		rows[i].Share = rows[i].Power.Watts() / total.Watts()
+	}
+	return rows
+}
+
+// TotalPEPower returns the Table III total (≈0.67 W).
+func TotalPEPower() units.Power { return device.PEPowerTotal }
+
+// AreaRow is one slice of the Fig. 5 area breakdown.
+type AreaRow struct {
+	Component string
+	// PerDevice is the footprint of one instance.
+	PerDevice units.Area
+	// Count is instances per PE.
+	Count int
+	// PerPE is PerDevice × Count.
+	PerPE units.Area
+	// Share is the fraction of the PE area.
+	Share float64
+}
+
+// Per-device footprints. The TIA dominates — "Most of that area is
+// consumed by the TIAs" (Section IV) — because a GHz-class linear
+// transimpedance stage with its biasing and output buffering occupies
+// ~0.5 mm² in the 32 nm-class analog node the paper's power figures imply.
+// The remaining entries use the geometries given in the paper (60 µm
+// activation rings, 0.092×0.085 mm cache) or typical silicon-photonic PDK
+// cells.
+var (
+	tiaArea        = units.Area(0.50e-6)  // 0.50 mm² per row TIA
+	eoLaserArea    = units.Area(0.20e-6)  // 0.20 mm² per row modulator/driver
+	bpdArea        = units.Area(0.10e-6)  // 0.10 mm² per balanced PD pair
+	digitalArea    = units.Area(0.592e-6) // control logic incl. the 16 kB cache
+	activationArea = areaOfRing(device.ActivationRingRadius)
+	mrrArea        = units.Area(20e-6 * 20e-6) // 5 µm ring + coupling gap + GST pad
+	ldsuArea       = units.Area(0.0004e-6)     // comparator + DFF
+)
+
+// areaOfRing returns the bounding-box footprint of a ring resonator.
+func areaOfRing(r units.Length) units.Area {
+	d := 2 * r.Meters()
+	return units.Area(d * d)
+}
+
+// AreaBreakdown returns the Fig. 5 per-PE area rows, largest first.
+func AreaBreakdown() []AreaRow {
+	rows := []AreaRow{
+		{Component: "TIA", PerDevice: tiaArea, Count: device.WeightBankRows},
+		{Component: "E/O Laser", PerDevice: eoLaserArea, Count: device.WeightBankRows},
+		{Component: "BPD", PerDevice: bpdArea, Count: device.WeightBankRows},
+		{Component: "Cache and Control", PerDevice: digitalArea, Count: 1},
+		{Component: "GST Activation Cell", PerDevice: activationArea, Count: device.WeightBankRows},
+		{Component: "MRR Weight Bank", PerDevice: mrrArea, Count: device.MRRsPerPE},
+		{Component: "LDSU", PerDevice: ldsuArea, Count: device.WeightBankRows},
+	}
+	total := 0.0
+	for i := range rows {
+		rows[i].PerPE = units.Area(rows[i].PerDevice.SquareMillimeters() * float64(rows[i].Count) * 1e-6)
+		total += rows[i].PerPE.SquareMillimeters()
+	}
+	for i := range rows {
+		rows[i].Share = rows[i].PerPE.SquareMillimeters() / total
+	}
+	return rows
+}
+
+// PEArea returns the area of one PE.
+func PEArea() units.Area {
+	var total float64
+	for _, r := range AreaBreakdown() {
+		total += r.PerPE.SquareMillimeters()
+	}
+	return units.Area(total * 1e-6)
+}
+
+// ChipArea returns the area of the full 44-PE accelerator (the paper's
+// 604.6 mm²).
+func ChipArea() units.Area {
+	return units.Area(PEArea().SquareMillimeters() * float64(device.TridentPEs) * 1e-6)
+}
+
+// String renders a power row.
+func (r PowerRow) String() string {
+	return fmt.Sprintf("%-30s %10s %6.2f%%", r.Component, r.Power, r.Share*100)
+}
+
+// String renders an area row.
+func (r AreaRow) String() string {
+	return fmt.Sprintf("%-20s %3d × %-12s %10s %6.2f%%",
+		r.Component, r.Count, r.PerDevice, r.PerPE, r.Share*100)
+}
+
+// OperatingState is one power state of the deployed accelerator.
+type OperatingState string
+
+// Chip operating states.
+const (
+	// StateProgramming: all weight banks being written (worst case; what
+	// the 30 W budget is provisioned against).
+	StateProgramming OperatingState = "programming"
+	// StateStreaming: weights resident, pipelines clocked.
+	StateStreaming OperatingState = "streaming"
+	// StateIdle: weights resident (non-volatile — held for free), clocks
+	// gated; only the cache/control standby remains.
+	StateIdle OperatingState = "idle"
+)
+
+// ChipPower returns the whole-accelerator power in a state, including the
+// shared comb laser (16 lines/PE at 1 mW optical, 20% wall plug) for the
+// active states.
+func ChipPower(state OperatingState) units.Power {
+	pes := float64(device.TridentPEs)
+	comb := units.Power(pes * float64(device.WeightBankCols) * 1e-3 / device.LaserWallPlugEfficiency)
+	switch state {
+	case StateProgramming:
+		return units.Power(pes*float64(device.PEPowerTotal)) + comb
+	case StateStreaming:
+		return units.Power(pes*float64(device.PostTuningPEPower())) + comb
+	case StateIdle:
+		// Non-volatile weights persist unpowered; only cache standby
+		// (~10% of active cache power) remains.
+		return units.Power(pes * float64(device.PowerCache) * 0.1)
+	default:
+		return 0
+	}
+}
+
+// ChipSummary is the deployment-facing roll-up.
+type ChipSummary struct {
+	PEs         int
+	Area        units.Area
+	Programming units.Power
+	Streaming   units.Power
+	Idle        units.Power
+}
+
+// Summary returns the chip roll-up at the paper's operating point.
+func Summary() ChipSummary {
+	return ChipSummary{
+		PEs:         device.TridentPEs,
+		Area:        ChipArea(),
+		Programming: ChipPower(StateProgramming),
+		Streaming:   ChipPower(StateStreaming),
+		Idle:        ChipPower(StateIdle),
+	}
+}

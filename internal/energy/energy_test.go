@@ -1,0 +1,158 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/device"
+)
+
+// TestTableIIIRows pins the breakdown to the published table.
+func TestTableIIIRows(t *testing.T) {
+	rows := PowerBreakdown()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	wantShares := map[string]float64{
+		"LDSU":                          0.0001,
+		"E/O Laser":                     0.0000,
+		"GST MRR Tuning":                0.8334,
+		"GST MRR Read":                  0.0252,
+		"GST Activation Function Reset": 0.0789,
+		"BPD and TIA":                   0.0178,
+		"Cache":                         0.0444,
+	}
+	sum := 0.0
+	for _, r := range rows {
+		want, ok := wantShares[r.Component]
+		if !ok {
+			t.Errorf("unexpected component %q", r.Component)
+			continue
+		}
+		if math.Abs(r.Share-want) > 0.002 {
+			t.Errorf("%s share = %.4f, want %.4f (Table III)", r.Component, r.Share, want)
+		}
+		sum += r.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", sum)
+	}
+	if math.Abs(TotalPEPower().Watts()-0.67) > 0.01 {
+		t.Errorf("total = %v, want ≈0.67W", TotalPEPower())
+	}
+}
+
+// TestFigure5TIADominates: "Most of that area is consumed by the TIAs".
+func TestFigure5TIADominates(t *testing.T) {
+	rows := AreaBreakdown()
+	if rows[0].Component != "TIA" {
+		t.Fatalf("first row = %s, want TIA (largest)", rows[0].Component)
+	}
+	if rows[0].Share < 0.5 {
+		t.Errorf("TIA share = %.2f, want dominant (>0.5)", rows[0].Share)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PerPE > rows[0].PerPE {
+			t.Errorf("%s area exceeds TIA", rows[i].Component)
+		}
+	}
+	sum := 0.0
+	for _, r := range rows {
+		if r.PerPE <= 0 || r.Share <= 0 {
+			t.Errorf("%s has no area", r.Component)
+		}
+		sum += r.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("area shares sum to %v", sum)
+	}
+}
+
+// TestChipAreaMatchesPaper: 44 PEs occupy ≈604.6 mm², under a square inch.
+func TestChipAreaMatchesPaper(t *testing.T) {
+	got := ChipArea().SquareMillimeters()
+	if math.Abs(got-604.6) > 6 {
+		t.Errorf("chip area = %.1f mm², want ≈604.6", got)
+	}
+	const squareInch = 645.16 // mm²
+	if got >= squareInch {
+		t.Errorf("chip area %.1f mm² not under one square inch", got)
+	}
+}
+
+// TestPEAreaConsistent: chip = 44 × PE.
+func TestPEAreaConsistent(t *testing.T) {
+	pe := PEArea().SquareMillimeters()
+	chip := ChipArea().SquareMillimeters()
+	if math.Abs(chip-pe*float64(device.TridentPEs)) > 1e-9 {
+		t.Errorf("chip %v ≠ 44 × PE %v", chip, pe)
+	}
+}
+
+// TestActivationRingFootprint: the 60 µm activation ring's bounding box is
+// 120×120 µm.
+func TestActivationRingFootprint(t *testing.T) {
+	got := areaOfRing(device.ActivationRingRadius).SquareMillimeters()
+	want := 0.120 * 0.120
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("activation ring area = %v mm², want %v", got, want)
+	}
+}
+
+// TestMRRBankSmallerThanAnalog: the photonic weight bank is tiny next to
+// the analog electronics — the paper's area argument for MRRs over MZMs.
+func TestMRRBankSmallerThanAnalog(t *testing.T) {
+	rows := AreaBreakdown()
+	var bank, tia float64
+	for _, r := range rows {
+		switch r.Component {
+		case "MRR Weight Bank":
+			bank = r.PerPE.SquareMillimeters()
+		case "TIA":
+			tia = r.PerPE.SquareMillimeters()
+		}
+	}
+	if bank*10 > tia {
+		t.Errorf("MRR bank %.3f mm² not ≪ TIA %.3f mm²", bank, tia)
+	}
+}
+
+// TestChipPowerStates: programming > streaming ≫ idle, with programming at
+// the 30 W-class worst case and idle in the hundreds of milliwatts — the
+// non-volatility story at chip scale.
+func TestChipPowerStates(t *testing.T) {
+	prog := ChipPower(StateProgramming)
+	stream := ChipPower(StateStreaming)
+	idle := ChipPower(StateIdle)
+	if !(prog > stream && stream > idle) {
+		t.Fatalf("state ordering broken: prog=%v stream=%v idle=%v", prog, stream, idle)
+	}
+	// Programming ≈ 44×0.676 + comb 3.52 ≈ 33.3 W (budget + shared comb).
+	if prog.Watts() < 29 || prog.Watts() > 36 {
+		t.Errorf("programming power = %v, want ≈33W", prog)
+	}
+	// Streaming ≈ 44×0.113 + 3.52 ≈ 8.5 W.
+	if stream.Watts() < 6 || stream.Watts() > 11 {
+		t.Errorf("streaming power = %v, want ≈8.5W", stream)
+	}
+	// Idle: non-volatile weights cost nothing; only standby cache.
+	if idle.Watts() > 0.5 {
+		t.Errorf("idle power = %v, want < 0.5W", idle)
+	}
+	if ChipPower("bogus") != 0 {
+		t.Error("unknown state must return 0")
+	}
+}
+
+func TestChipSummary(t *testing.T) {
+	s := Summary()
+	if s.PEs != device.TridentPEs {
+		t.Errorf("PEs = %d", s.PEs)
+	}
+	if math.Abs(s.Area.SquareMillimeters()-604.2) > 2 {
+		t.Errorf("area = %v", s.Area)
+	}
+	if s.Programming <= s.Streaming || s.Streaming <= s.Idle {
+		t.Error("summary state ordering broken")
+	}
+}

@@ -1,0 +1,225 @@
+// Package eventsim is a discrete-event scheduler for the weight-stationary
+// dataflow: tiles are jobs, PEs are resources, and programming/streaming
+// phases are timed events. It serves two purposes:
+//
+//   - validation: under the serial layer schedule (each layer completes
+//     before the next starts — the schedule the analytic model in
+//     internal/accel assumes), the event simulation must reproduce the
+//     analytic latency exactly, which the tests assert for every workload;
+//   - extension: under the pipelined schedule, PEs are partitioned across
+//     layers so the whole chain runs concurrently — the paper's "one PE
+//     per layer" vision generalized. The simulator reports the bottleneck
+//     stage, and exposes a negative result the analytic model hides: for
+//     CNNs whose tiles exceed the array, static partitioning *loses*
+//     throughput to the serial time-multiplexed schedule (the bottleneck
+//     stage is slower than the work-conserving average), and pipelining
+//     only wins when every stage's weights are fully resident in its PEs
+//     — the regime the paper's one-PE-per-layer description assumes.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"trident/internal/accel"
+	"trident/internal/dataflow"
+	"trident/internal/device"
+	"trident/internal/models"
+	"trident/internal/units"
+)
+
+// Policy selects the layer schedule.
+type Policy int
+
+// Schedules.
+const (
+	// Serial runs layers back to back on the full PE array.
+	Serial Policy = iota
+	// Pipelined partitions the array across layers and streams them
+	// concurrently at steady state.
+	Pipelined
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Serial:
+		return "serial"
+	case Pipelined:
+		return "pipelined"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Result summarizes a simulated schedule.
+type Result struct {
+	Policy  Policy
+	Latency units.Duration // one inference through the machine
+	// Throughput is steady-state inferences/s (batch amortization for
+	// Serial; bottleneck-stage rate for Pipelined).
+	Throughput float64
+	// Bottleneck names the limiting layer under Pipelined.
+	Bottleneck string
+	// PEsUsed is the number of PEs the schedule engaged.
+	PEsUsed int
+	// WeightsResident reports whether every pipelined stage held all its
+	// tiles simultaneously (no steady-state retuning).
+	WeightsResident bool
+}
+
+// peFree is the event queue entry: the time a PE becomes available.
+type peFree []float64
+
+func (h peFree) Len() int            { return len(h) }
+func (h peFree) Less(i, j int) bool  { return h[i] < h[j] }
+func (h peFree) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *peFree) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *peFree) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulate runs the workload on the accelerator under the chosen policy at
+// batch 1 (single-inference latency); throughput amortizes programming over
+// the given batch like the analytic model.
+func Simulate(m *models.Model, cfg accel.PhotonicConfig, policy Policy, batch int) (Result, error) {
+	if batch < 1 {
+		return Result{}, fmt.Errorf("eventsim: batch %d must be ≥ 1", batch)
+	}
+	g := cfg.Geometry()
+	mp, err := dataflow.Map(m, g)
+	if err != nil {
+		return Result{}, err
+	}
+	switch policy {
+	case Serial:
+		return simulateSerial(mp, cfg, g, batch)
+	case Pipelined:
+		return simulatePipelined(mp, cfg, g, batch)
+	default:
+		return Result{}, fmt.Errorf("eventsim: unknown policy %v", policy)
+	}
+}
+
+// symbolTime is the per-vector streaming time.
+func symbolTime() float64 {
+	return device.ClockRate.Period().Seconds() * accel.VectorCyclesPerSymbol
+}
+
+// simulateSerial list-schedules each layer's tiles onto the full array with
+// a barrier between layers: the event-driven counterpart of the analytic
+// waves model.
+func simulateSerial(mp *dataflow.Mapping, cfg accel.PhotonicConfig, g dataflow.Geometry, batch int) (Result, error) {
+	now := 0.0
+	tune := cfg.TuneTime.Seconds()
+	sym := symbolTime()
+	var tuneTotal, streamTotal float64
+	for _, l := range mp.Layers {
+		// All tiles of a layer have identical duration; greedy scheduling
+		// onto P PEs via an availability heap.
+		h := make(peFree, g.PEs)
+		for i := range h {
+			h[i] = now
+		}
+		heap.Init(&h)
+		layerEnd := now
+		dur := tune + float64(l.Pixels)*sym
+		for t := int64(0); t < l.Tiles; t++ {
+			start := heap.Pop(&h).(float64)
+			end := start + dur
+			heap.Push(&h, end)
+			if end > layerEnd {
+				layerEnd = end
+			}
+		}
+		// Bookkeeping for throughput amortization: waves of programming
+		// versus streaming, matching the analytic split.
+		tuneTotal += float64(l.Waves) * tune
+		streamTotal += float64(l.StreamCycles) * sym
+		now = layerEnd
+	}
+	perInference := tuneTotal/float64(batch) + streamTotal
+	return Result{
+		Policy:     Serial,
+		Latency:    units.Duration(now),
+		Throughput: 1 / perInference,
+		PEsUsed:    g.PEs,
+	}, nil
+}
+
+// simulatePipelined partitions the array across layers proportionally to
+// their work and runs the chain concurrently: the steady-state rate is set
+// by the slowest stage.
+func simulatePipelined(mp *dataflow.Mapping, cfg accel.PhotonicConfig, g dataflow.Geometry, batch int) (Result, error) {
+	n := len(mp.Layers)
+	if n == 0 {
+		return Result{}, fmt.Errorf("eventsim: workload has no compute layers")
+	}
+	if g.PEs < n {
+		return Result{}, fmt.Errorf("eventsim: pipelining needs ≥1 PE per layer (%d PEs for %d layers)", g.PEs, n)
+	}
+	tune := cfg.TuneTime.Seconds()
+	sym := symbolTime()
+	// Work-proportional allocation with a floor of one PE per layer.
+	work := make([]float64, n)
+	var total float64
+	for i, l := range mp.Layers {
+		work[i] = float64(l.Tiles * l.Pixels)
+		total += work[i]
+	}
+	alloc := make([]int, n)
+	remaining := g.PEs - n
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	// Greedy distribution of the spare PEs: always relieve the stage with
+	// the highest per-PE load.
+	for remaining > 0 {
+		// Give the next PE to the stage with the highest per-PE load.
+		best, bestLoad := -1, -1.0
+		for i := range alloc {
+			load := work[i] / float64(alloc[i])
+			if load > bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		alloc[best]++
+		remaining--
+	}
+	// Stage durations at their allocations. A stage whose tiles all fit
+	// its allocated PEs keeps its weights resident (the non-volatile GST
+	// pays no hold power), so at steady state it never retunes; a stage
+	// that is time-multiplexed re-programs every wave, amortized over the
+	// batch like the serial schedule.
+	var latency float64
+	bottleneck, worst := "", -1.0
+	resident := true
+	for i, l := range mp.Layers {
+		waves := (l.Tiles + int64(alloc[i]) - 1) / int64(alloc[i])
+		var stage float64
+		if l.Tiles <= int64(alloc[i]) {
+			stage = float64(l.Pixels) * sym // weights resident: pure streaming
+		} else {
+			resident = false
+			stage = float64(waves)*tune/float64(batch) + float64(waves*l.Pixels)*sym
+		}
+		if stage > worst {
+			worst, bottleneck = stage, l.Name
+		}
+		// First-inference (fill) latency: every stage programs once and
+		// streams once before the next stage completes its output.
+		latency += float64(waves)*tune + float64(waves*l.Pixels)*sym
+	}
+	return Result{
+		Policy:          Pipelined,
+		Latency:         units.Duration(latency),
+		Throughput:      1 / worst,
+		Bottleneck:      bottleneck,
+		PEsUsed:         g.PEs,
+		WeightsResident: resident,
+	}, nil
+}

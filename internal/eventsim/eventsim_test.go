@@ -1,0 +1,150 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/accel"
+	"trident/internal/models"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(models.AlexNet(), accel.Trident(), Serial, 0); err == nil {
+		t.Error("batch 0: want error")
+	}
+	if _, err := Simulate(models.AlexNet(), accel.Trident(), Policy(9), 1); err == nil {
+		t.Error("unknown policy: want error")
+	}
+}
+
+// TestSerialMatchesAnalytic: the event-driven schedule must reproduce the
+// analytic latency and throughput exactly for every workload — two
+// independently implemented models agreeing on the same numbers.
+func TestSerialMatchesAnalytic(t *testing.T) {
+	cfg := accel.Trident()
+	for _, m := range models.All() {
+		ev, err := Simulate(m, cfg, Serial, accel.DefaultBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := accel.EvaluatePhotonic(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(ev.Latency.Seconds()-an.Latency.Seconds()) / an.Latency.Seconds(); rel > 1e-9 {
+			t.Errorf("%s: event latency %v vs analytic %v (rel err %g)", m.Name, ev.Latency, an.Latency, rel)
+		}
+		if rel := math.Abs(ev.Throughput-an.Throughput) / an.Throughput; rel > 1e-9 {
+			t.Errorf("%s: event throughput %v vs analytic %v", m.Name, ev.Throughput, an.Throughput)
+		}
+	}
+}
+
+// TestSerialMatchesBaselines: the agreement holds for the baseline
+// accelerators too (different PE counts and tune times).
+func TestSerialMatchesBaselines(t *testing.T) {
+	m := models.ResNet50()
+	for _, cfg := range accel.PhotonicBaselines() {
+		ev, err := Simulate(m, cfg, Serial, accel.DefaultBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := accel.EvaluatePhotonic(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(ev.Latency.Seconds()-an.Latency.Seconds()) / an.Latency.Seconds(); rel > 1e-9 {
+			t.Errorf("%s: event %v vs analytic %v", cfg.Name, ev.Latency, an.Latency)
+		}
+	}
+}
+
+// TestPipelinedLosesWhenTimeMultiplexed documents the negative result: on
+// real CNNs whose tiles exceed the array, static layer partitioning cannot
+// beat the serial work-conserving schedule — the bottleneck stage is
+// always slower than the array-wide average.
+func TestPipelinedLosesWhenTimeMultiplexed(t *testing.T) {
+	cfg := accel.Trident()
+	for _, m := range []*models.Model{models.AlexNet(), models.VGG16()} {
+		serial, err := Simulate(m, cfg, Serial, accel.DefaultBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := Simulate(m, cfg, Pipelined, accel.DefaultBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pipe.WeightsResident {
+			t.Errorf("%s: tiles cannot all be resident on 44 PEs", m.Name)
+		}
+		if pipe.Throughput > serial.Throughput {
+			t.Errorf("%s: time-multiplexed pipeline %.0f inf/s beat serial %.0f — averaging bound violated",
+				m.Name, pipe.Throughput, serial.Throughput)
+		}
+		if pipe.Bottleneck == "" {
+			t.Errorf("%s: bottleneck not identified", m.Name)
+		}
+		// First-inference latency through the pipeline cannot beat the
+		// serial optimum (the pipeline allocates fewer PEs per stage).
+		if pipe.Latency < serial.Latency {
+			t.Errorf("%s: pipelined fill latency %v below serial %v", m.Name, pipe.Latency, serial.Latency)
+		}
+	}
+}
+
+// tinyModel builds a three-layer network whose every layer fits a single
+// 16×16 bank — the regime the paper's "one PE per layer" description
+// assumes.
+func tinyModel() *models.Model {
+	mk := func(name string, pixels int64) models.LayerSpec {
+		return models.LayerSpec{
+			Name: name, Kind: models.KindDense,
+			InFeatures: 16, OutFeatures: 16,
+			MACs: 256 * pixels, Weights: 256, Activations: 16,
+		}
+	}
+	return &models.Model{Name: "tiny", Layers: []models.LayerSpec{
+		mk("fc1", 1), mk("fc2", 1), mk("fc3", 1),
+	}}
+}
+
+// TestPipelinedWinsWhenResident: when every stage's weights fit its PEs,
+// the pipeline never retunes and its steady-state rate crushes the serial
+// schedule at batch 1 (which re-programs the array every inference).
+func TestPipelinedWinsWhenResident(t *testing.T) {
+	cfg := accel.Trident()
+	m := tinyModel()
+	serial, err := Simulate(m, cfg, Serial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Simulate(m, cfg, Pipelined, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pipe.WeightsResident {
+		t.Fatal("tiny model must be fully resident")
+	}
+	if pipe.Throughput < serial.Throughput*10 {
+		t.Errorf("resident pipeline %.0f inf/s should crush serial batch-1 %.0f",
+			pipe.Throughput, serial.Throughput)
+	}
+}
+
+// TestPipelinedNeedsEnoughPEs: GoogleNet has more compute layers than the
+// 44-PE array, so the one-PE-per-layer floor cannot be met.
+func TestPipelinedNeedsEnoughPEs(t *testing.T) {
+	if _, err := Simulate(models.GoogleNet(), accel.Trident(), Pipelined, 1); err == nil {
+		t.Error("GoogleNet pipelining on 44 PEs: want error (57+ layers)")
+	}
+}
+
+// TestPolicyString covers the enum names.
+func TestPolicyString(t *testing.T) {
+	if Serial.String() != "serial" || Pipelined.String() != "pipelined" {
+		t.Error("policy names wrong")
+	}
+	if Policy(7).String() == "" {
+		t.Error("unknown policy must render")
+	}
+}

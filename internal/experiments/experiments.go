@@ -1,0 +1,297 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each function returns both typed results and a
+// rendered report table, so the same code backs cmd/papertables, the test
+// suite and the benchmark harness.
+package experiments
+
+import (
+	"fmt"
+
+	"trident/internal/accel"
+	"trident/internal/device"
+	"trident/internal/energy"
+	"trident/internal/models"
+	"trident/internal/pcm"
+	"trident/internal/report"
+	"trident/internal/train"
+)
+
+// TableI renders the tuning-method comparison.
+func TableI() *report.Table {
+	t := report.NewTable("Table I: Tuning Method Comparison",
+		"Tuning Method", "Tuning Energy", "Speed", "Hold Power", "Bits")
+	t.AddRow("Thermal", device.ThermalTuningEnergy.String(), device.ThermalTuningTime.String(),
+		device.ThermalHoldPower.String(), fmt.Sprintf("%d", device.ThermalBits))
+	t.AddRow("Electric", fmt.Sprintf("%s/V", device.ElectroTuningShift), device.ElectroTuningTime.String(),
+		"n/a (±100V impractical)", fmt.Sprintf("%d", device.ThermalBits))
+	t.AddRow("GST", device.GSTWriteEnergy.String(), device.GSTWriteTime.String(),
+		"0W (non-volatile)", fmt.Sprintf("%d", device.GSTBits))
+	return t
+}
+
+// TableII renders the PE operand mapping for the three operating modes.
+// The numerical correctness of each mode is exercised by the core package
+// tests; this table documents the mapping itself.
+func TableII() *report.Table {
+	t := report.NewTable("Table II: PE Hardware Devices Mapping",
+		"Device", "Inference", "Training Gradient Vector", "Training Outer Product")
+	t.AddRow("Input Laser Sources", "x_k", "δh_{k+1}", "δh_k")
+	t.AddRow("MRR Weight Bank", "W_k", "W_{k+1}ᵀ", "y_{k-1}ᵀ")
+	t.AddRow("BPD Output", "h = W·x", "Wᵀ·δ", "δW = δh·yᵀ")
+	t.AddRow("TIA, E/O Laser Sources", "y = f(h)", "⊙ f'(h_k) (LDSU)", "δW_k amplified")
+	return t
+}
+
+// TableIII renders the Trident PE power breakdown.
+func TableIII() *report.Table {
+	t := report.NewTable("Table III: Trident Device Power Breakdown",
+		"Component", "Power", "Percentage")
+	for _, r := range energy.PowerBreakdown() {
+		t.AddRow(r.Component, r.Power.String(), fmt.Sprintf("%.2f%%", r.Share*100))
+	}
+	t.AddRow("Total", energy.TotalPEPower().String(), "100%")
+	return t
+}
+
+// TableIVRow is one accelerator's Table IV entry.
+type TableIVRow struct {
+	Accel    string
+	TOPS     float64
+	Watts    float64
+	TOPSPerW float64
+	CanTrain bool
+}
+
+// TableIVData computes the Table IV rows (electronic devices from their
+// datasheets, Trident from first principles at the 30 W budget).
+func TableIVData() []TableIVRow {
+	var rows []TableIVRow
+	for _, e := range accel.ElectronicBaselines() {
+		rows = append(rows, TableIVRow{
+			Accel:    e.Name,
+			TOPS:     e.TOPS,
+			Watts:    e.Power.Watts(),
+			TOPSPerW: e.TOPSPerWatt(),
+			CanTrain: e.CanTrain,
+		})
+	}
+	tr := accel.Trident()
+	rows = append(rows, TableIVRow{
+		Accel:    "Trident",
+		TOPS:     tr.TOPS(),
+		Watts:    device.PowerBudget.Watts(),
+		TOPSPerW: tr.TOPS() / device.PowerBudget.Watts(),
+		CanTrain: tr.CanTrain,
+	})
+	return rows
+}
+
+// TableIV renders the accelerator comparison.
+func TableIV() *report.Table {
+	t := report.NewTable("Table IV: Performance of Trident vs. Electronic Accelerators",
+		"Accelerator", "TOPS", "Watts", "TOPS per W", "Training")
+	for _, r := range TableIVData() {
+		train := "No"
+		if r.CanTrain {
+			train = "Yes"
+		}
+		t.AddRow(r.Accel, r.TOPS, r.Watts, r.TOPSPerW, train)
+	}
+	return t
+}
+
+// TableVData returns the training-time rows.
+func TableVData() ([]train.TableVRow, error) { return train.TableV() }
+
+// TableV renders the 50,000-image training-time comparison.
+func TableV() (*report.Table, error) {
+	rows, err := TableVData()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table V: Edge Accelerators Time to Train 50,000 Images",
+		"NN Model", "NVIDIA AGX Xavier", "Trident", "Percent Change")
+	for _, r := range rows {
+		t.AddRow(r.Model,
+			fmt.Sprintf("%.1f s", r.Xavier.Seconds()),
+			fmt.Sprintf("%.1f s", r.Trident.Seconds()),
+			fmt.Sprintf("%+.1f%%", r.PercentChange))
+	}
+	return t, nil
+}
+
+// Figure3 samples the GST activation cell transfer function at 1553.4 nm:
+// input pulse energy (in units of the 430 pJ threshold) against normalized
+// output transmission.
+func Figure3(points int) (*report.Figure, error) {
+	cell, err := pcm.NewActivationCell(pcm.ActivationConfig{})
+	if err != nil {
+		return nil, err
+	}
+	xs, ys := cell.Curve(points, 4)
+	// Rescale x to pJ for the figure axis.
+	pj := make([]float64, len(xs))
+	for i, x := range xs {
+		pj[i] = x * device.ActivationThresholdEnergy.Picojoules()
+	}
+	return &report.Figure{
+		Title:  "Figure 3: GST Activation Cell Output Function (1553.4 nm)",
+		XLabel: "input pulse energy (pJ)",
+		YLabel: "normalized output",
+		Series: []report.Series{report.NewSeries("GST activation", pj, ys)},
+	}, nil
+}
+
+// Figure4Row is one (accelerator, model) energy measurement.
+type Figure4Row struct {
+	Accel  string
+	Model  string
+	Energy float64 // millijoules per inference
+}
+
+// Figure4Data evaluates per-inference energy for Trident and the photonic
+// baselines across the model zoo.
+func Figure4Data() ([]Figure4Row, error) {
+	var rows []Figure4Row
+	configs := append([]accel.PhotonicConfig{accel.Trident()}, accel.PhotonicBaselines()...)
+	for _, m := range models.All() {
+		for _, c := range configs {
+			r, err := accel.EvaluatePhotonic(c, m)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Figure4Row{Accel: c.Name, Model: m.Name, Energy: r.Energy.Joules() * 1e3})
+		}
+	}
+	return rows, nil
+}
+
+// Figure4 renders the photonic total-energy comparison.
+func Figure4() (*report.Table, error) {
+	rows, err := Figure4Data()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 4: Photonic Accelerators Total Energy Comparison (mJ/inference)",
+		"Model", "Accelerator", "Energy (mJ)")
+	for _, r := range rows {
+		t.AddRow(r.Model, r.Accel, r.Energy)
+	}
+	return t, nil
+}
+
+// Figure5 renders the chip-area breakdown.
+func Figure5() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 5: Trident Chip Area Breakdown (total %s for %d PEs)",
+			energy.ChipArea(), device.TridentPEs),
+		"Component", "Per PE", "Share")
+	for _, r := range energy.AreaBreakdown() {
+		t.AddRow(r.Component, r.PerPE.String(), fmt.Sprintf("%.2f%%", r.Share*100))
+	}
+	return t
+}
+
+// Figure6Row is one (accelerator, model) throughput measurement.
+type Figure6Row struct {
+	Accel      string
+	Model      string
+	InfPerSec  float64
+	Electronic bool
+}
+
+// Figure6Data evaluates inferences/second for all seven accelerators.
+func Figure6Data() ([]Figure6Row, error) {
+	var rows []Figure6Row
+	photonic := append([]accel.PhotonicConfig{accel.Trident()}, accel.PhotonicBaselines()...)
+	for _, m := range models.All() {
+		for _, c := range photonic {
+			r, err := accel.EvaluatePhotonic(c, m)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Figure6Row{Accel: c.Name, Model: m.Name, InfPerSec: r.Throughput})
+		}
+		for _, e := range accel.ElectronicBaselines() {
+			r, err := accel.EvaluateElectronic(e, m)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Figure6Row{Accel: e.Name, Model: m.Name, InfPerSec: r.Throughput, Electronic: true})
+		}
+	}
+	return rows, nil
+}
+
+// Figure6 renders the inferences-per-second comparison.
+func Figure6() (*report.Table, error) {
+	rows, err := Figure6Data()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 6: Edge Accelerators Inferences per Second Comparison",
+		"Model", "Accelerator", "Inferences/s")
+	for _, r := range rows {
+		t.AddRow(r.Model, r.Accel, r.InfPerSec)
+	}
+	return t, nil
+}
+
+// HeadlineAverages computes the paper's quoted average improvements from
+// the Figure 4 / Figure 6 data: energy ratio (baseline/Trident − 1) and
+// throughput ratio (Trident/baseline − 1), as percentages.
+type HeadlineAverages struct {
+	EnergyImprovement     map[string]float64 // vs photonic baselines
+	ThroughputImprovement map[string]float64 // vs all baselines
+}
+
+// Headlines computes the averages the abstract quotes.
+func Headlines() (*HeadlineAverages, error) {
+	f4, err := Figure4Data()
+	if err != nil {
+		return nil, err
+	}
+	f6, err := Figure6Data()
+	if err != nil {
+		return nil, err
+	}
+	tridentE := map[string]float64{}
+	tridentT := map[string]float64{}
+	for _, r := range f4 {
+		if r.Accel == "Trident" {
+			tridentE[r.Model] = r.Energy
+		}
+	}
+	for _, r := range f6 {
+		if r.Accel == "Trident" {
+			tridentT[r.Model] = r.InfPerSec
+		}
+	}
+	h := &HeadlineAverages{
+		EnergyImprovement:     map[string]float64{},
+		ThroughputImprovement: map[string]float64{},
+	}
+	counts := map[string]int{}
+	for _, r := range f4 {
+		if r.Accel == "Trident" {
+			continue
+		}
+		h.EnergyImprovement[r.Accel] += r.Energy/tridentE[r.Model] - 1
+		counts[r.Accel]++
+	}
+	for k := range h.EnergyImprovement {
+		h.EnergyImprovement[k] = h.EnergyImprovement[k] / float64(counts[k]) * 100
+	}
+	counts = map[string]int{}
+	for _, r := range f6 {
+		if r.Accel == "Trident" {
+			continue
+		}
+		h.ThroughputImprovement[r.Accel] += tridentT[r.Model]/r.InfPerSec - 1
+		counts[r.Accel]++
+	}
+	for k := range h.ThroughputImprovement {
+		h.ThroughputImprovement[k] = h.ThroughputImprovement[k] / float64(counts[k]) * 100
+	}
+	return h, nil
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableIContent(t *testing.T) {
+	s := TableI().String()
+	for _, want := range []string{"Thermal", "GST", "660pJ", "300ns", "1.02nJ", "600ns", "non-volatile"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableIIContent(t *testing.T) {
+	s := TableII().String()
+	for _, want := range []string{"W_{k+1}ᵀ", "δh_k", "y_{k-1}ᵀ", "LDSU"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table II missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableIIIContent(t *testing.T) {
+	s := TableIII().String()
+	for _, want := range []string{"GST MRR Tuning", "83.34%", "Cache", "Total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table III missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableIVData(t *testing.T) {
+	rows := TableIVData()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]TableIVRow{}
+	for _, r := range rows {
+		byName[r.Accel] = r
+	}
+	tr, ok := byName["Trident"]
+	if !ok {
+		t.Fatal("Trident row missing")
+	}
+	if tr.TOPS < 7 || tr.TOPS > 8.5 {
+		t.Errorf("Trident TOPS = %.2f, want ≈7.8", tr.TOPS)
+	}
+	if !tr.CanTrain {
+		t.Error("Trident must train")
+	}
+	x := byName["NVIDIA AGX Xavier"]
+	if x.TOPSPerW <= tr.TOPSPerW {
+		t.Error("Xavier must be the efficiency leader (the paper concedes this)")
+	}
+	if tr.TOPSPerW <= byName["Bearkey TB96-AI"].TOPSPerW {
+		t.Error("Trident must beat TB96-AI on TOPS/W")
+	}
+}
+
+func TestTableV(t *testing.T) {
+	tbl, err := TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"VGG-16", "MobileNetV2", "ResNet-50", "GoogleNet"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table V missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	f, err := Figure3(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	if len(s.X) != 101 {
+		t.Fatalf("points = %d, want 101", len(s.X))
+	}
+	// Below the 430 pJ threshold: flat zero. Above: rising.
+	var sawZeroBand, sawRise bool
+	for i := range s.X {
+		if s.X[i] < 420 && s.Y[i] == 0 {
+			sawZeroBand = true
+		}
+		if s.X[i] > 500 && s.Y[i] > 0 {
+			sawRise = true
+		}
+	}
+	if !sawZeroBand || !sawRise {
+		t.Errorf("Fig 3 shape wrong: zeroBand=%v rise=%v", sawZeroBand, sawRise)
+	}
+	// Slope above threshold ≈ 0.34 per threshold unit.
+	th := 430.0
+	var slope float64
+	for i := 1; i < len(s.X); i++ {
+		if s.X[i-1] > th*1.1 && s.X[i] < th*2.5 {
+			slope = (s.Y[i] - s.Y[i-1]) / ((s.X[i] - s.X[i-1]) / th)
+			break
+		}
+	}
+	if math.Abs(slope-0.34) > 0.01 {
+		t.Errorf("above-threshold slope = %.3f per threshold unit, want 0.34", slope)
+	}
+}
+
+func TestFigure4DataComplete(t *testing.T) {
+	rows, err := Figure4Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 models × 4 photonic accelerators.
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	// Trident must have the lowest energy on every model.
+	best := map[string]float64{}
+	tri := map[string]float64{}
+	for _, r := range rows {
+		if r.Energy <= 0 {
+			t.Errorf("%s/%s energy = %v", r.Accel, r.Model, r.Energy)
+		}
+		if b, ok := best[r.Model]; !ok || r.Energy < b {
+			best[r.Model] = r.Energy
+		}
+		if r.Accel == "Trident" {
+			tri[r.Model] = r.Energy
+		}
+	}
+	for m, e := range tri {
+		if e > best[m] {
+			t.Errorf("%s: Trident %.3f mJ not the minimum %.3f", m, e, best[m])
+		}
+	}
+}
+
+func TestFigure5TIADominant(t *testing.T) {
+	s := Figure5().String()
+	if !strings.Contains(s, "TIA") || !strings.Contains(s, "604") {
+		t.Errorf("Figure 5 content wrong:\n%s", s)
+	}
+}
+
+func TestFigure6DataComplete(t *testing.T) {
+	rows, err := Figure6Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 models × 7 accelerators.
+	if len(rows) != 35 {
+		t.Fatalf("rows = %d, want 35", len(rows))
+	}
+	// Trident must have the highest inf/s among photonics on every model,
+	// and beat every electronic device on every model too (Fig. 6).
+	tri := map[string]float64{}
+	for _, r := range rows {
+		if r.Accel == "Trident" {
+			tri[r.Model] = r.InfPerSec
+		}
+	}
+	for _, r := range rows {
+		if r.Accel == "Trident" {
+			continue
+		}
+		if r.InfPerSec >= tri[r.Model] {
+			t.Errorf("%s on %s: %.0f inf/s ≥ Trident %.0f", r.Accel, r.Model, r.InfPerSec, tri[r.Model])
+		}
+	}
+}
+
+// TestHeadlines pins the abstract's averages: energy improvements up to
+// ≈43% over the photonic baselines, throughput improvements up to ≈150%,
+// and the electronic gaps (≈108%, ≈595%, ≈1413%).
+func TestHeadlines(t *testing.T) {
+	h, err := Headlines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		m     map[string]float64
+		key   string
+		paper float64
+		tol   float64
+	}{
+		{h.EnergyImprovement, "DEAP-CNN", 16.4, 8},
+		{h.EnergyImprovement, "CrossLight", 43.5, 10},
+		{h.EnergyImprovement, "PIXEL", 43.4, 10},
+		{h.ThroughputImprovement, "DEAP-CNN", 27.9, 10},
+		{h.ThroughputImprovement, "CrossLight", 150.2, 25},
+		{h.ThroughputImprovement, "PIXEL", 143.6, 25},
+		{h.ThroughputImprovement, "NVIDIA AGX Xavier", 107.7, 25},
+		{h.ThroughputImprovement, "Bearkey TB96-AI", 594.7, 120},
+		{h.ThroughputImprovement, "Google Coral", 1413.1, 280},
+	}
+	for _, c := range checks {
+		got, ok := c.m[c.key]
+		if !ok {
+			t.Errorf("missing headline for %s", c.key)
+			continue
+		}
+		if math.Abs(got-c.paper) > c.tol {
+			t.Errorf("%s: measured %+.1f%%, paper %+.1f%% (tolerance %.0f)", c.key, got, c.paper, c.tol)
+		}
+	}
+}
+
+func TestRenderedTables(t *testing.T) {
+	if s := TableIV().String(); !strings.Contains(s, "Trident") || !strings.Contains(s, "Yes") {
+		t.Errorf("Table IV rendering:\n%s", s)
+	}
+	f4, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f4.String(); !strings.Contains(s, "PIXEL") {
+		t.Errorf("Figure 4 rendering:\n%s", s)
+	}
+	f6, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f6.String(); !strings.Contains(s, "Google Coral") {
+		t.Errorf("Figure 6 rendering:\n%s", s)
+	}
+}

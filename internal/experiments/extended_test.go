@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDFAComparisonGap reproduces the Section VI claim quantitatively: on a
+// two-conv-layer task, true backpropagation beats direct feedback
+// alignment by a wide margin. Checked on two seeds for robustness.
+func TestDFAComparisonGap(t *testing.T) {
+	for _, seed := range []int64{3, 7} {
+		r, err := DFAComparison(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.BPAccuracy < 0.85 {
+			t.Errorf("seed %d: BP accuracy %.2f too low — task miscalibrated", seed, r.BPAccuracy)
+		}
+		if r.Gap < 0.15 {
+			t.Errorf("seed %d: BP-DFA gap = %.2f, want ≥ 0.15 (DFA ineffective on conv)", seed, r.Gap)
+		}
+	}
+}
+
+// TestResolutionVsPitchTable: thermal resolution must cross the 8-bit
+// training threshold only at impractically sparse pitches.
+func TestResolutionVsPitchTable(t *testing.T) {
+	tbl, err := ResolutionVsPitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "20µm") {
+		t.Errorf("missing standard pitch row:\n%s", s)
+	}
+	// At the dense 20 µm pitch thermal must not be training-capable.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "20µm") && !strings.Contains(line, "no") {
+			t.Errorf("20µm thermal row should say 'no' for training:\n%s", line)
+		}
+	}
+}
+
+// TestEnduranceAnalysis: every workload must survive for decades — the
+// paper's "endurance is not a concern".
+func TestEnduranceAnalysis(t *testing.T) {
+	tbl, err := EnduranceAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// lifetime column is last; parse loosely by checking it is not a
+		// sub-10 value (rendered values are ≥ 54).
+		life := row[len(row)-1]
+		if strings.HasPrefix(life, "0") || strings.HasPrefix(life, "1.") ||
+			strings.HasPrefix(life, "2.") || strings.HasPrefix(life, "3.") {
+			t.Errorf("%s: lifetime %s years looks below a decade", row[0], life)
+		}
+	}
+}
+
+// TestDriftAnalysis: retention holds at every tabulated horizon.
+func TestDriftAnalysis(t *testing.T) {
+	tbl, err := DriftAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("retention failed at %s", row[0])
+		}
+	}
+	if tbl.Rows[len(tbl.Rows)-1][0] != "10 years" {
+		t.Error("10-year row missing")
+	}
+}
+
+// TestNoiseSweepCliff: training survives mW-scale laser power and collapses
+// once the detector SNR falls far below 8 effective bits.
+func TestNoiseSweepCliff(t *testing.T) {
+	rows, err := NoiseSweep(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d, want ≥ 3", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.SNRBits < 8 {
+		t.Errorf("full-power SNR = %.1f bits, want ≥ 8", first.SNRBits)
+	}
+	if first.Accuracy < 0.9 {
+		t.Errorf("full-power accuracy = %.2f, want ≥ 0.9", first.Accuracy)
+	}
+	if last.Accuracy > 0.6 {
+		t.Errorf("starved-power accuracy = %.2f, want collapse (< 0.6)", last.Accuracy)
+	}
+	if last.SNRBits >= first.SNRBits {
+		t.Error("SNR bits must fall with laser power")
+	}
+}
+
+// TestFaultRecoveryArc: faults hurt, continued in-situ training heals.
+func TestFaultRecoveryArc(t *testing.T) {
+	rows, err := FaultRecovery(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Clean < 0.8 {
+			t.Errorf("rate %.2f: clean accuracy %.2f too low", r.FaultRate, r.Clean)
+		}
+		if r.Healed < r.Hurt {
+			t.Errorf("rate %.2f: healing made things worse (%.2f → %.2f)", r.FaultRate, r.Hurt, r.Healed)
+		}
+		if r.Healed < r.Clean-0.08 {
+			t.Errorf("rate %.2f: healed %.2f did not approach clean %.2f", r.FaultRate, r.Healed, r.Clean)
+		}
+	}
+	// The heaviest fault rate must show a visible injury so the recovery
+	// is meaningful.
+	worst := rows[len(rows)-1]
+	if worst.Clean-worst.Hurt < 0.1 {
+		t.Errorf("20%% faults only cost %.2f accuracy — injury not visible", worst.Clean-worst.Hurt)
+	}
+}
+
+// TestPropagationNegligible: optical time-of-flight between PEs is below
+// 0.1% of every workload's latency — "at the speed of light" in numbers.
+func TestPropagationNegligible(t *testing.T) {
+	rows, err := PropagationShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.PropagationTime <= 0 {
+			t.Errorf("%s: zero propagation time", r.Model)
+		}
+		if r.PropagationFrac > 0.001 {
+			t.Errorf("%s: propagation %.4f%% of latency, want < 0.1%%", r.Model, r.PropagationFrac*100)
+		}
+		if r.StreamTime <= 0 || r.TuneTime <= 0 {
+			t.Errorf("%s: degenerate split", r.Model)
+		}
+	}
+}
+
+// TestSensitivityRobust: Trident's lead over every baseline survives ±20%
+// perturbation of every calibrated constant — the orderings are
+// structural, only the percentages are calibration.
+func TestSensitivityRobust(t *testing.T) {
+	rows, err := SensitivityAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 photonic baselines × 2 metrics + 3 electronic × 1 metric.
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if !r.RobustWin {
+			t.Errorf("%s %s: Trident's win is not robust (range [%+.1f%%, %+.1f%%])",
+				r.Baseline, r.Metric, r.Min, r.Max)
+		}
+		if r.Min > r.Nominal || r.Nominal > r.Max {
+			t.Errorf("%s %s: nominal %+.1f%% outside range [%+.1f%%, %+.1f%%]",
+				r.Baseline, r.Metric, r.Nominal, r.Min, r.Max)
+		}
+		if r.Max-r.Min < 0.1 {
+			t.Errorf("%s %s: perturbation had no effect — sweep broken", r.Baseline, r.Metric)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"trident/internal/accel"
+	"trident/internal/models"
+	"trident/internal/units"
+)
+
+// Sensitivity analysis over the calibration constants. The baseline
+// accelerator models carry fitted quantities (converter duty, summation
+// biases, electronic utilizations); this study perturbs them ±20% and
+// re-evaluates the headline comparisons, separating conclusions that are
+// structural (Trident's energy/throughput lead over every baseline) from
+// numbers that are calibration (the exact percentages).
+
+// SensitivityRow reports one comparison's improvement range across the
+// perturbation grid.
+type SensitivityRow struct {
+	Baseline string
+	Metric   string  // "energy" or "throughput"
+	Nominal  float64 // % improvement at the calibrated point
+	Min, Max float64 // % improvement across perturbations
+	// RobustWin is true when Trident wins at every perturbed point.
+	RobustWin bool
+}
+
+// perturbPhotonic scales a baseline's per-PE extras (its calibrated
+// machinery: converters, summation devices, activation unit) by factor.
+func perturbPhotonic(c accel.PhotonicConfig, factor float64) accel.PhotonicConfig {
+	c.ProvisionExtra = units.Power(c.ProvisionExtra.Watts() * factor)
+	c.StreamExtra = units.Power(c.StreamExtra.Watts() * factor)
+	return c
+}
+
+// SensitivityAnalysis evaluates every baseline at ×0.8, ×1.0 and ×1.2 of
+// its calibrated extras (photonic) or utilization (electronic) and returns
+// the averaged-improvement ranges.
+func SensitivityAnalysis() ([]SensitivityRow, error) {
+	factors := []float64{0.8, 1.0, 1.2}
+	tr := accel.Trident()
+	zoo := models.All()
+
+	avgImprovements := func(b accel.PhotonicConfig) (energy, throughput float64, err error) {
+		var se, st float64
+		for _, m := range zoo {
+			rt, err := accel.EvaluatePhotonic(tr, m)
+			if err != nil {
+				return 0, 0, err
+			}
+			rb, err := accel.EvaluatePhotonic(b, m)
+			if err != nil {
+				return 0, 0, err
+			}
+			se += rb.Energy.Joules()/rt.Energy.Joules() - 1
+			st += rt.Throughput/rb.Throughput - 1
+		}
+		n := float64(len(zoo))
+		return se / n * 100, st / n * 100, nil
+	}
+
+	var rows []SensitivityRow
+	for _, base := range accel.PhotonicBaselines() {
+		var eVals, tVals []float64
+		for _, f := range factors {
+			e, t, err := avgImprovements(perturbPhotonic(base, f))
+			if err != nil {
+				return nil, err
+			}
+			eVals = append(eVals, e)
+			tVals = append(tVals, t)
+		}
+		rows = append(rows,
+			rangeRow(base.Name, "energy", eVals),
+			rangeRow(base.Name, "throughput", tVals),
+		)
+	}
+
+	for _, base := range accel.ElectronicBaselines() {
+		var tVals []float64
+		for _, f := range factors {
+			c := base
+			c.Utilization *= f
+			var sum float64
+			for _, m := range zoo {
+				rt, err := accel.EvaluatePhotonic(tr, m)
+				if err != nil {
+					return nil, err
+				}
+				re, err := accel.EvaluateElectronic(c, m)
+				if err != nil {
+					return nil, err
+				}
+				sum += rt.Throughput/re.Throughput - 1
+			}
+			tVals = append(tVals, sum/float64(len(zoo))*100)
+		}
+		rows = append(rows, rangeRow(base.Name, "throughput", tVals))
+	}
+	return rows, nil
+}
+
+// rangeRow folds the factor sweep into one row. The nominal point is the
+// middle factor (×1.0).
+func rangeRow(name, metric string, vals []float64) SensitivityRow {
+	r := SensitivityRow{Baseline: name, Metric: metric, Nominal: vals[1], RobustWin: true}
+	r.Min, r.Max = vals[0], vals[0]
+	for _, v := range vals {
+		if v < r.Min {
+			r.Min = v
+		}
+		if v > r.Max {
+			r.Max = v
+		}
+		if v <= 0 {
+			r.RobustWin = false
+		}
+	}
+	return r
+}
+
+// String renders a row for the artifact table.
+func (r SensitivityRow) String() string {
+	return fmt.Sprintf("%s %s: %+.1f%% [%+.1f%%, %+.1f%%] robust=%v",
+		r.Baseline, r.Metric, r.Nominal, r.Min, r.Max, r.RobustWin)
+}

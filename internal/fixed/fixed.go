@@ -1,0 +1,168 @@
+// Package fixed implements the symmetric fixed-point quantization used to
+// program analog photonic weight banks.
+//
+// A GST-tuned MRR realizes a weight w ∈ [-1, 1] with 255 distinguishable
+// material states (8-bit resolution); a thermally tuned MRR is limited by
+// inter-channel crosstalk to 6 bits. The paper's training-capability argument
+// rests on this difference, so the quantizer is explicit about its level
+// count and exposes the worst-case step size for error-bound tests.
+package fixed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Quantizer maps real values on [-Scale, Scale] onto a symmetric grid of
+// Levels states. Levels must be odd so that exactly zero is representable —
+// a requirement for weight matrices, where pruned weights must stay silent.
+type Quantizer struct {
+	levels int
+	scale  float64
+	step   float64
+}
+
+// ErrBadLevels reports an invalid level count.
+var ErrBadLevels = errors.New("fixed: level count must be an odd integer ≥ 3")
+
+// New returns a Quantizer with the given number of levels spanning
+// [-scale, scale].
+func New(levels int, scale float64) (*Quantizer, error) {
+	if levels < 3 || levels%2 == 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadLevels, levels)
+	}
+	if scale <= 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		return nil, fmt.Errorf("fixed: scale must be positive and finite (got %v)", scale)
+	}
+	return &Quantizer{
+		levels: levels,
+		scale:  scale,
+		step:   2 * scale / float64(levels-1),
+	}, nil
+}
+
+// ForBits returns a quantizer with 2^bits − 1 levels on [-1, 1]: 8 bits gives
+// the 255 GST states, 6 bits the 63 usable thermal states.
+func ForBits(bits int) (*Quantizer, error) {
+	if bits < 2 || bits > 31 {
+		return nil, fmt.Errorf("fixed: bit width out of range (got %d)", bits)
+	}
+	return New(1<<bits-1, 1)
+}
+
+// MustForBits is ForBits for static bit widths known to be valid.
+func MustForBits(bits int) *Quantizer {
+	q, err := ForBits(bits)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Levels returns the number of representable states.
+func (q *Quantizer) Levels() int { return q.levels }
+
+// Scale returns the half-range of the quantizer.
+func (q *Quantizer) Scale() float64 { return q.scale }
+
+// Step returns the spacing between adjacent levels. The worst-case
+// round-to-nearest error is Step/2.
+func (q *Quantizer) Step() float64 { return q.step }
+
+// Index returns the level index in [0, Levels) nearest to v, clamping values
+// outside [-Scale, Scale]. NaN maps to the zero level.
+func (q *Quantizer) Index(v float64) int {
+	if math.IsNaN(v) {
+		return (q.levels - 1) / 2
+	}
+	idx := int(math.Round((v + q.scale) / q.step))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= q.levels {
+		return q.levels - 1
+	}
+	return idx
+}
+
+// Value returns the real value of level index idx. Out-of-range indices are
+// clamped, matching the programming behaviour of a saturating analog cell.
+func (q *Quantizer) Value(idx int) float64 {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= q.levels {
+		idx = q.levels - 1
+	}
+	return float64(idx)*q.step - q.scale
+}
+
+// Quantize rounds v to the nearest representable value.
+func (q *Quantizer) Quantize(v float64) float64 { return q.Value(q.Index(v)) }
+
+// QuantizeStochastic rounds v to one of its two neighbouring levels with
+// probability proportional to proximity, using rng. Stochastic rounding keeps
+// gradient descent unbiased when updates are smaller than one step — the
+// standard trick that makes 8-bit training converge.
+func (q *Quantizer) QuantizeStochastic(v float64, rng *rand.Rand) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v <= -q.scale {
+		return -q.scale
+	}
+	if v >= q.scale {
+		return q.scale
+	}
+	pos := (v + q.scale) / q.step
+	lo := math.Floor(pos)
+	frac := pos - lo
+	idx := int(lo)
+	if rng.Float64() < frac {
+		idx++
+	}
+	return q.Value(idx)
+}
+
+// QuantizeSlice rounds every element of src into dst (which may alias src).
+// It panics if the slices differ in length, as that is a programming error.
+func (q *Quantizer) QuantizeSlice(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("fixed: dst len %d ≠ src len %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = q.Quantize(v)
+	}
+}
+
+// Error returns the signed quantization error Quantize(v) − v.
+func (q *Quantizer) Error(v float64) float64 { return q.Quantize(v) - v }
+
+// Stats summarizes the quantization error over a sample of values.
+type Stats struct {
+	MaxAbs float64 // worst-case |error|
+	MeanSq float64 // mean squared error
+	Bias   float64 // mean signed error
+}
+
+// MeasureError quantizes each value and accumulates error statistics.
+func (q *Quantizer) MeasureError(values []float64) Stats {
+	var s Stats
+	if len(values) == 0 {
+		return s
+	}
+	for _, v := range values {
+		e := q.Error(v)
+		if a := math.Abs(e); a > s.MaxAbs {
+			s.MaxAbs = a
+		}
+		s.MeanSq += e * e
+		s.Bias += e
+	}
+	n := float64(len(values))
+	s.MeanSq /= n
+	s.Bias /= n
+	return s
+}

@@ -1,0 +1,202 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, levels := range []int{-1, 0, 1, 2, 4, 256} {
+		if _, err := New(levels, 1); err == nil {
+			t.Errorf("New(%d, 1): want error for even/small level count", levels)
+		}
+	}
+	for _, scale := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := New(255, scale); err == nil {
+			t.Errorf("New(255, %v): want error for bad scale", scale)
+		}
+	}
+	if _, err := New(255, 1); err != nil {
+		t.Fatalf("New(255, 1): %v", err)
+	}
+}
+
+func TestForBits(t *testing.T) {
+	q8 := MustForBits(8)
+	if q8.Levels() != 255 {
+		t.Errorf("8-bit levels = %d, want 255 (GST states)", q8.Levels())
+	}
+	q6 := MustForBits(6)
+	if q6.Levels() != 63 {
+		t.Errorf("6-bit levels = %d, want 63 (thermal states)", q6.Levels())
+	}
+	if q8.Step() >= q6.Step() {
+		t.Error("8-bit step must be finer than 6-bit step")
+	}
+	for _, bits := range []int{0, 1, 32, 64} {
+		if _, err := ForBits(bits); err == nil {
+			t.Errorf("ForBits(%d): want error", bits)
+		}
+	}
+}
+
+func TestZeroIsRepresentable(t *testing.T) {
+	for _, bits := range []int{2, 4, 6, 8, 10} {
+		q := MustForBits(bits)
+		if got := q.Quantize(0); got != 0 {
+			t.Errorf("%d-bit Quantize(0) = %v, want exactly 0", bits, got)
+		}
+	}
+}
+
+func TestClamping(t *testing.T) {
+	q := MustForBits(8)
+	if got := q.Quantize(5); got != 1 {
+		t.Errorf("Quantize(5) = %v, want clamp to 1", got)
+	}
+	if got := q.Quantize(-5); got != -1 {
+		t.Errorf("Quantize(-5) = %v, want clamp to -1", got)
+	}
+	if got := q.Quantize(math.NaN()); got != 0 {
+		t.Errorf("Quantize(NaN) = %v, want 0", got)
+	}
+	if got := q.Value(-3); got != -1 {
+		t.Errorf("Value(-3) = %v, want clamp to -1", got)
+	}
+	if got := q.Value(999); got != 1 {
+		t.Errorf("Value(999) = %v, want clamp to 1", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	q := MustForBits(8)
+	for _, v := range []float64{0.1, 0.25, 0.333, 0.9, 1.0} {
+		if p, n := q.Quantize(v), q.Quantize(-v); math.Abs(p+n) > 1e-15 {
+			t.Errorf("Quantize(±%v) asymmetric: %v vs %v", v, p, n)
+		}
+	}
+}
+
+// Property: round-to-nearest error is bounded by half a step for in-range
+// values, for both the 8-bit GST and 6-bit thermal quantizers.
+func TestQuickErrorBound(t *testing.T) {
+	for _, bits := range []int{6, 8} {
+		q := MustForBits(bits)
+		f := func(raw float64) bool {
+			v := math.Mod(math.Abs(raw), 2) - 1 // fold into [-1, 1)
+			return math.Abs(q.Error(v)) <= q.Step()/2+1e-12
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%d-bit error bound: %v", bits, err)
+		}
+	}
+}
+
+// Property: quantization is idempotent.
+func TestQuickIdempotent(t *testing.T) {
+	q := MustForBits(8)
+	f := func(v float64) bool {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return true
+		}
+		once := q.Quantize(v)
+		return q.Quantize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Index and Value are inverse on the level grid.
+func TestQuickIndexValueInverse(t *testing.T) {
+	q := MustForBits(8)
+	f := func(raw uint8) bool {
+		idx := int(raw) % q.Levels()
+		return q.Index(q.Value(idx)) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeStochasticUnbiased(t *testing.T) {
+	q := MustForBits(8)
+	rng := rand.New(rand.NewSource(1))
+	v := 0.1 + q.Step()*0.3 // deliberately between levels
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += q.QuantizeStochastic(v, rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-v) > q.Step()*0.02 {
+		t.Errorf("stochastic rounding mean = %v, want ≈%v (bias %.3g steps)",
+			mean, v, (mean-v)/q.Step())
+	}
+}
+
+func TestQuantizeStochasticEdges(t *testing.T) {
+	q := MustForBits(8)
+	rng := rand.New(rand.NewSource(2))
+	if got := q.QuantizeStochastic(2, rng); got != 1 {
+		t.Errorf("stochastic clamp high = %v, want 1", got)
+	}
+	if got := q.QuantizeStochastic(-2, rng); got != -1 {
+		t.Errorf("stochastic clamp low = %v, want -1", got)
+	}
+	if got := q.QuantizeStochastic(math.NaN(), rng); got != 0 {
+		t.Errorf("stochastic NaN = %v, want 0", got)
+	}
+}
+
+func TestQuantizeSlice(t *testing.T) {
+	q := MustForBits(2) // 3 levels: -1, 0, 1
+	src := []float64{-0.9, -0.2, 0.2, 0.9}
+	dst := make([]float64, len(src))
+	q.QuantizeSlice(dst, src)
+	want := []float64{-1, 0, 0, 1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	// In-place aliasing must work.
+	q.QuantizeSlice(src, src)
+	for i := range want {
+		if src[i] != want[i] {
+			t.Errorf("in-place src[%d] = %v, want %v", i, src[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("QuantizeSlice with mismatched lengths should panic")
+		}
+	}()
+	q.QuantizeSlice(make([]float64, 1), src)
+}
+
+func TestMeasureError(t *testing.T) {
+	q := MustForBits(8)
+	if s := q.MeasureError(nil); s.MaxAbs != 0 || s.MeanSq != 0 || s.Bias != 0 {
+		t.Errorf("empty sample stats = %+v, want zeros", s)
+	}
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.Float64()*2 - 1
+	}
+	s := q.MeasureError(vals)
+	if s.MaxAbs > q.Step()/2+1e-12 {
+		t.Errorf("MaxAbs = %v exceeds half-step %v", s.MaxAbs, q.Step()/2)
+	}
+	// Uniform-input MSE of a uniform quantizer ≈ step²/12.
+	wantMSE := q.Step() * q.Step() / 12
+	if s.MeanSq < wantMSE/2 || s.MeanSq > wantMSE*2 {
+		t.Errorf("MeanSq = %v, want within 2× of %v", s.MeanSq, wantMSE)
+	}
+	if math.Abs(s.Bias) > q.Step()*0.05 {
+		t.Errorf("Bias = %v, want ≈0 for uniform input", s.Bias)
+	}
+}

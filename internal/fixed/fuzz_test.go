@@ -1,0 +1,71 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantizer drives the quantizer with arbitrary inputs and checks its
+// safety invariants: output always on the grid, always within range, and
+// idempotent. Run with `go test -fuzz=FuzzQuantizer ./internal/fixed`;
+// the seed corpus runs under plain `go test`.
+func FuzzQuantizer(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.0)
+	f.Add(-1.0)
+	f.Add(0.4999)
+	f.Add(math.MaxFloat64)
+	f.Add(-math.MaxFloat64)
+	f.Add(math.SmallestNonzeroFloat64)
+	q := MustForBits(8)
+	f.Fuzz(func(t *testing.T, v float64) {
+		out := q.Quantize(v)
+		if math.IsNaN(out) || out < -1 || out > 1 {
+			t.Fatalf("Quantize(%v) = %v escaped [-1,1]", v, out)
+		}
+		if again := q.Quantize(out); again != out {
+			t.Fatalf("Quantize(%v) not idempotent: %v → %v", v, out, again)
+		}
+		idx := q.Index(v)
+		if idx < 0 || idx >= q.Levels() {
+			t.Fatalf("Index(%v) = %d outside [0,%d)", v, idx, q.Levels())
+		}
+	})
+}
+
+// FuzzLevels checks that any odd level count ≥ 3 yields a consistent
+// quantizer.
+func FuzzLevels(f *testing.F) {
+	f.Add(3, 0.5)
+	f.Add(255, 0.25)
+	f.Add(63, -0.7)
+	f.Fuzz(func(t *testing.T, levels int, v float64) {
+		if levels < 3 || levels > 1<<20 || levels%2 == 0 {
+			return
+		}
+		q, err := New(levels, 1)
+		if err != nil {
+			t.Fatalf("New(%d, 1): %v", levels, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+		out := q.Quantize(v)
+		if out < -1 || out > 1 {
+			t.Fatalf("levels=%d Quantize(%v) = %v out of range", levels, v, out)
+		}
+		if math.Abs(out-clampUnit(v)) > q.Step()/2+1e-12 {
+			t.Fatalf("levels=%d error beyond half-step: %v → %v", levels, v, out)
+		}
+	})
+}
+
+func clampUnit(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}

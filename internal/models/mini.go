@@ -1,0 +1,80 @@
+package models
+
+import (
+	"trident/internal/nn"
+	"trident/internal/tensor"
+)
+
+// Runnable miniatures of the branched evaluation architectures. The full
+// GoogleNet/ResNet-50 descriptors serve the cost models; these graph
+// networks carry the same *structural* ideas — inception's parallel
+// branches with channel concatenation, ResNet's residual shortcut — at a
+// scale the functional tests and examples can train in seconds.
+
+// MiniInception builds a one-module inception classifier on c×hw×hw inputs:
+//
+//	input → [1×1 | 1×1→3×3 | pool→1×1] → concat → GAP → dense
+func MiniInception(c, hw, classes int, seed int64) *nn.Graph {
+	g := nn.NewGraph()
+	in := g.Input()
+	// Branch 1: 1×1 conv.
+	b1 := g.Layer(nn.NewConv2D("b1/1x1", tensor.Conv2DSpec{
+		InC: c, InH: hw, InW: hw, OutC: 4, KH: 1, KW: 1,
+		StrideH: 1, StrideW: 1, Groups: 1,
+	}, seed), in)
+	b1 = g.Layer(nn.NewReLU("b1/relu"), b1)
+	// Branch 2: 1×1 reduce then 3×3.
+	b2 := g.Layer(nn.NewConv2D("b2/reduce", tensor.Conv2DSpec{
+		InC: c, InH: hw, InW: hw, OutC: 3, KH: 1, KW: 1,
+		StrideH: 1, StrideW: 1, Groups: 1,
+	}, seed+1), in)
+	b2 = g.Layer(nn.NewReLU("b2/relu1"), b2)
+	b2 = g.Layer(nn.NewConv2D("b2/3x3", tensor.Conv2DSpec{
+		InC: 3, InH: hw, InW: hw, OutC: 6, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1,
+	}, seed+2), b2)
+	b2 = g.Layer(nn.NewReLU("b2/relu2"), b2)
+	// Branch 3: 3×3 conv as the pooled-projection stand-in (keeps shape).
+	b3 := g.Layer(nn.NewConv2D("b3/proj", tensor.Conv2DSpec{
+		InC: c, InH: hw, InW: hw, OutC: 2, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1,
+	}, seed+3), in)
+	b3 = g.Layer(nn.NewReLU("b3/relu"), b3)
+	cat := g.Concat(b1, b2, b3) // 4+6+2 = 12 channels
+	gap := g.Layer(nn.NewAvgPool("gap", tensor.PoolSpec{C: 12, H: hw, W: hw, K: hw, Stride: hw}), cat)
+	fl := g.Layer(nn.NewFlatten("flatten"), gap)
+	out := g.Layer(nn.NewDense("fc", 12, classes, seed+4), fl)
+	g.SetOutput(out)
+	return g
+}
+
+// MiniResNet builds a two-block residual classifier on c×hw×hw inputs:
+//
+//	input → conv → [conv→relu→conv + shortcut] → relu → GAP → dense
+func MiniResNet(c, hw, classes int, seed int64) *nn.Graph {
+	const width = 8
+	g := nn.NewGraph()
+	in := g.Input()
+	stem := g.Layer(nn.NewConv2D("stem", tensor.Conv2DSpec{
+		InC: c, InH: hw, InW: hw, OutC: width, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1,
+	}, seed), in)
+	stem = g.Layer(nn.NewReLU("stem/relu"), stem)
+	// Residual block: two 3×3 convs plus the identity shortcut.
+	b := g.Layer(nn.NewConv2D("res/conv1", tensor.Conv2DSpec{
+		InC: width, InH: hw, InW: hw, OutC: width, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1,
+	}, seed+1), stem)
+	b = g.Layer(nn.NewReLU("res/relu1"), b)
+	b = g.Layer(nn.NewConv2D("res/conv2", tensor.Conv2DSpec{
+		InC: width, InH: hw, InW: hw, OutC: width, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1,
+	}, seed+2), b)
+	join := g.Add(b, stem)
+	act := g.Layer(nn.NewReLU("res/relu2"), join)
+	gap := g.Layer(nn.NewAvgPool("gap", tensor.PoolSpec{C: width, H: hw, W: hw, K: hw, Stride: hw}), act)
+	fl := g.Layer(nn.NewFlatten("flatten"), gap)
+	out := g.Layer(nn.NewDense("fc", width, classes, seed+3), fl)
+	g.SetOutput(out)
+	return g
+}

@@ -1,0 +1,62 @@
+package models
+
+import (
+	"testing"
+
+	"trident/internal/dataset"
+	"trident/internal/nn"
+)
+
+// TestMiniInceptionTrains: the branched inception miniature learns the
+// oriented-grating classes end to end.
+func TestMiniInceptionTrains(t *testing.T) {
+	data := dataset.MiniImages(80, 2, 1, 8, 8, 0.1, 9)
+	trainSet, testSet := data.Split(0.75)
+	g := MiniInception(1, 8, 2, 11)
+	opt := nn.SGD{LearningRate: 0.05}
+	for e := 0; e < 12; e++ {
+		for i := range trainSet.Inputs {
+			nn.GraphTrainStep(g, opt, trainSet.Inputs[i], trainSet.Labels[i])
+		}
+	}
+	if acc := nn.GraphAccuracy(g, testSet.Inputs, testSet.Labels); acc < 0.85 {
+		t.Errorf("mini-inception accuracy = %.2f, want ≥ 0.85", acc)
+	}
+}
+
+// TestMiniResNetTrains: the residual miniature learns too, and its shortcut
+// genuinely carries gradient (removing it would change the update).
+func TestMiniResNetTrains(t *testing.T) {
+	data := dataset.MiniImages(80, 2, 1, 8, 8, 0.1, 13)
+	trainSet, testSet := data.Split(0.75)
+	g := MiniResNet(1, 8, 2, 17)
+	opt, err := nn.NewMomentum(0.03, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := nn.GraphTrainStep(g, opt, trainSet.Inputs[0], trainSet.Labels[0])
+	for e := 0; e < 12; e++ {
+		for i := range trainSet.Inputs {
+			nn.GraphTrainStep(g, opt, trainSet.Inputs[i], trainSet.Labels[i])
+		}
+	}
+	last := nn.GraphTrainStep(g, opt, trainSet.Inputs[0], trainSet.Labels[0])
+	if last >= first {
+		t.Errorf("mini-resnet loss did not decrease: %v → %v", first, last)
+	}
+	if acc := nn.GraphAccuracy(g, testSet.Inputs, testSet.Labels); acc < 0.85 {
+		t.Errorf("mini-resnet accuracy = %.2f, want ≥ 0.85", acc)
+	}
+}
+
+// TestMiniShapes: output widths match the class counts.
+func TestMiniShapes(t *testing.T) {
+	gi := MiniInception(1, 8, 5, 1)
+	if out := gi.Forward(dataset.MiniImages(1, 2, 1, 8, 8, 0, 1).Inputs[0]); out.Len() != 5 {
+		t.Errorf("inception output = %d, want 5", out.Len())
+	}
+	gr := MiniResNet(1, 8, 4, 1)
+	if out := gr.Forward(dataset.MiniImages(1, 2, 1, 8, 8, 0, 1).Inputs[0]); out.Len() != 4 {
+		t.Errorf("resnet output = %d, want 4", out.Len())
+	}
+}

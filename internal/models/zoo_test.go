@@ -1,0 +1,184 @@
+package models
+
+import (
+	"testing"
+)
+
+// within reports whether got is within frac of want.
+func within(got, want int64, frac float64) bool {
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d <= frac*float64(want)
+}
+
+// TestVGG16Exact pins VGG-16 to its published parameter count — the number
+// the paper itself quotes ("138 million for VGG-16").
+func TestVGG16Exact(t *testing.T) {
+	m := VGG16()
+	if got := m.TotalWeights(); got != 138357544 {
+		t.Errorf("VGG-16 parameters = %d, want 138357544", got)
+	}
+	// ≈15.5 GMAC.
+	if got := m.TotalMACs(); !within(got, 15470264320, 0.01) {
+		t.Errorf("VGG-16 MACs = %d, want ≈15.47G", got)
+	}
+}
+
+// TestAlexNetExact pins AlexNet to the torchvision parameter count.
+func TestAlexNetExact(t *testing.T) {
+	m := AlexNet()
+	if got := m.TotalWeights(); got != 61100840 {
+		t.Errorf("AlexNet parameters = %d, want 61100840", got)
+	}
+	if got := m.TotalMACs(); !within(got, 714188480, 0.05) {
+		t.Errorf("AlexNet MACs = %d, want ≈0.71G", got)
+	}
+}
+
+// TestResNet50Published checks ResNet-50 against its ≈25.6 M parameters and
+// ≈4.1 GMAC.
+func TestResNet50Published(t *testing.T) {
+	m := ResNet50()
+	if got := m.TotalWeights(); !within(got, 25557032, 0.02) {
+		t.Errorf("ResNet-50 parameters = %d, want ≈25.56M", got)
+	}
+	if got := m.TotalMACs(); !within(got, 4100000000, 0.10) {
+		t.Errorf("ResNet-50 MACs = %d, want ≈4.1G", got)
+	}
+}
+
+// TestMobileNetV2Published checks MobileNetV2 against ≈3.5 M parameters and
+// ≈0.31 GMAC.
+func TestMobileNetV2Published(t *testing.T) {
+	m := MobileNetV2()
+	if got := m.TotalWeights(); !within(got, 3504872, 0.03) {
+		t.Errorf("MobileNetV2 parameters = %d, want ≈3.50M", got)
+	}
+	if got := m.TotalMACs(); !within(got, 314000000, 0.10) {
+		t.Errorf("MobileNetV2 MACs = %d, want ≈0.31G", got)
+	}
+}
+
+// TestGoogleNetPublished checks Inception v1 against its ≈7 M parameters
+// (torchvision, no aux heads) and ≈1.6 GMAC.
+func TestGoogleNetPublished(t *testing.T) {
+	m := GoogleNet()
+	if got := m.TotalWeights(); !within(got, 6990000, 0.06) {
+		t.Errorf("GoogleNet parameters = %d, want ≈7.0M", got)
+	}
+	if got := m.TotalMACs(); !within(got, 1600000000, 0.12) {
+		t.Errorf("GoogleNet MACs = %d, want ≈1.6G", got)
+	}
+}
+
+// TestParameterOrdering reproduces the paper's Table V framing: model sizes
+// range "from 4 million for GoogleNet to 138 million for VGG-16".
+func TestParameterOrdering(t *testing.T) {
+	vgg, gn := VGG16(), GoogleNet()
+	mb, rn, ax := MobileNetV2(), ResNet50(), AlexNet()
+	if !(mb.TotalWeights() < gn.TotalWeights() &&
+		gn.TotalWeights() < rn.TotalWeights() &&
+		rn.TotalWeights() < ax.TotalWeights() &&
+		ax.TotalWeights() < vgg.TotalWeights()) {
+		t.Errorf("parameter ordering broken: mb=%d gn=%d rn=%d ax=%d vgg=%d",
+			mb.TotalWeights(), gn.TotalWeights(), rn.TotalWeights(),
+			ax.TotalWeights(), vgg.TotalWeights())
+	}
+}
+
+// TestShapesFlowThrough sanity-checks a few landmark intermediate shapes.
+func TestShapesFlowThrough(t *testing.T) {
+	// VGG-16's fc6 must see 512·7·7 = 25088 inputs.
+	for _, l := range VGG16().Layers {
+		if l.Name == "fc6" && l.InFeatures != 25088 {
+			t.Errorf("VGG fc6 inputs = %d, want 25088", l.InFeatures)
+		}
+	}
+	// AlexNet's fc6 must see 256·6·6 = 9216 inputs.
+	for _, l := range AlexNet().Layers {
+		if l.Name == "fc6" && l.InFeatures != 9216 {
+			t.Errorf("AlexNet fc6 inputs = %d, want 9216", l.InFeatures)
+		}
+	}
+	// GoogleNet's classifier sees 1024 features, ResNet-50's 2048,
+	// MobileNetV2's 1280.
+	checkFC := func(m *Model, want int) {
+		t.Helper()
+		for _, l := range m.Layers {
+			if l.Kind == KindDense && l.InFeatures != want {
+				t.Errorf("%s classifier inputs = %d, want %d", m.Name, l.InFeatures, want)
+			}
+		}
+	}
+	checkFC(GoogleNet(), 1024)
+	checkFC(ResNet50(), 2048)
+	checkFC(MobileNetV2(), 1280)
+}
+
+// TestConvSpecsValid re-validates every conv spec in the zoo (the builder
+// panics on invalid specs, but this keeps the guarantee explicit).
+func TestConvSpecsValid(t *testing.T) {
+	for _, m := range All() {
+		for _, l := range m.Layers {
+			if l.Kind != KindConv {
+				continue
+			}
+			if err := l.Conv.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", m.Name, l.Name, err)
+			}
+			if l.MACs != l.Conv.MACs() {
+				t.Errorf("%s/%s MACs inconsistent", m.Name, l.Name)
+			}
+		}
+	}
+}
+
+// TestActivationVolumesPositive: every layer must report its output volume,
+// which the ADC-traffic model of baseline accelerators depends on.
+func TestActivationVolumesPositive(t *testing.T) {
+	for _, m := range All() {
+		for _, l := range m.Layers {
+			if l.Activations <= 0 {
+				t.Errorf("%s/%s has no activation volume", m.Name, l.Name)
+			}
+		}
+	}
+}
+
+// TestComputeLayers checks the conv/dense filter.
+func TestComputeLayers(t *testing.T) {
+	m := VGG16()
+	cl := m.ComputeLayers()
+	if len(cl) != 16 { // 13 conv + 3 fc — the "16" in VGG-16
+		t.Errorf("VGG-16 compute layers = %d, want 16", len(cl))
+	}
+	var macs int64
+	for _, l := range cl {
+		macs += l.MACs
+	}
+	if macs != m.TotalMACs() {
+		t.Error("compute layers must carry all MACs")
+	}
+}
+
+// TestByName round-trips the registry.
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		if got := ByName(m.Name); got == nil || got.Name != m.Name {
+			t.Errorf("ByName(%q) failed", m.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+// TestDeterministic: two builds of the same model are identical.
+func TestDeterministic(t *testing.T) {
+	a, b := ResNet50(), ResNet50()
+	if a.TotalWeights() != b.TotalWeights() || a.TotalMACs() != b.TotalMACs() || len(a.Layers) != len(b.Layers) {
+		t.Error("model construction must be deterministic")
+	}
+}

@@ -1,0 +1,290 @@
+package mrr
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/fixed"
+	"trident/internal/optics"
+	"trident/internal/units"
+)
+
+// WeightBank is a J×N array of tuned add-drop MRRs sharing one WDM bus: the
+// matrix-vector engine of a broadcast-and-weight PE. Row j filters the N
+// input wavelengths through its N rings and accumulates them on one balanced
+// photodetector, producing y_j = Σ_n w_jn·x_n in a single optical transit.
+type WeightBank struct {
+	rows, cols int
+	plan       *optics.ChannelPlan
+	rings      [][]*Ring
+	tuners     [][]Tuner
+	weights    [][]float64 // realized (quantized) weights
+	crosstalk  []float64   // drop leakage vs. channel distance
+}
+
+// NewTunerFunc constructs the tuner for the ring at (row, col).
+type NewTunerFunc func(ring *Ring, row, col int) (Tuner, error)
+
+// NewWeightBank builds a J×N bank on plan (which must have ≥ N channels),
+// creating one ring per cell resonant at its column's wavelength and one
+// tuner per ring via newTuner.
+func NewWeightBank(rows, cols int, plan *optics.ChannelPlan, newTuner NewTunerFunc) (*WeightBank, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("mrr: bank dimensions %d×%d must be positive", rows, cols)
+	}
+	if plan.Len() < cols {
+		return nil, fmt.Errorf("mrr: plan has %d channels, bank needs %d", plan.Len(), cols)
+	}
+	b := &WeightBank{
+		rows:    rows,
+		cols:    cols,
+		plan:    plan,
+		rings:   make([][]*Ring, rows),
+		tuners:  make([][]Tuner, rows),
+		weights: make([][]float64, rows),
+	}
+	for j := 0; j < rows; j++ {
+		b.rings[j] = make([]*Ring, cols)
+		b.tuners[j] = make([]Tuner, cols)
+		b.weights[j] = make([]float64, cols)
+		for n := 0; n < cols; n++ {
+			ring, err := NewRing(plan.Channel(n).Wavelength)
+			if err != nil {
+				return nil, err
+			}
+			tuner, err := newTuner(ring, j, n)
+			if err != nil {
+				return nil, fmt.Errorf("mrr: tuner (%d,%d): %w", j, n, err)
+			}
+			b.rings[j][n] = ring
+			b.tuners[j][n] = tuner
+			b.weights[j][n] = tuner.Weight()
+		}
+	}
+	// Precompute the crosstalk profile: the drop leakage a ring inflicts on
+	// a channel k slots away. Distance 0 is the intended signal (excluded).
+	b.crosstalk = make([]float64, cols)
+	ref := b.rings[0][0]
+	for k := 1; k < cols; k++ {
+		offset := units.Length(float64(k) * float64(plan.Spacing()))
+		b.crosstalk[k] = ref.CrosstalkAt(offset)
+	}
+	return b, nil
+}
+
+// NewPCMWeightBank builds a bank with GST tuners on every ring — a Trident
+// weight bank.
+func NewPCMWeightBank(rows, cols int, plan *optics.ChannelPlan) (*WeightBank, error) {
+	return NewWeightBank(rows, cols, plan, func(*Ring, int, int) (Tuner, error) {
+		return NewPCMTuner()
+	})
+}
+
+// NewThermalWeightBank builds a bank with thermal tuners — a DEAP-CNN-style
+// weight bank.
+func NewThermalWeightBank(rows, cols int, plan *optics.ChannelPlan) (*WeightBank, error) {
+	return NewWeightBank(rows, cols, plan, func(*Ring, int, int) (Tuner, error) {
+		return NewThermalTuner(), nil
+	})
+}
+
+// Rows returns J.
+func (b *WeightBank) Rows() int { return b.rows }
+
+// Cols returns N.
+func (b *WeightBank) Cols() int { return b.cols }
+
+// Tuner returns the tuner at (row, col) for inspection.
+func (b *WeightBank) Tuner(row, col int) Tuner { return b.tuners[row][col] }
+
+// Weight returns the realized weight at (row, col).
+func (b *WeightBank) Weight(row, col int) float64 { return b.weights[row][col] }
+
+// OverrideWeight forces the realized weight at (row, col) without driving
+// the tuner — the fault-modeling hook: a stuck cell keeps transmitting its
+// pinned value no matter what was programmed. It panics on out-of-range
+// positions (a wiring error in the caller).
+func (b *WeightBank) OverrideWeight(row, col int, w float64) {
+	if row < 0 || row >= b.rows || col < 0 || col >= b.cols {
+		panic(fmt.Sprintf("mrr: override (%d,%d) outside %d×%d bank", row, col, b.rows, b.cols))
+	}
+	b.weights[row][col] = clampWeight(w)
+}
+
+// ProgramResult summarizes one bank programming operation.
+type ProgramResult struct {
+	// Elapsed is the wall time of the operation. All rings program in
+	// parallel ("all of the MRRs can be tuned in parallel"), so this is
+	// the maximum single-cell write time, not the sum.
+	Elapsed units.Duration
+	// Energy is the total programming energy across all written cells.
+	Energy units.Energy
+	// CellsWritten counts cells whose state actually changed.
+	CellsWritten int
+}
+
+// Program writes the weight matrix W (dimensions ≤ J×N; missing entries
+// keep their value) into the bank. Each weight is quantized by its tuner.
+// Programming is issued at time now and proceeds for all cells in parallel.
+func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, error) {
+	if len(w) > b.rows {
+		return ProgramResult{}, fmt.Errorf("mrr: %d weight rows exceed bank rows %d", len(w), b.rows)
+	}
+	var res ProgramResult
+	res.Elapsed = 0
+	for j := range w {
+		if len(w[j]) > b.cols {
+			return ProgramResult{}, fmt.Errorf("mrr: row %d has %d weights, bank cols %d", j, len(w[j]), b.cols)
+		}
+		for n := range w[j] {
+			t := b.tuners[j][n]
+			before := t.Writes()
+			beforeE := t.EnergyConsumed()
+			actual, done, err := t.Set(w[j][n], now)
+			if err != nil {
+				return res, fmt.Errorf("mrr: programming (%d,%d): %w", j, n, err)
+			}
+			b.weights[j][n] = actual
+			if t.Writes() != before {
+				res.CellsWritten++
+				res.Energy += t.EnergyConsumed() - beforeE
+				if d := done - now; d > res.Elapsed {
+					res.Elapsed = d
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// MVM computes the bank's optical matrix-vector product y = W·x for a
+// normalized input vector x (len ≤ N), including inter-channel crosstalk:
+// each ring also drops a small amount of its neighbours' channels, so
+//
+//	y_j = Σ_n w_jn·x_n + Σ_n Σ_{m≠n} w_jm·leak(|m−n|)·x_n
+//
+// The result is written into dst, which is allocated if nil or short.
+func (b *WeightBank) MVM(dst, x []float64) []float64 {
+	if cap(dst) < b.rows {
+		dst = make([]float64, b.rows)
+	}
+	dst = dst[:b.rows]
+	n := len(x)
+	if n > b.cols {
+		n = b.cols
+	}
+	for j := 0; j < b.rows; j++ {
+		var acc float64
+		wj := b.weights[j]
+		for i := 0; i < n; i++ {
+			acc += wj[i] * x[i]
+		}
+		// Crosstalk: channel i leaks into the ring at column m with
+		// attenuation crosstalk[|m−i|]. The leaked power carries the
+		// neighbouring ring's weight.
+		for i := 0; i < n; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			for m := 0; m < b.cols; m++ {
+				d := m - i
+				if d < 0 {
+					d = -d
+				}
+				if d == 0 {
+					continue
+				}
+				leak := b.crosstalk[d]
+				if leak < 1e-9 {
+					continue
+				}
+				acc += wj[m] * leak * xi
+			}
+		}
+		dst[j] = acc
+	}
+	return dst
+}
+
+// IdealMVM computes y = W·x with the realized weights but without
+// crosstalk, for error-budget comparisons.
+func (b *WeightBank) IdealMVM(dst, x []float64) []float64 {
+	if cap(dst) < b.rows {
+		dst = make([]float64, b.rows)
+	}
+	dst = dst[:b.rows]
+	n := len(x)
+	if n > b.cols {
+		n = b.cols
+	}
+	for j := 0; j < b.rows; j++ {
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc += b.weights[j][i] * x[i]
+		}
+		dst[j] = acc
+	}
+	return dst
+}
+
+// WorstCrosstalk returns the largest single-neighbour leakage coefficient,
+// in dB. For a legal channel plan this is below −30 dB.
+func (b *WeightBank) WorstCrosstalk() float64 {
+	worst := 0.0
+	for _, c := range b.crosstalk[1:] {
+		if c > worst {
+			worst = c
+		}
+	}
+	return optics.LinearToDB(worst)
+}
+
+// HoldPower returns the continuous power the bank draws to keep its weights
+// in place: zero for a PCM bank, rings×1.7 mW for a thermal bank.
+func (b *WeightBank) HoldPower() units.Power {
+	var p units.Power
+	for j := range b.tuners {
+		for _, t := range b.tuners[j] {
+			p += t.HoldPower()
+		}
+	}
+	return p
+}
+
+// ProgrammingEnergy returns the cumulative tuning energy across all cells.
+func (b *WeightBank) ProgrammingEnergy() units.Energy {
+	var e units.Energy
+	for j := range b.tuners {
+		for _, t := range b.tuners[j] {
+			e += t.EnergyConsumed()
+		}
+	}
+	return e
+}
+
+// QuantizationError returns the worst |requested − realized| weight error
+// the bank's resolution would introduce when programming matrix w, without
+// writing anything. All tuners in a bank share a resolution.
+func (b *WeightBank) QuantizationError(w [][]float64) float64 {
+	q := fixed.MustForBits(b.tuners[0][0].Bits())
+	worst := 0.0
+	for j := range w {
+		for n := range w[j] {
+			if e := math.Abs(q.Error(clampWeight(w[j][n]))); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+func clampWeight(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}

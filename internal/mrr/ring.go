@@ -1,0 +1,100 @@
+// Package mrr models add-drop microring resonators (MRRs), the weighting
+// element of broadcast-and-weight photonic accelerators, together with the
+// three tuning mechanisms the paper compares in Table I (thermal,
+// electro-optic and GST phase-change) and the J×N weight bank each Trident
+// PE is built from.
+package mrr
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/device"
+	"trident/internal/optics"
+	"trident/internal/units"
+)
+
+// Ring is one add-drop microring resonator. Its spectral response is the
+// standard Lorentzian approximation of an all-pass/add-drop ring near one
+// resonance:
+//
+//	drop(λ)    = D_max / (1 + (2Q·δ)²)       δ = (λ−λ_res)/λ_res
+//	through(λ) = 1 − (1−T_min)/(1 + (2Q·δ)²)
+//
+// At resonance the ring routes D_max of the incident power to the drop port
+// and leaves T_min on the through port; far from resonance the channel
+// passes by untouched (which is what lets many rings share one WDM bus).
+type Ring struct {
+	Resonance  units.Length // resonant wavelength λ_res
+	Q          float64      // loaded quality factor
+	Radius     units.Length
+	DropMax    float64 // on-resonance drop transmission (≤1, includes loss)
+	ThroughMin float64 // on-resonance through transmission (residual)
+}
+
+// NewRing returns an add-drop ring with typical SOI weight-bank parameters:
+// loaded Q = 20000 (3 dB linewidth ≈ 0.08 nm, so adjacent channels on the
+// 1.6 nm grid see < −30 dB leakage), 3.4 µm radius — small enough that the
+// free spectral range (≈27 nm) exceeds the 16-channel × 1.6 nm comb span,
+// so no ring aliases onto a second resonance inside the bank — and the
+// package default port losses.
+func NewRing(resonance units.Length) (*Ring, error) {
+	return NewRingWithQ(resonance, 20000)
+}
+
+// NewRingWithQ returns a ring with an explicit loaded quality factor.
+func NewRingWithQ(resonance units.Length, q float64) (*Ring, error) {
+	if resonance <= 0 {
+		return nil, fmt.Errorf("mrr: resonance %v must be positive", resonance)
+	}
+	if q <= 0 || math.IsInf(q, 0) || math.IsNaN(q) {
+		return nil, fmt.Errorf("mrr: Q %v must be positive and finite", q)
+	}
+	return &Ring{
+		Resonance:  resonance,
+		Q:          q,
+		Radius:     3.4 * units.Micrometer,
+		DropMax:    optics.DBToLinear(-device.MRRDropLoss),
+		ThroughMin: optics.DBToLinear(-20), // 20 dB on-resonance extinction
+	}, nil
+}
+
+// lorentzian returns 1/(1+(2Qδ)²) at wavelength lambda.
+func (r *Ring) lorentzian(lambda units.Length) float64 {
+	delta := (lambda.Meters() - r.Resonance.Meters()) / r.Resonance.Meters()
+	x := 2 * r.Q * delta
+	return 1 / (1 + x*x)
+}
+
+// DropTransmission returns the linear power fraction routed to the drop
+// port at lambda.
+func (r *Ring) DropTransmission(lambda units.Length) float64 {
+	return r.DropMax * r.lorentzian(lambda)
+}
+
+// ThroughTransmission returns the linear power fraction remaining on the
+// through port at lambda.
+func (r *Ring) ThroughTransmission(lambda units.Length) float64 {
+	return 1 - (1-r.ThroughMin)*r.lorentzian(lambda)
+}
+
+// FWHM returns the full width at half maximum of the resonance.
+func (r *Ring) FWHM() units.Length {
+	return units.Length(r.Resonance.Meters() / r.Q)
+}
+
+// FSR returns the free spectral range λ²/(n_g·2πR) with the group index of
+// a silicon ring (≈4.2).
+func (r *Ring) FSR() units.Length {
+	const groupIndex = 4.2
+	l := r.Resonance.Meters()
+	return units.Length(l * l / (groupIndex * 2 * math.Pi * r.Radius.Meters()))
+}
+
+// CrosstalkAt returns the drop-port leakage of a channel offset away from
+// resonance — the interference a ring inflicts on its neighbours. For the
+// paper's 1.6 nm spacing and Q = 7500 this is below −35 dB, which is what
+// permits dense WDM weight banks.
+func (r *Ring) CrosstalkAt(offset units.Length) float64 {
+	return r.DropTransmission(r.Resonance + offset)
+}

@@ -1,0 +1,109 @@
+package mrr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trident/internal/device"
+	"trident/internal/optics"
+	"trident/internal/units"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("zero resonance: want error")
+	}
+	if _, err := NewRingWithQ(1550*units.Nanometer, 0); err == nil {
+		t.Error("zero Q: want error")
+	}
+	if _, err := NewRingWithQ(1550*units.Nanometer, math.NaN()); err == nil {
+		t.Error("NaN Q: want error")
+	}
+}
+
+func TestRingOnResonance(t *testing.T) {
+	r, err := NewRing(1550 * units.Nanometer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := r.DropTransmission(r.Resonance)
+	if math.Abs(drop-r.DropMax) > 1e-12 {
+		t.Errorf("on-resonance drop = %v, want DropMax %v", drop, r.DropMax)
+	}
+	through := r.ThroughTransmission(r.Resonance)
+	if math.Abs(through-r.ThroughMin) > 1e-12 {
+		t.Errorf("on-resonance through = %v, want ThroughMin %v", through, r.ThroughMin)
+	}
+}
+
+func TestRingOffResonance(t *testing.T) {
+	r, _ := NewRing(1550 * units.Nanometer)
+	far := r.Resonance + 10*units.Nanometer
+	if drop := r.DropTransmission(far); drop > 1e-4 {
+		t.Errorf("far-off-resonance drop = %v, want ≈0", drop)
+	}
+	if through := r.ThroughTransmission(far); through < 0.999 {
+		t.Errorf("far-off-resonance through = %v, want ≈1", through)
+	}
+}
+
+// Property: transfer functions stay in [0,1] and approximately conserve
+// power (drop + through ≤ 1 + ε at every wavelength).
+func TestQuickRingPhysical(t *testing.T) {
+	r, _ := NewRing(1550 * units.Nanometer)
+	f := func(raw float64) bool {
+		offset := units.Length(math.Mod(raw, 5e-9)) // ±5 nm around resonance
+		l := r.Resonance + offset
+		d := r.DropTransmission(l)
+		th := r.ThroughTransmission(l)
+		return d >= 0 && d <= 1 && th >= 0 && th <= 1 && d+th <= 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingFWHM(t *testing.T) {
+	r, _ := NewRingWithQ(1550*units.Nanometer, 7750)
+	// FWHM = λ/Q = 0.2 nm.
+	if got := r.FWHM().Nanometers(); math.Abs(got-0.2) > 1e-6 {
+		t.Errorf("FWHM = %vnm, want 0.2", got)
+	}
+	// Half-maximum check: drop at ±FWHM/2 is half the peak.
+	half := r.DropTransmission(r.Resonance + r.FWHM().Times(0.5))
+	if math.Abs(half-r.DropMax/2) > r.DropMax*0.01 {
+		t.Errorf("drop at half-width = %v, want %v", half, r.DropMax/2)
+	}
+}
+
+func TestRingFSR(t *testing.T) {
+	r, _ := NewRing(1550 * units.Nanometer)
+	fsr := r.FSR()
+	// λ²/(n_g·2πR) with R=3.4µm, n_g=4.2: ≈27 nm.
+	if fsr.Nanometers() < 24 || fsr.Nanometers() > 30 {
+		t.Errorf("FSR = %v, want ≈27nm", fsr)
+	}
+	// The design constraint the radius was chosen for: the FSR must exceed
+	// the full 16-channel comb span (15 spacings), or a ring would drop a
+	// second wavelength elsewhere in the bank.
+	span := device.ChannelSpacing.Times(float64(device.WeightBankCols - 1))
+	if fsr <= span {
+		t.Errorf("FSR %v does not clear the comb span %v — rings would alias", fsr, span)
+	}
+}
+
+// TestCrosstalkBelowLimit verifies the design premise of the 1.6 nm channel
+// plan: adjacent-channel leakage is below −30 dB.
+func TestCrosstalkBelowLimit(t *testing.T) {
+	r, _ := NewRing(1550 * units.Nanometer)
+	adj := r.CrosstalkAt(device.ChannelSpacing)
+	db := optics.LinearToDB(adj)
+	if db > -30 {
+		t.Errorf("adjacent-channel crosstalk = %.1f dB, want < -30 dB", db)
+	}
+	// Crosstalk decays with distance.
+	if r.CrosstalkAt(2*device.ChannelSpacing) >= adj {
+		t.Error("crosstalk must decay with channel distance")
+	}
+}

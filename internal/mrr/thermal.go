@@ -1,0 +1,145 @@
+package mrr
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+// This file quantifies the paper's resolution argument against thermal
+// tuning: heaters leak heat into neighbouring rings, so every programmed
+// weight perturbs its neighbours, and the worst-case perturbation bounds
+// the usable bit resolution of the bank. GST tuning has no heaters, so its
+// resolution is set by the material's 255 states instead.
+
+// Thermal coupling model: the temperature rise a heater induces at a ring a
+// distance d away decays exponentially with the silicon substrate's thermal
+// length. The prefactor and decay length are chosen from the thermal
+// crosstalk measurements in the silicon-microring literature the paper
+// cites, and land the standard 20 µm weight-bank pitch at 6 usable bits —
+// the figure the paper quotes from Filipovich et al.
+const (
+	// thermalCouplingA is the extrapolated coupling at zero separation.
+	thermalCouplingA = 0.085
+	// thermalDecayLength is the lateral thermal decay length in silicon.
+	thermalDecayLength = 8 * units.Micrometer
+)
+
+// DefaultRingPitch is the centre-to-centre ring spacing of a dense weight
+// bank (5 µm rings with heater keep-out).
+const DefaultRingPitch = 20 * units.Micrometer
+
+// ThermalCoupling returns the fraction of a heater's drive that appears as
+// parasitic drive on a ring d away.
+func ThermalCoupling(d units.Length) float64 {
+	if d <= 0 {
+		return thermalCouplingA
+	}
+	return thermalCouplingA * math.Exp(-d.Meters()/thermalDecayLength.Meters())
+}
+
+// WorstCaseThermalError returns the worst-case weight error (in weight
+// units, full scale 2.0) a ring in an infinite row at the given pitch can
+// accumulate when every neighbour drives its heater at full power.
+func WorstCaseThermalError(pitch units.Length) float64 {
+	if pitch <= 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	// Neighbours on both sides; the exponential makes anything past a few
+	// pitches negligible, but sum until convergence for correctness.
+	for k := 1; ; k++ {
+		c := ThermalCoupling(pitch.Times(float64(k)))
+		if c < 1e-12 {
+			break
+		}
+		sum += 2 * c
+	}
+	// Couplings express parasitic drive as a fraction of the full-scale
+	// drive; full scale spans the weight range 2.0.
+	return 2 * sum
+}
+
+// EffectiveThermalBits returns the usable weight resolution of a thermally
+// tuned bank at the given pitch: the largest b with 2/2^b ≥ worst-case
+// error (a step must exceed the crosstalk perturbation to be
+// distinguishable).
+func EffectiveThermalBits(pitch units.Length) int {
+	err := WorstCaseThermalError(pitch)
+	if err <= 0 {
+		return 16 // crosstalk-free; resolution limited elsewhere
+	}
+	bits := int(math.Floor(math.Log2(2 / err)))
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 16 {
+		bits = 16
+	}
+	return bits
+}
+
+// ResolutionReport compares the achievable resolution of the two tuning
+// mechanisms at a pitch — the quantitative Table I footnote.
+type ResolutionReport struct {
+	Pitch       units.Length
+	ThermalBits int
+	GSTBits     int
+	// TrainingCapable follows the paper's criterion: ≥ 8 bits are needed
+	// to train (citing Wang et al.).
+	ThermalTrainingCapable bool
+	GSTTrainingCapable     bool
+}
+
+// ResolutionAt evaluates both mechanisms at a pitch.
+func ResolutionAt(pitch units.Length) (ResolutionReport, error) {
+	if pitch <= 0 {
+		return ResolutionReport{}, fmt.Errorf("mrr: pitch %v must be positive", pitch)
+	}
+	tb := EffectiveThermalBits(pitch)
+	return ResolutionReport{
+		Pitch:                  pitch,
+		ThermalBits:            tb,
+		GSTBits:                device.GSTBits,
+		ThermalTrainingCapable: tb >= 8,
+		GSTTrainingCapable:     device.GSTBits >= 8,
+	}, nil
+}
+
+// Ambient temperature sensitivity. Silicon's thermo-optic coefficient
+// shifts every ring's resonance by ≈77 pm/K (dn/dT = 1.86e-4 at 1550 nm,
+// n_g = 4.2 effective scaling), uniformly across the bank since the comb
+// and the rings sit on the same die. A uniform shift detunes every ring
+// from its (fixed) laser line, attenuating the weights multiplicatively —
+// the reason deployed MRR accelerators need either athermal packaging or a
+// global temperature servo, which the GST cells themselves cannot provide.
+
+// ResonanceShiftPerKelvin is the thermo-optic resonance drift of an SOI
+// ring at 1550 nm.
+const ResonanceShiftPerKelvin = 77 * units.Picometer
+
+// DetuningLoss returns the multiplicative drop-transmission penalty a ring
+// suffers at a temperature offset ΔT from its calibration point.
+func DetuningLoss(ring *Ring, deltaK float64) float64 {
+	shift := units.Length(float64(ResonanceShiftPerKelvin) * deltaK)
+	return ring.DropTransmission(ring.Resonance+shift) / ring.DropTransmission(ring.Resonance)
+}
+
+// MaxAmbientDrift returns the largest |ΔT| (in kelvin) a bank tolerates
+// before the detuning penalty exceeds half an LSB at the given bit width —
+// the temperature-servo deadband a deployment must hold.
+func MaxAmbientDrift(ring *Ring, bits int) float64 {
+	budget := 1.0 / float64(int64(1)<<uint(bits)) // half of 2/2^bits full scale
+	lo, hi := 0.0, 50.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if 1-DetuningLoss(ring, mid) > budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,123 @@
+package mrr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+func TestThermalCouplingDecays(t *testing.T) {
+	prev := math.Inf(1)
+	for _, d := range []units.Length{0, 10 * units.Micrometer, 20 * units.Micrometer, 40 * units.Micrometer} {
+		c := ThermalCoupling(d)
+		if c <= 0 || c >= prev {
+			t.Fatalf("coupling at %v = %v, want positive and decreasing (prev %v)", d, c, prev)
+		}
+		prev = c
+	}
+}
+
+// TestSixBitsAtStandardPitch pins the paper's claim: thermally tuned banks
+// at the standard pitch give 6 usable bits (Filipovich et al.), below the
+// 8 the training literature requires.
+func TestSixBitsAtStandardPitch(t *testing.T) {
+	if got := EffectiveThermalBits(DefaultRingPitch); got != device.ThermalBits {
+		t.Errorf("bits at %v = %d, want %d", DefaultRingPitch, got, device.ThermalBits)
+	}
+	rep, err := ResolutionAt(DefaultRingPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThermalTrainingCapable {
+		t.Error("6-bit thermal bank must not be training-capable")
+	}
+	if !rep.GSTTrainingCapable || rep.GSTBits != 8 {
+		t.Error("GST must be 8-bit and training-capable at any pitch")
+	}
+}
+
+// TestBitsImproveWithPitch: spreading the rings out buys resolution — the
+// area/resolution trade thermal designs face and GST avoids.
+func TestBitsImproveWithPitch(t *testing.T) {
+	prev := 0
+	for _, pitch := range []units.Length{10 * units.Micrometer, 20 * units.Micrometer,
+		40 * units.Micrometer, 80 * units.Micrometer} {
+		b := EffectiveThermalBits(pitch)
+		if b < prev {
+			t.Fatalf("bits at %v = %d, decreased from %d", pitch, b, prev)
+		}
+		prev = b
+	}
+	if prev < 8 {
+		t.Errorf("very sparse bank bits = %d, want ≥ 8 (crosstalk vanishes)", prev)
+	}
+}
+
+func TestWorstCaseErrorEdges(t *testing.T) {
+	if !math.IsInf(WorstCaseThermalError(0), 1) {
+		t.Error("zero pitch must have unbounded error")
+	}
+	if WorstCaseThermalError(1*units.Millimeter) > 1e-9 {
+		t.Error("millimetre pitch must be crosstalk-free")
+	}
+	if EffectiveThermalBits(1*units.Millimeter) != 16 {
+		t.Errorf("crosstalk-free bank bits = %d, want cap 16", EffectiveThermalBits(1*units.Millimeter))
+	}
+}
+
+func TestResolutionAtValidation(t *testing.T) {
+	if _, err := ResolutionAt(0); err == nil {
+		t.Error("zero pitch: want error")
+	}
+	if _, err := ResolutionAt(-1 * units.Micrometer); err == nil {
+		t.Error("negative pitch: want error")
+	}
+}
+
+// Property: worst-case error decreases monotonically with pitch.
+func TestQuickErrorMonotoneInPitch(t *testing.T) {
+	f := func(rawA, rawB float64) bool {
+		a := units.Length(math.Mod(math.Abs(rawA), 100e-6) + 1e-6)
+		b := units.Length(math.Mod(math.Abs(rawB), 100e-6) + 1e-6)
+		if a > b {
+			a, b = b, a
+		}
+		return WorstCaseThermalError(a) >= WorstCaseThermalError(b)-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetuningLoss(t *testing.T) {
+	r, _ := NewRing(1550 * units.Nanometer)
+	if got := DetuningLoss(r, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("no drift loss = %v, want 1", got)
+	}
+	// Losses grow with |ΔT| and are symmetric in sign to first order.
+	l1, l2 := DetuningLoss(r, 1), DetuningLoss(r, 2)
+	if l1 >= 1 || l2 >= l1 {
+		t.Errorf("detuning must attenuate monotonically: 1K=%v 2K=%v", l1, l2)
+	}
+	if neg := DetuningLoss(r, -1); math.Abs(neg-l1) > 0.01 {
+		t.Errorf("detuning asymmetric: +1K=%v -1K=%v", l1, neg)
+	}
+}
+
+// TestMaxAmbientDrift: an 8-bit bank at Q=20000 tolerates well under a
+// kelvin of uncompensated drift — the quantitative case for a temperature
+// servo around any MRR accelerator, GST-tuned or not.
+func TestMaxAmbientDrift(t *testing.T) {
+	r, _ := NewRing(1550 * units.Nanometer)
+	dt8 := MaxAmbientDrift(r, 8)
+	dt6 := MaxAmbientDrift(r, 6)
+	if dt8 <= 0 || dt8 >= 1 {
+		t.Errorf("8-bit deadband = %.3fK, want within (0, 1)", dt8)
+	}
+	if dt6 <= dt8 {
+		t.Errorf("6-bit deadband %.3fK must exceed 8-bit %.3fK", dt6, dt8)
+	}
+}

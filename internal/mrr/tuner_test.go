@@ -1,0 +1,175 @@
+package mrr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+func TestThermalTunerTableI(t *testing.T) {
+	tu := NewThermalTuner()
+	if tu.Method() != "thermal" || !tu.Volatile() {
+		t.Error("thermal tuner must be volatile")
+	}
+	if tu.Bits() != device.ThermalBits {
+		t.Errorf("bits = %d, want %d", tu.Bits(), device.ThermalBits)
+	}
+	if tu.ProgramEnergy() != device.ThermalTuningEnergy {
+		t.Errorf("program energy = %v, want %v", tu.ProgramEnergy(), device.ThermalTuningEnergy)
+	}
+	if tu.ProgramTime() != device.ThermalTuningTime {
+		t.Errorf("program time = %v, want %v", tu.ProgramTime(), device.ThermalTuningTime)
+	}
+	if tu.HoldPower() != device.ThermalHoldPower {
+		t.Errorf("hold power = %v, want %v", tu.HoldPower(), device.ThermalHoldPower)
+	}
+}
+
+func TestThermalTunerSet(t *testing.T) {
+	tu := NewThermalTuner()
+	actual, done, err := tu.Set(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != device.ThermalTuningTime {
+		t.Errorf("done = %v, want %v", done, device.ThermalTuningTime)
+	}
+	if math.Abs(actual-0.5) > 2.0/62 {
+		t.Errorf("actual = %v, too far from 0.5 for 6 bits", actual)
+	}
+	if tu.Weight() != actual {
+		t.Error("Weight() must track the realized value")
+	}
+	// Same value again: no write.
+	_, done2, _ := tu.Set(actual, done)
+	if done2 != done || tu.Writes() != 1 {
+		t.Error("re-setting the same weight must be a no-op")
+	}
+}
+
+func TestPCMTunerTableI(t *testing.T) {
+	tu, err := NewPCMTuner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Method() != "gst" || tu.Volatile() {
+		t.Error("GST tuner must be non-volatile")
+	}
+	if tu.Bits() != device.GSTBits {
+		t.Errorf("bits = %d, want %d", tu.Bits(), device.GSTBits)
+	}
+	if tu.ProgramEnergy() != device.GSTWriteEnergy {
+		t.Errorf("program energy = %v, want %v", tu.ProgramEnergy(), device.GSTWriteEnergy)
+	}
+	if tu.ProgramTime() != device.GSTWriteTime {
+		t.Errorf("program time = %v, want %v", tu.ProgramTime(), device.GSTWriteTime)
+	}
+	if tu.HoldPower() != 0 {
+		t.Errorf("GST hold power = %v, want 0 (non-volatile)", tu.HoldPower())
+	}
+}
+
+func TestPCMTunerFreshWeight(t *testing.T) {
+	tu, _ := NewPCMTuner()
+	if tu.Weight() != -1 {
+		t.Errorf("fresh (crystalline) tuner weight = %v, want -1", tu.Weight())
+	}
+	if tu.Cell().Level() != 0 {
+		t.Errorf("fresh cell level = %d, want 0", tu.Cell().Level())
+	}
+}
+
+func TestPCMTunerSetQuantizes(t *testing.T) {
+	tu, _ := NewPCMTuner()
+	actual, done, err := tu.Set(0.4999, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != device.GSTWriteTime {
+		t.Errorf("done = %v, want %v", done, device.GSTWriteTime)
+	}
+	step := 2.0 / 254
+	if math.Abs(actual-0.4999) > step/2+1e-12 {
+		t.Errorf("8-bit quantization error %v exceeds half-step", math.Abs(actual-0.4999))
+	}
+	if tu.EnergyConsumed() != device.GSTWriteEnergy {
+		t.Errorf("energy = %v, want one write", tu.EnergyConsumed())
+	}
+}
+
+// Property: GST tuner realizes every weight within 8-bit half-step accuracy
+// and the cell level round-trips through Weight.
+func TestQuickPCMTunerAccuracy(t *testing.T) {
+	tu, _ := NewPCMTuner()
+	step := 2.0 / 254
+	f := func(raw float64) bool {
+		w := math.Mod(raw, 1)
+		if math.IsNaN(w) {
+			return true
+		}
+		actual, _, err := tu.Set(w, 0)
+		return err == nil && math.Abs(actual-w) <= step/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPCMFinerThanThermal verifies the resolution argument: the GST tuner
+// realizes weights the thermal tuner cannot distinguish.
+func TestPCMFinerThanThermal(t *testing.T) {
+	pcmT, _ := NewPCMTuner()
+	thT := NewThermalTuner()
+	// Two nearby weights one 8-bit step apart.
+	w1, w2 := 0.5, 0.5+2.0/254
+	a1, _, _ := pcmT.Set(w1, 0)
+	a2, _, _ := pcmT.Set(w2, 0)
+	if a1 == a2 {
+		t.Error("GST must distinguish weights one 8-bit step apart")
+	}
+	b1, _, _ := thT.Set(w1, 0)
+	b2, _, _ := thT.Set(w2, 0)
+	if b1 != b2 {
+		t.Error("thermal 6-bit tuner should collapse weights one 8-bit step apart")
+	}
+}
+
+func TestElectroTunerImpractical(t *testing.T) {
+	ring, _ := NewRing(1550 * units.Nanometer)
+	tu := NewElectroTuner(ring)
+	// A full-scale weight needs half a linewidth ≈ 0.1 nm = 100 pm of
+	// detuning; at 0.18 pm/V that is ≈550 V, far over the ±100 V limit —
+	// the paper's reason to exclude electro-optic tuning.
+	if v := tu.VoltageFor(1.0); v <= device.ElectroMaxVoltage {
+		t.Errorf("full-scale voltage = %.0fV, expected to exceed %v", v, device.ElectroMaxVoltage)
+	}
+	_, _, err := tu.Set(1.0, 0)
+	if !errors.Is(err, ErrVoltageRange) {
+		t.Errorf("Set(1.0) error = %v, want ErrVoltageRange", err)
+	}
+	// Tiny weights are still reachable.
+	if _, _, err := tu.Set(0.05, 0); err != nil {
+		t.Errorf("Set(0.05): %v", err)
+	}
+	if tu.Weight() == 0 {
+		t.Error("small weight should have been programmed")
+	}
+}
+
+func TestElectroTunerAccounting(t *testing.T) {
+	ring, _ := NewRing(1550 * units.Nanometer)
+	tu := NewElectroTuner(ring)
+	if _, _, err := tu.Set(0.05, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tu.Writes() != 1 || tu.EnergyConsumed() <= 0 {
+		t.Errorf("writes=%d energy=%v, want 1 write with positive energy", tu.Writes(), tu.EnergyConsumed())
+	}
+	if tu.ProgramTime() != device.ElectroTuningTime {
+		t.Errorf("program time = %v, want %v", tu.ProgramTime(), device.ElectroTuningTime)
+	}
+}

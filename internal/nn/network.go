@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/tensor"
+)
+
+// Network is a sequential stack of layers.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork returns a sequential network over the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: network needs at least one layer")
+	}
+	return &Network{layers: layers}
+}
+
+// Layers returns the layer stack.
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Params returns every trainable parameter in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Len()
+	}
+	return total
+}
+
+// Forward runs the full forward pass.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates an output gradient to the input, accumulating
+// parameter gradients along the way.
+func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		grad = n.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Softmax writes the softmax of logits into a new slice, using the max-
+// shifted form for numerical stability.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		// All logits were -Inf; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropyLoss returns the softmax cross-entropy loss of logits against
+// an integer label, together with ∂L/∂logits.
+func CrossEntropyLoss(logits *tensor.Tensor, label int) (float64, *tensor.Tensor) {
+	v := logits.Data()
+	if label < 0 || label >= len(v) {
+		panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, len(v)))
+	}
+	p := Softmax(v)
+	loss := -math.Log(math.Max(p[label], 1e-300))
+	grad := make([]float64, len(v))
+	copy(grad, p)
+	grad[label] -= 1
+	return loss, tensor.FromSlice(grad, len(grad))
+}
+
+// SGD is a plain stochastic-gradient-descent optimizer — equation (1) of
+// the paper: W ← W − β·δW.
+type SGD struct {
+	LearningRate float64
+}
+
+// Step applies one update to every parameter and leaves gradients intact
+// (callers ZeroGrad explicitly, matching the accelerator's explicit weight-
+// update pass).
+func (s SGD) Step(params []*Param) {
+	for _, p := range params {
+		p.Value.AxpyInPlace(-s.LearningRate, p.Grad)
+	}
+}
+
+// TrainStep runs one forward/backward/update cycle on a single example and
+// returns the loss — the digital reference for what Trident does in-situ.
+func TrainStep(n *Network, opt SGD, x *tensor.Tensor, label int) float64 {
+	n.ZeroGrad()
+	logits := n.Forward(x)
+	loss, grad := CrossEntropyLoss(logits, label)
+	n.Backward(grad)
+	opt.Step(n.Params())
+	return loss
+}
+
+// Predict returns the argmax class of the network on x.
+func Predict(n *Network, x *tensor.Tensor) int {
+	return n.Forward(x).ArgMax()
+}
+
+// Accuracy evaluates classification accuracy over a dataset.
+func Accuracy(n *Network, xs []*tensor.Tensor, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if len(xs) != len(labels) {
+		panic(fmt.Sprintf("nn: %d inputs vs %d labels", len(xs), len(labels)))
+	}
+	correct := 0
+	for i, x := range xs {
+		if Predict(n, x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+
+	"trident/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD implements Optimizer (see network.go for the plain update). Momentum
+// extends it with Polyak's heavy-ball term:
+//
+//	v ← µ·v + g
+//	W ← W − β·v
+//
+// The paper's equation (1) is the µ = 0 case; momentum is the standard
+// first extension an edge-training deployment would want, and it costs the
+// control unit only one extra buffer per parameter (held in the PE cache /
+// L2, not in photonics).
+type Momentum struct {
+	LearningRate float64
+	Mu           float64
+	velocity     map[*Param]*tensor.Tensor
+}
+
+// NewMomentum returns a heavy-ball optimizer. Mu must lie in [0, 1).
+func NewMomentum(lr, mu float64) (*Momentum, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate %v must be positive", lr)
+	}
+	if mu < 0 || mu >= 1 {
+		return nil, fmt.Errorf("nn: momentum %v outside [0,1)", mu)
+	}
+	return &Momentum{
+		LearningRate: lr,
+		Mu:           mu,
+		velocity:     make(map[*Param]*tensor.Tensor),
+	}, nil
+}
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := m.velocity[p]
+		if !ok {
+			v = tensor.New(p.Grad.Shape()...)
+			m.velocity[p] = v
+		}
+		v.Scale(m.Mu)
+		v.AddInPlace(p.Grad)
+		p.Value.AxpyInPlace(-m.LearningRate, v)
+	}
+}
+
+// StepLR is a stairstep learning-rate schedule: the rate decays by Gamma
+// every Interval steps.
+type StepLR struct {
+	Base     float64
+	Gamma    float64
+	Interval int
+	steps    int
+}
+
+// NewStepLR returns a schedule. Gamma must lie in (0, 1]; Interval ≥ 1.
+func NewStepLR(base, gamma float64, interval int) (*StepLR, error) {
+	if base <= 0 {
+		return nil, fmt.Errorf("nn: base rate %v must be positive", base)
+	}
+	if gamma <= 0 || gamma > 1 {
+		return nil, fmt.Errorf("nn: gamma %v outside (0,1]", gamma)
+	}
+	if interval < 1 {
+		return nil, fmt.Errorf("nn: interval %d must be ≥ 1", interval)
+	}
+	return &StepLR{Base: base, Gamma: gamma, Interval: interval}, nil
+}
+
+// Rate returns the current learning rate and advances the step counter.
+func (s *StepLR) Rate() float64 {
+	r := s.Peek()
+	s.steps++
+	return r
+}
+
+// Peek returns the current rate without advancing.
+func (s *StepLR) Peek() float64 {
+	r := s.Base
+	for i := s.Interval; i <= s.steps; i += s.Interval {
+		r *= s.Gamma
+	}
+	return r
+}
+
+// Compile-time checks.
+var (
+	_ Optimizer = SGD{}
+	_ Optimizer = (*Momentum)(nil)
+)

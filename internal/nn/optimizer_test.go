@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/tensor"
+)
+
+func TestNewMomentumValidation(t *testing.T) {
+	for _, c := range []struct{ lr, mu float64 }{{0, 0.9}, {-1, 0.9}, {0.1, -0.1}, {0.1, 1.0}} {
+		if _, err := NewMomentum(c.lr, c.mu); err == nil {
+			t.Errorf("NewMomentum(%v, %v): want error", c.lr, c.mu)
+		}
+	}
+	if _, err := NewMomentum(0.1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMomentumAccumulates: with a constant gradient, the velocity converges
+// to g/(1−µ), so the effective step grows by that factor over plain SGD.
+func TestMomentumAccumulates(t *testing.T) {
+	p := &Param{
+		Value: tensor.New(1),
+		Grad:  tensor.New(1),
+	}
+	p.Grad.Data()[0] = 1
+	opt, _ := NewMomentum(0.1, 0.5)
+	for i := 0; i < 200; i++ {
+		opt.Step([]*Param{p})
+	}
+	// After many steps: W ≈ −lr·Σ v_t; v_t → g/(1−µ) = 2, so per-step
+	// displacement approaches 0.2.
+	before := p.Value.Data()[0]
+	opt.Step([]*Param{p})
+	delta := before - p.Value.Data()[0]
+	if math.Abs(delta-0.2) > 1e-6 {
+		t.Errorf("steady-state step = %v, want 0.2 (lr·g/(1−µ))", delta)
+	}
+}
+
+// TestMomentumBeatsPlainOnQuadratic: heavy ball converges faster on an
+// ill-conditioned quadratic.
+func TestMomentumBeatsPlainOnQuadratic(t *testing.T) {
+	run := func(opt Optimizer) float64 {
+		p := &Param{Value: tensor.New(2), Grad: tensor.New(2)}
+		p.Value.Data()[0], p.Value.Data()[1] = 5, 5
+		scale := []float64{1, 0.05} // condition number 20
+		for i := 0; i < 150; i++ {
+			for j := range scale {
+				p.Grad.Data()[j] = scale[j] * p.Value.Data()[j]
+			}
+			opt.Step([]*Param{p})
+			p.Grad.Zero()
+		}
+		return math.Hypot(p.Value.Data()[0], p.Value.Data()[1])
+	}
+	mom, _ := NewMomentum(0.5, 0.8)
+	plain := run(SGD{LearningRate: 0.5})
+	heavy := run(mom)
+	if heavy >= plain {
+		t.Errorf("momentum residual %v not below plain SGD %v", heavy, plain)
+	}
+}
+
+func TestMomentumTrainsXOR(t *testing.T) {
+	net := NewNetwork(
+		NewDense("fc1", 2, 16, 51),
+		NewGSTActivation("gst", 0.0),
+		NewDense("fc2", 16, 2, 52),
+	)
+	xs := []*tensor.Tensor{
+		tensor.FromSlice([]float64{0, 0}, 2),
+		tensor.FromSlice([]float64{0, 1}, 2),
+		tensor.FromSlice([]float64{1, 0}, 2),
+		tensor.FromSlice([]float64{1, 1}, 2),
+	}
+	labels := []int{0, 1, 1, 0}
+	opt, _ := NewMomentum(0.1, 0.9)
+	for epoch := 0; epoch < 1500; epoch++ {
+		for i := range xs {
+			net.ZeroGrad()
+			loss, grad := CrossEntropyLoss(net.Forward(xs[i]), labels[i])
+			_ = loss
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+	}
+	if acc := Accuracy(net, xs, labels); acc != 1.0 {
+		t.Errorf("momentum XOR accuracy = %v, want 1.0", acc)
+	}
+}
+
+func TestStepLRSchedule(t *testing.T) {
+	if _, err := NewStepLR(0, 0.5, 10); err == nil {
+		t.Error("zero base: want error")
+	}
+	if _, err := NewStepLR(0.1, 0, 10); err == nil {
+		t.Error("zero gamma: want error")
+	}
+	if _, err := NewStepLR(0.1, 1.5, 10); err == nil {
+		t.Error("gamma > 1: want error")
+	}
+	if _, err := NewStepLR(0.1, 0.5, 0); err == nil {
+		t.Error("zero interval: want error")
+	}
+	s, err := NewStepLR(0.1, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.1, 0.1, 0.05, 0.05, 0.05, 0.025}
+	for i, w := range want {
+		if got := s.Rate(); math.Abs(got-w) > 1e-12 {
+			t.Errorf("step %d rate = %v, want %v", i, got, w)
+		}
+	}
+	// Peek does not advance.
+	before := s.Peek()
+	if s.Peek() != before {
+		t.Error("Peek must not advance the schedule")
+	}
+}
+
+func TestQATTrainerValidation(t *testing.T) {
+	net := NewNetwork(NewDense("fc", 2, 2, 1))
+	if _, err := NewQATTrainer(nil, SGD{LearningRate: 0.1}, 8); err == nil {
+		t.Error("nil network: want error")
+	}
+	if _, err := NewQATTrainer(net, nil, 8); err == nil {
+		t.Error("nil optimizer: want error")
+	}
+	if _, err := NewQATTrainer(net, SGD{LearningRate: 0.1}, 64); err == nil {
+		t.Error("bad bits: want error")
+	}
+}
+
+// TestQATRestoresMasters: after a step, the network holds float masters,
+// not the quantized copies.
+func TestQATRestoresMasters(t *testing.T) {
+	net := NewNetwork(NewDense("fc", 3, 2, 2))
+	before := append([]float64(nil), net.Params()[0].Value.Data()...)
+	qat, err := NewQATTrainer(net, SGD{LearningRate: 0}, 2) // zero LR: no update
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float64{0.3, -0.7, 0.2}, 3)
+	qat.TrainStep(x, 1)
+	after := net.Params()[0].Value.Data()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("master weight %d changed: %v → %v (quantized copy leaked)", i, before[i], after[i])
+		}
+	}
+	// EvalQuantized restores too.
+	qat.EvalQuantized([]*tensor.Tensor{x}, []int{0})
+	for i := range before {
+		if before[i] != net.Params()[0].Value.Data()[i] {
+			t.Fatal("EvalQuantized leaked quantized weights")
+		}
+	}
+}

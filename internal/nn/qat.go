@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+
+	"trident/internal/fixed"
+	"trident/internal/tensor"
+)
+
+// Quantization-aware training (QAT) with the straight-through estimator:
+// the forward and backward passes run with the parameters quantized to the
+// target hardware grid, but the update applies to a full-precision master
+// copy. This is the standard mitigation for the offline-train-then-map
+// mismatch the paper motivates with — the extended experiments use it to
+// separate how much of the 6-bit thermal accuracy loss is quantization
+// (QAT recovers it) versus device variation (QAT cannot see it).
+type QATTrainer struct {
+	net   *Network
+	opt   Optimizer
+	quant *fixed.Quantizer
+	// saved holds the float master values while the quantized copies are
+	// resident in the layers.
+	saved [][]float64
+}
+
+// NewQATTrainer wraps a network for quantization-aware training at the
+// given weight resolution.
+func NewQATTrainer(net *Network, opt Optimizer, bits int) (*QATTrainer, error) {
+	if net == nil || opt == nil {
+		return nil, fmt.Errorf("nn: QAT needs a network and an optimizer")
+	}
+	q, err := fixed.ForBits(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &QATTrainer{net: net, opt: opt, quant: q}, nil
+}
+
+// quantizeInPlace swaps quantized parameter values in, saving the masters.
+// Each tensor is scaled by its max-abs before hitting the [-1,1] grid, the
+// same per-tensor normalization the control unit applies when mapping.
+func (t *QATTrainer) quantizeInPlace() {
+	params := t.net.Params()
+	t.saved = t.saved[:0]
+	for _, p := range params {
+		t.saved = append(t.saved, append([]float64(nil), p.Value.Data()...))
+		scale := p.Value.MaxAbs()
+		if scale == 0 {
+			scale = 1
+		}
+		for i, v := range p.Value.Data() {
+			p.Value.Data()[i] = t.quant.Quantize(v/scale) * scale
+		}
+	}
+}
+
+// restore puts the float masters back.
+func (t *QATTrainer) restore() {
+	for i, p := range t.net.Params() {
+		copy(p.Value.Data(), t.saved[i])
+	}
+}
+
+// TrainStep runs one QAT step: quantized forward/backward (straight-through
+// gradients), full-precision update.
+func (t *QATTrainer) TrainStep(x *tensor.Tensor, label int) float64 {
+	t.net.ZeroGrad()
+	t.quantizeInPlace()
+	logits := t.net.Forward(x)
+	loss, grad := CrossEntropyLoss(logits, label)
+	t.net.Backward(grad)
+	t.restore()
+	t.opt.Step(t.net.Params())
+	return loss
+}
+
+// EvalQuantized runs inference with the parameters quantized (the deployed
+// condition) and restores the masters afterwards.
+func (t *QATTrainer) EvalQuantized(xs []*tensor.Tensor, labels []int) float64 {
+	t.quantizeInPlace()
+	acc := Accuracy(t.net, xs, labels)
+	t.restore()
+	return acc
+}
+
+// Network returns the wrapped network (master weights).
+func (t *QATTrainer) Network() *Network { return t.net }

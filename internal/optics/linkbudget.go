@@ -1,0 +1,77 @@
+package optics
+
+import (
+	"fmt"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+// LinkBudget walks one wavelength from its laser through a PE's optical
+// path to the balanced photodetector, accumulating losses. It answers the
+// sizing question behind the simulator's 1 mW default line power: how much
+// optical power must each comb line launch so that the detector still
+// resolves 8 bits after the bank?
+type LinkBudget struct {
+	LaunchPower units.Power
+	// Stages lists each loss element in path order.
+	Stages []LinkStage
+}
+
+// LinkStage is one loss element of the path.
+type LinkStage struct {
+	Name   string
+	LossDB float64
+}
+
+// NewPELinkBudget builds the per-PE optical path of Fig. 1: input
+// waveguide, the through-path of the other N−1 rings on the bus, the drop
+// into the target ring (with its GST cell at worst-case attenuation for
+// the smallest weight), and the routing to the BPD.
+func NewPELinkBudget(launch units.Power, cols int, gstWorstCaseDB float64) (*LinkBudget, error) {
+	if launch <= 0 {
+		return nil, fmt.Errorf("optics: launch power %v must be positive", launch)
+	}
+	if cols <= 0 {
+		return nil, fmt.Errorf("optics: column count %d must be positive", cols)
+	}
+	if gstWorstCaseDB < 0 {
+		return nil, fmt.Errorf("optics: GST loss %v dB must be non-negative", gstWorstCaseDB)
+	}
+	// 2 mm of on-PE routing at the standard waveguide loss.
+	routing := NewWaveguide(2 * units.Millimeter)
+	return &LinkBudget{
+		LaunchPower: launch,
+		Stages: []LinkStage{
+			{Name: "input coupling", LossDB: 1.0},
+			{Name: "on-PE routing", LossDB: routing.LossDB},
+			{Name: "bus through-rings", LossDB: float64(cols-1) * device.MRRThroughLoss},
+			{Name: "target ring drop", LossDB: device.MRRDropLoss},
+			{Name: "GST attenuation (min weight)", LossDB: gstWorstCaseDB},
+			{Name: "BPD coupling", LossDB: 0.5},
+		},
+	}, nil
+}
+
+// TotalLossDB sums the path loss.
+func (b *LinkBudget) TotalLossDB() float64 {
+	var t float64
+	for _, s := range b.Stages {
+		t += s.LossDB
+	}
+	return t
+}
+
+// ReceivedPower returns the power arriving at the detector.
+func (b *LinkBudget) ReceivedPower() units.Power {
+	return units.Power(b.LaunchPower.Watts() * DBToLinear(-b.TotalLossDB()))
+}
+
+// MarginDB returns the headroom above a required receiver power: positive
+// margins mean the link closes.
+func (b *LinkBudget) MarginDB(required units.Power) float64 {
+	if required <= 0 {
+		return 0
+	}
+	return LinearToDB(b.ReceivedPower().Watts() / required.Watts())
+}

@@ -1,0 +1,87 @@
+package optics
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/units"
+)
+
+func testBudget(t *testing.T) *LinkBudget {
+	t.Helper()
+	// 16-column bank; worst-case GST attenuation ≈ 7 dB (the crystalline
+	// end of the cell's range).
+	b, err := NewPELinkBudget(1*units.Milliwatt, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestLinkBudgetValidation(t *testing.T) {
+	if _, err := NewPELinkBudget(0, 16, 7); err == nil {
+		t.Error("zero launch: want error")
+	}
+	if _, err := NewPELinkBudget(1*units.Milliwatt, 0, 7); err == nil {
+		t.Error("zero cols: want error")
+	}
+	if _, err := NewPELinkBudget(1*units.Milliwatt, 16, -1); err == nil {
+		t.Error("negative GST loss: want error")
+	}
+}
+
+func TestLinkBudgetAccumulates(t *testing.T) {
+	b := testBudget(t)
+	var manual float64
+	for _, s := range b.Stages {
+		if s.LossDB < 0 {
+			t.Errorf("stage %q has negative loss", s.Name)
+		}
+		manual += s.LossDB
+	}
+	if math.Abs(b.TotalLossDB()-manual) > 1e-12 {
+		t.Errorf("TotalLossDB = %v, manual sum %v", b.TotalLossDB(), manual)
+	}
+	// The dominant stage must be the GST attenuation at min weight.
+	if b.Stages[4].Name != "GST attenuation (min weight)" || b.Stages[4].LossDB != 7 {
+		t.Errorf("GST stage wrong: %+v", b.Stages[4])
+	}
+}
+
+func TestReceivedPowerConsistent(t *testing.T) {
+	b := testBudget(t)
+	rx := b.ReceivedPower()
+	if rx <= 0 || rx >= b.LaunchPower {
+		t.Fatalf("received %v outside (0, launch)", rx)
+	}
+	back := LinearToDB(rx.Watts() / b.LaunchPower.Watts())
+	if math.Abs(back+b.TotalLossDB()) > 1e-9 {
+		t.Errorf("received power inconsistent with loss: %v dB vs %v", back, -b.TotalLossDB())
+	}
+}
+
+// TestOneMilliwattCloses: the design-point check — at 1 mW launch and the
+// worst-case bank path the detector still gets enough light for an 8-bit
+// SNR (tens of µW), with positive margin.
+func TestOneMilliwattCloses(t *testing.T) {
+	b := testBudget(t)
+	rx := b.ReceivedPower()
+	// The analog tests show ≥8 effective bits down to ~50 µW; require the
+	// worst-case received power to stay above 10 µW with ≥3 dB margin.
+	if rx.Watts() < 10e-6 {
+		t.Errorf("received power %v too low for 8-bit detection", rx)
+	}
+	if m := b.MarginDB(10 * units.Microwatt); m < 3 {
+		t.Errorf("link margin %v dB over 10µW floor, want ≥ 3", m)
+	}
+}
+
+func TestMarginEdge(t *testing.T) {
+	b := testBudget(t)
+	if got := b.MarginDB(0); got != 0 {
+		t.Errorf("margin over zero requirement = %v, want 0", got)
+	}
+	if b.MarginDB(1*units.Watt) >= 0 {
+		t.Error("margin over an absurd requirement must be negative")
+	}
+}

@@ -1,0 +1,259 @@
+// Package optics models the wavelength-division-multiplexed (WDM) optical
+// substrate of the Trident architecture: laser comb sources, the channel
+// plan that assigns one wavelength per input element, waveguide propagation
+// loss, and the dB bookkeeping shared by the ring and detector models.
+//
+// The broadcast-and-weight scheme (Tait et al.) encodes each input value on
+// the amplitude of its own wavelength; the paper requires resonances spaced
+// at least 1.6 nm apart so that each MRR filters only its own channel.
+package optics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+// DBToLinear converts a decibel gain (negative for loss) to a linear power
+// ratio.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to decibels. Ratios ≤ 0 return
+// -Inf, the correct limit for a fully absorbed signal.
+func LinearToDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// Channel is one WDM channel: a laser line at a fixed wavelength.
+type Channel struct {
+	Index      int
+	Wavelength units.Length
+}
+
+// ChannelPlan is an ordered set of WDM channels with uniform spacing.
+type ChannelPlan struct {
+	channels []Channel
+	spacing  units.Length
+}
+
+// ErrTooManyChannels reports a channel request that does not fit in the
+// usable comb bandwidth.
+var ErrTooManyChannels = errors.New("optics: channel count exceeds comb bandwidth")
+
+// usableCombBandwidth is the span available to the comb. A full C-band
+// erbium window is ≈35 nm; with 1.6 nm spacing that bounds a bank to ~22
+// lines, so practical designs (and this simulator) allow the comb to extend
+// into L-band for a total of ≈60 nm.
+const usableCombBandwidth = 60 * units.Nanometer
+
+// NewChannelPlan builds a plan of n channels starting at
+// device.CBandStart with the given spacing. Spacing below the paper's
+// 1.6 nm crosstalk limit is rejected.
+func NewChannelPlan(n int, spacing units.Length) (*ChannelPlan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("optics: channel count must be positive (got %d)", n)
+	}
+	if spacing < device.ChannelSpacing {
+		return nil, fmt.Errorf("optics: spacing %v below crosstalk limit %v",
+			spacing, device.ChannelSpacing)
+	}
+	if units.Length(float64(n-1)*float64(spacing)) > usableCombBandwidth {
+		return nil, fmt.Errorf("%w: %d × %v > %v", ErrTooManyChannels, n, spacing, usableCombBandwidth)
+	}
+	p := &ChannelPlan{spacing: spacing}
+	for i := 0; i < n; i++ {
+		p.channels = append(p.channels, Channel{
+			Index:      i,
+			Wavelength: device.CBandStart + units.Length(float64(i)*float64(spacing)),
+		})
+	}
+	return p, nil
+}
+
+// DefaultChannelPlan returns the plan used by a Trident weight bank: one
+// channel per input column at the minimum legal spacing.
+func DefaultChannelPlan(n int) (*ChannelPlan, error) {
+	return NewChannelPlan(n, device.ChannelSpacing)
+}
+
+// Len returns the number of channels.
+func (p *ChannelPlan) Len() int { return len(p.channels) }
+
+// Spacing returns the inter-channel spacing.
+func (p *ChannelPlan) Spacing() units.Length { return p.spacing }
+
+// Channel returns channel i. It panics on an out-of-range index, which is a
+// wiring error in the caller.
+func (p *ChannelPlan) Channel(i int) Channel {
+	if i < 0 || i >= len(p.channels) {
+		panic(fmt.Sprintf("optics: channel %d out of range [0,%d)", i, len(p.channels)))
+	}
+	return p.channels[i]
+}
+
+// Channels returns a copy of all channels.
+func (p *ChannelPlan) Channels() []Channel {
+	out := make([]Channel, len(p.channels))
+	copy(out, p.channels)
+	return out
+}
+
+// Signal is a multi-wavelength optical signal: per-channel powers on a plan.
+type Signal struct {
+	plan   *ChannelPlan
+	powers []units.Power
+}
+
+// NewSignal returns a dark signal (all channels at zero power) on plan.
+func NewSignal(plan *ChannelPlan) *Signal {
+	return &Signal{plan: plan, powers: make([]units.Power, plan.Len())}
+}
+
+// Plan returns the signal's channel plan.
+func (s *Signal) Plan() *ChannelPlan { return s.plan }
+
+// Power returns the power on channel i.
+func (s *Signal) Power(i int) units.Power { return s.powers[i] }
+
+// SetPower sets the power on channel i. Negative powers are a physical
+// impossibility and panic.
+func (s *Signal) SetPower(i int, p units.Power) {
+	if p < 0 {
+		panic(fmt.Sprintf("optics: negative optical power %v on channel %d", p, i))
+	}
+	s.powers[i] = p
+}
+
+// TotalPower returns the summed power across channels.
+func (s *Signal) TotalPower() units.Power {
+	var t units.Power
+	for _, p := range s.powers {
+		t += p
+	}
+	return t
+}
+
+// Attenuate scales channel i by a linear transmission factor in [0, 1].
+// Factors outside that range are clamped: an analog attenuator can neither
+// amplify nor emit negative power.
+func (s *Signal) Attenuate(i int, transmission float64) {
+	t := clamp01(transmission)
+	s.powers[i] = units.Power(float64(s.powers[i]) * t)
+}
+
+// AttenuateAll applies a uniform linear transmission to every channel,
+// modelling broadband losses such as waveguide propagation.
+func (s *Signal) AttenuateAll(transmission float64) {
+	t := clamp01(transmission)
+	for i := range s.powers {
+		s.powers[i] = units.Power(float64(s.powers[i]) * t)
+	}
+}
+
+// Clone returns an independent copy of the signal.
+func (s *Signal) Clone() *Signal {
+	c := NewSignal(s.plan)
+	copy(c.powers, s.powers)
+	return c
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// LaserBank models the comb of input laser sources. Each line encodes one
+// input element on its amplitude; EncodeVector maps normalized values in
+// [0, 1] to per-channel optical power.
+type LaserBank struct {
+	plan         *ChannelPlan
+	linePower    units.Power // optical power per line at full amplitude
+	wallPlugEff  float64
+	encodeEnergy units.Energy // E/O modulation energy per symbol per line
+}
+
+// NewLaserBank returns a laser comb on plan with the given full-scale
+// optical line power.
+func NewLaserBank(plan *ChannelPlan, linePower units.Power) (*LaserBank, error) {
+	if linePower <= 0 {
+		return nil, fmt.Errorf("optics: line power must be positive (got %v)", linePower)
+	}
+	return &LaserBank{
+		plan:        plan,
+		linePower:   linePower,
+		wallPlugEff: device.LaserWallPlugEfficiency,
+		// E/O laser from Table III amortized over one symbol at the clock
+		// rate.
+		encodeEnergy: device.PowerEOLaser.OverTime(device.ClockRate.Period()),
+	}, nil
+}
+
+// LinePower returns the full-scale optical power per line.
+func (b *LaserBank) LinePower() units.Power { return b.linePower }
+
+// ElectricalPower returns the wall-plug electrical draw of running all
+// lines at full scale.
+func (b *LaserBank) ElectricalPower() units.Power {
+	return units.Power(float64(b.linePower) * float64(b.plan.Len()) / b.wallPlugEff)
+}
+
+// EncodeVector produces a Signal whose channel powers encode the values.
+// Values are interpreted as normalized magnitudes and clamped to [0, 1]; the
+// sign of a weighted product is recovered downstream by the balanced
+// photodetector, so the optical domain carries magnitudes only.
+// It returns an error if len(values) exceeds the channel count.
+func (b *LaserBank) EncodeVector(values []float64) (*Signal, error) {
+	if len(values) > b.plan.Len() {
+		return nil, fmt.Errorf("optics: %d values exceed %d channels", len(values), b.plan.Len())
+	}
+	s := NewSignal(b.plan)
+	for i, v := range values {
+		s.SetPower(i, units.Power(float64(b.linePower)*clamp01(math.Abs(v))))
+	}
+	return s, nil
+}
+
+// EncodeEnergy returns the E/O modulation energy for encoding one vector of
+// n symbols.
+func (b *LaserBank) EncodeEnergy(n int) units.Energy {
+	return units.Energy(float64(b.encodeEnergy) * float64(n))
+}
+
+// Waveguide models straight-line propagation loss in an SOI waveguide.
+type Waveguide struct {
+	Length units.Length
+	LossDB float64 // total loss over Length, in dB
+}
+
+// NewWaveguide returns a waveguide of the given length at the default
+// per-centimeter loss.
+func NewWaveguide(length units.Length) Waveguide {
+	cm := length.Meters() * 100
+	return Waveguide{Length: length, LossDB: device.WaveguideLossPerCm * cm}
+}
+
+// Transmission returns the linear power transmission of the waveguide.
+func (w Waveguide) Transmission() float64 { return DBToLinear(-w.LossDB) }
+
+// Propagate applies the waveguide loss to a signal in place.
+func (w Waveguide) Propagate(s *Signal) { s.AttenuateAll(w.Transmission()) }
+
+// PropagationDelay returns the time of flight through the waveguide using
+// the group index of silicon (≈4.2): this is the paper's "speed of light"
+// forwarding latency between PEs.
+func (w Waveguide) PropagationDelay() units.Duration {
+	const groupIndex = 4.2
+	const c = 299792458.0 // m/s
+	return units.Duration(w.Length.Meters() * groupIndex / c)
+}

@@ -1,0 +1,223 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+func TestDBConversions(t *testing.T) {
+	if got := DBToLinear(-3.0103); math.Abs(got-0.5) > 1e-4 {
+		t.Errorf("DBToLinear(-3.01dB) = %v, want ≈0.5", got)
+	}
+	if got := LinearToDB(0.5); math.Abs(got+3.0103) > 1e-3 {
+		t.Errorf("LinearToDB(0.5) = %v, want ≈-3.01", got)
+	}
+	if got := LinearToDB(0); !math.IsInf(got, -1) {
+		t.Errorf("LinearToDB(0) = %v, want -Inf", got)
+	}
+	if got := LinearToDB(-1); !math.IsInf(got, -1) {
+		t.Errorf("LinearToDB(-1) = %v, want -Inf", got)
+	}
+}
+
+// Property: dB↔linear round-trips over the loss range the simulator uses.
+func TestQuickDBRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		db := math.Mod(math.Abs(raw), 60) - 30 // fold into [-30, 30] dB
+		back := LinearToDB(DBToLinear(db))
+		return math.Abs(back-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelPlanSpacing(t *testing.T) {
+	p, err := DefaultChannelPlan(16)
+	if err != nil {
+		t.Fatalf("DefaultChannelPlan(16): %v", err)
+	}
+	if p.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", p.Len())
+	}
+	for i := 1; i < p.Len(); i++ {
+		gap := p.Channel(i).Wavelength - p.Channel(i-1).Wavelength
+		if gap < device.ChannelSpacing-1e-15 {
+			t.Errorf("channel %d gap %v below %v", i, gap, device.ChannelSpacing)
+		}
+	}
+	if p.Channel(0).Wavelength != device.CBandStart {
+		t.Errorf("first channel = %v, want %v", p.Channel(0).Wavelength, device.CBandStart)
+	}
+}
+
+func TestChannelPlanValidation(t *testing.T) {
+	if _, err := NewChannelPlan(0, device.ChannelSpacing); err == nil {
+		t.Error("zero channels: want error")
+	}
+	if _, err := NewChannelPlan(4, 0.5*units.Nanometer); err == nil {
+		t.Error("sub-crosstalk spacing: want error")
+	}
+	if _, err := NewChannelPlan(64, device.ChannelSpacing); err == nil {
+		t.Error("64 channels × 1.6nm = 100nm span: want bandwidth error")
+	}
+}
+
+func TestChannelPanicsOutOfRange(t *testing.T) {
+	p, _ := DefaultChannelPlan(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Channel(99) should panic")
+		}
+	}()
+	p.Channel(99)
+}
+
+func TestSignalPowerAccounting(t *testing.T) {
+	p, _ := DefaultChannelPlan(4)
+	s := NewSignal(p)
+	s.SetPower(0, 1*units.Milliwatt)
+	s.SetPower(3, 2*units.Milliwatt)
+	if got := s.TotalPower(); math.Abs(got.Milliwatts()-3) > 1e-12 {
+		t.Errorf("total power = %v, want 3mW", got)
+	}
+	s.Attenuate(0, 0.5)
+	if got := s.Power(0); math.Abs(got.Milliwatts()-0.5) > 1e-12 {
+		t.Errorf("attenuated channel = %v, want 0.5mW", got)
+	}
+	// Clamping: transmission outside [0,1] cannot amplify or invert.
+	s.Attenuate(3, 2.0)
+	if got := s.Power(3); math.Abs(got.Milliwatts()-2) > 1e-12 {
+		t.Errorf("transmission >1 must clamp: got %v", got)
+	}
+	s.Attenuate(3, -1)
+	if got := s.Power(3); got != 0 {
+		t.Errorf("negative transmission must clamp to dark: got %v", got)
+	}
+}
+
+func TestSignalNegativePowerPanics(t *testing.T) {
+	p, _ := DefaultChannelPlan(2)
+	s := NewSignal(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetPower(-1mW) should panic")
+		}
+	}()
+	s.SetPower(0, -1*units.Milliwatt)
+}
+
+func TestSignalClone(t *testing.T) {
+	p, _ := DefaultChannelPlan(2)
+	s := NewSignal(p)
+	s.SetPower(0, 1*units.Milliwatt)
+	c := s.Clone()
+	c.SetPower(0, 2*units.Milliwatt)
+	if s.Power(0) != 1*units.Milliwatt {
+		t.Error("Clone must not alias the original powers")
+	}
+}
+
+func TestLaserBankEncode(t *testing.T) {
+	p, _ := DefaultChannelPlan(4)
+	b, err := NewLaserBank(p, 1*units.Milliwatt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.EncodeVector([]float64{0.5, -0.25, 1.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []float64{0.5, 0.25, 1.0, 0} // |v| clamped to [0,1]
+	for i, want := range cases {
+		if got := s.Power(i).Milliwatts(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("channel %d power = %vmW, want %v", i, got, want)
+		}
+	}
+	if _, err := b.EncodeVector(make([]float64, 5)); err == nil {
+		t.Error("encoding 5 values on 4 channels: want error")
+	}
+}
+
+func TestLaserBankValidation(t *testing.T) {
+	p, _ := DefaultChannelPlan(2)
+	if _, err := NewLaserBank(p, 0); err == nil {
+		t.Error("zero line power: want error")
+	}
+}
+
+func TestLaserBankElectricalPower(t *testing.T) {
+	p, _ := DefaultChannelPlan(16)
+	b, _ := NewLaserBank(p, 1*units.Milliwatt)
+	// 16 lines × 1mW / 20% wall-plug = 80mW.
+	if got := b.ElectricalPower().Milliwatts(); math.Abs(got-80) > 1e-9 {
+		t.Errorf("electrical power = %vmW, want 80", got)
+	}
+}
+
+func TestLaserBankEncodeEnergy(t *testing.T) {
+	p, _ := DefaultChannelPlan(16)
+	b, _ := NewLaserBank(p, 1*units.Milliwatt)
+	e1 := b.EncodeEnergy(1)
+	e16 := b.EncodeEnergy(16)
+	if math.Abs(e16.Joules()-16*e1.Joules()) > 1e-24 {
+		t.Error("encode energy must be linear in symbol count")
+	}
+	// 0.032mW at 1.37GHz ≈ 23.36 fJ per symbol.
+	want := device.PowerEOLaser.OverTime(device.ClockRate.Period())
+	if math.Abs(e1.Joules()-want.Joules()) > 1e-24 {
+		t.Errorf("per-symbol E/O energy = %v, want %v", e1, want)
+	}
+}
+
+func TestWaveguide(t *testing.T) {
+	w := NewWaveguide(1 * units.Centimeter)
+	if math.Abs(w.LossDB-device.WaveguideLossPerCm) > 1e-12 {
+		t.Errorf("1cm loss = %vdB, want %v", w.LossDB, device.WaveguideLossPerCm)
+	}
+	tr := w.Transmission()
+	if tr <= 0 || tr >= 1 {
+		t.Errorf("transmission = %v, want in (0,1)", tr)
+	}
+	p, _ := DefaultChannelPlan(2)
+	s := NewSignal(p)
+	s.SetPower(0, 1*units.Milliwatt)
+	w.Propagate(s)
+	if got := s.Power(0).Milliwatts(); math.Abs(got-tr) > 1e-12 {
+		t.Errorf("propagated power = %vmW, want %v", got, tr)
+	}
+}
+
+func TestWaveguidePropagationDelay(t *testing.T) {
+	w := NewWaveguide(1 * units.Centimeter)
+	d := w.PropagationDelay()
+	// 1cm × 4.2 / c ≈ 140ps: sub-nanosecond "speed of light" forwarding.
+	if d.Nanoseconds() < 0.1 || d.Nanoseconds() > 0.2 {
+		t.Errorf("1cm delay = %v, want ≈0.14ns", d)
+	}
+}
+
+// Property: encoding never produces negative or above-full-scale power.
+func TestQuickEncodeBounded(t *testing.T) {
+	p, _ := DefaultChannelPlan(8)
+	b, _ := NewLaserBank(p, 2*units.Milliwatt)
+	f := func(vs [8]float64) bool {
+		s, err := b.EncodeVector(vs[:])
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			if s.Power(i) < 0 || s.Power(i) > b.LinePower() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

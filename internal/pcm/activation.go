@@ -1,0 +1,174 @@
+package pcm
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+// ActivationCell models the GST photonic activation of Fig. 3: a 60 µm ring
+// resonator with a GST patch at the ring/waveguide crossing. With the GST
+// crystalline, the weighted-sum pulse couples into the ring and no output
+// emerges. A pulse whose energy exceeds the switching threshold amorphizes
+// the GST, detuning the ring so the pulse transmits — the cell fires only
+// above threshold, a ReLU-like non-linearity executed at optical speed with
+// no ADC.
+//
+// The transfer function implemented here matches the published measurement
+// at 1553.4 nm: zero output below the 430 pJ threshold, then transmission
+// rising with slope device.ActivationDerivativeHigh (0.34 in normalized
+// units) until it saturates at the cell's maximum transmission contrast.
+type ActivationCell struct {
+	threshold units.Energy
+	slope     float64 // d(output)/d(input) above threshold, normalized
+	maxOut    float64 // saturated normalized output level
+
+	fires  uint64
+	resets uint64
+	energy units.Energy
+}
+
+// ActivationConfig parameterizes an ActivationCell. Zero fields take the
+// paper's published values.
+type ActivationConfig struct {
+	Threshold units.Energy // switching threshold; default 430 pJ
+	Slope     float64      // above-threshold slope; default 0.34
+	MaxOutput float64      // saturation level (normalized); default 1.0
+}
+
+// NewActivationCell returns a cell in the crystalline (non-transmitting)
+// state.
+func NewActivationCell(cfg ActivationConfig) (*ActivationCell, error) {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = device.ActivationThresholdEnergy
+	}
+	if cfg.Threshold < 0 {
+		return nil, fmt.Errorf("pcm: negative activation threshold %v", cfg.Threshold)
+	}
+	if cfg.Slope == 0 {
+		cfg.Slope = device.ActivationDerivativeHigh
+	}
+	if cfg.Slope < 0 {
+		return nil, fmt.Errorf("pcm: negative activation slope %v", cfg.Slope)
+	}
+	if cfg.MaxOutput == 0 {
+		cfg.MaxOutput = 1.0
+	}
+	if cfg.MaxOutput < 0 {
+		return nil, fmt.Errorf("pcm: negative max output %v", cfg.MaxOutput)
+	}
+	return &ActivationCell{
+		threshold: cfg.Threshold,
+		slope:     cfg.Slope,
+		maxOut:    cfg.MaxOutput,
+	}, nil
+}
+
+// Threshold returns the switching threshold energy.
+func (a *ActivationCell) Threshold() units.Energy { return a.threshold }
+
+// Apply runs one activation event on an input pulse of the given energy and
+// returns the normalized output amplitude. Inputs are measured in units of
+// the threshold energy internally, so the normalized transfer function is
+//
+//	f(x) = 0                    x < 1   (below threshold)
+//	f(x) = min(s·(x−1), max)    x ≥ 1   (above threshold)
+//
+// where x = E/E_threshold and s = 0.34. Firing consumes the cell's
+// crystalline state; Reset must recrystallize it before the next event (the
+// paper resets every cell after each activation, which is what
+// device.PowerActivationReset accounts for).
+func (a *ActivationCell) Apply(pulse units.Energy) float64 {
+	x := float64(pulse) / float64(a.threshold)
+	if math.IsNaN(x) || x < 1 {
+		return 0
+	}
+	a.fires++
+	out := a.slope * (x - 1)
+	if out > a.maxOut {
+		out = a.maxOut
+	}
+	return out
+}
+
+// ApplyNormalized evaluates the same transfer function on a dimensionless
+// pre-activation value h (already normalized so that the threshold sits at
+// h = 1). It is the form used by the neural-network layers.
+func (a *ActivationCell) ApplyNormalized(h float64) float64 {
+	return a.Apply(units.Energy(h) * a.threshold)
+}
+
+// Derivative returns f'(h) of the normalized transfer function: 0.34 above
+// threshold (below saturation) and 0 elsewhere. This is exactly the
+// two-valued derivative the LDSU latches.
+func (a *ActivationCell) Derivative(h float64) float64 {
+	if math.IsNaN(h) || h < 1 {
+		return device.ActivationDerivativeLow
+	}
+	if a.slope*(h-1) >= a.maxOut {
+		return 0 // saturated
+	}
+	return a.slope
+}
+
+// Reset recrystallizes the cell after a firing event, restoring the
+// non-transmitting state. It returns the reset energy spent (zero if the
+// cell has not fired since the last reset).
+func (a *ActivationCell) Reset() units.Energy {
+	if a.fires == a.resets {
+		return 0
+	}
+	a.resets++
+	// The Table III activation-reset budget is per PE row at the clock
+	// rate; one reset therefore costs that power over one clock period.
+	perRow := units.Power(float64(device.PowerActivationReset) / float64(device.WeightBankRows))
+	e := perRow.OverTime(device.ClockRate.Period())
+	a.energy += e
+	return e
+}
+
+// Fires returns the number of firing (above-threshold) events.
+func (a *ActivationCell) Fires() uint64 { return a.fires }
+
+// Resets returns the number of recrystallization events.
+func (a *ActivationCell) Resets() uint64 { return a.resets }
+
+// EnergyConsumed returns the cumulative reset energy.
+func (a *ActivationCell) EnergyConsumed() units.Energy { return a.energy }
+
+// RemainingEndurance returns the fraction of PCM switching endurance left,
+// counting each fire+reset pair as one cycle.
+func (a *ActivationCell) RemainingEndurance() float64 {
+	used := float64(a.resets) / device.GSTEnduranceCycles
+	if used > 1 {
+		return 0
+	}
+	return 1 - used
+}
+
+// Curve samples the normalized transfer function at n evenly spaced inputs
+// on [0, xMax] (in threshold units) without consuming endurance — the
+// generator for Fig. 3.
+func (a *ActivationCell) Curve(n int, xMax float64) (xs, ys []float64) {
+	if n < 2 {
+		n = 2
+	}
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		x := xMax * float64(i) / float64(n-1)
+		xs[i] = x
+		if x < 1 {
+			ys[i] = 0
+		} else {
+			y := a.slope * (x - 1)
+			if y > a.maxOut {
+				y = a.maxOut
+			}
+			ys[i] = y
+		}
+	}
+	return xs, ys
+}

@@ -1,0 +1,121 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+func midCell(t *testing.T) *Cell {
+	t.Helper()
+	c, err := NewCell(CellConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Program(127, 0); err != nil { // mid-range state
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDriftShrinksTransmission(t *testing.T) {
+	c := midCell(t)
+	t0 := c.Transmission()
+	year := 365.25 * 24 * 3600 * units.Second
+	t1 := c.TransmissionAfter(year)
+	if t1 > t0 {
+		t.Errorf("drift increased transmission: %v → %v", t0, t1)
+	}
+	if t1 <= 0 {
+		t.Errorf("drifted transmission %v must stay positive", t1)
+	}
+	// Short holds are drift-free.
+	if got := c.TransmissionAfter(100 * units.Millisecond); got != t0 {
+		t.Errorf("sub-second hold drifted: %v → %v", t0, got)
+	}
+}
+
+func TestDriftMonotoneInTime(t *testing.T) {
+	c := midCell(t)
+	prev := c.Transmission()
+	for _, secs := range []float64{10, 1e3, 1e5, 1e7, 1e9} {
+		cur := c.TransmissionAfter(units.Duration(secs))
+		if cur > prev+1e-15 {
+			t.Fatalf("drift not monotone at %vs: %v > %v", secs, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestCrystallineDoesNotDrift(t *testing.T) {
+	c, err := NewCell(CellConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 0: fully crystalline equilibrium phase.
+	decade := 10 * 365.25 * 24 * 3600 * units.Second
+	if got, want := c.TransmissionAfter(decade), c.Transmission(); got != want {
+		t.Errorf("crystalline cell drifted: %v → %v", want, got)
+	}
+}
+
+// TestTenYearRetention reproduces the paper's headline: a programmed cell
+// still reads within half a level after 10 years.
+func TestTenYearRetention(t *testing.T) {
+	for _, level := range []int{1, 64, 127, 200, 254} {
+		c, err := NewCell(CellConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Program(level, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !c.RetentionOK(device.GSTRetention) {
+			t.Errorf("level %d: drift error %.2f levels after 10 years, want ≤ 0.5",
+				level, c.DriftLevelError(device.GSTRetention))
+		}
+	}
+}
+
+// Property: drift error grows with hold time and never goes negative.
+func TestQuickDriftErrorMonotone(t *testing.T) {
+	c := midCell(t)
+	f := func(rawA, rawB float64) bool {
+		a := units.Duration(math.Mod(math.Abs(rawA), 3e8) + 1)
+		b := units.Duration(math.Mod(math.Abs(rawB), 3e8) + 1)
+		if a > b {
+			a, b = b, a
+		}
+		ea, eb := c.DriftLevelError(a), c.DriftLevelError(b)
+		return ea >= 0 && eb >= ea-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateLifetime(t *testing.T) {
+	// Continuous in-situ training at the Table V MobileNetV2 rate:
+	// ≈1543 samples/s × 3 rewrites / 8 mini-batch ≈ 579 writes/s.
+	est, err := EstimateLifetime(579)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := est.Lifetime.Seconds() / (365.25 * 24 * 3600)
+	// 1e12 cycles / 579 Hz ≈ 54.7 years: endurance is not the limiter,
+	// exactly the paper's argument.
+	if years < 10 {
+		t.Errorf("lifetime = %.1f years at training rate, paper argues endurance is ample", years)
+	}
+	if est.TrainingSamples < 1e12 {
+		t.Errorf("training samples = %g, want > 1e12", est.TrainingSamples)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := EstimateLifetime(bad); err == nil {
+			t.Errorf("EstimateLifetime(%v): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/units"
+)
+
+// FuzzActivationCell checks the activation transfer function's safety
+// invariants against arbitrary pulse energies.
+func FuzzActivationCell(f *testing.F) {
+	f.Add(0.0)
+	f.Add(430e-12)
+	f.Add(860e-12)
+	f.Add(-1e-9)
+	f.Add(1.0)
+	cell, err := NewActivationCell(ActivationConfig{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, joules float64) {
+		out := cell.Apply(units.Energy(joules))
+		if math.IsNaN(out) || out < 0 || out > 1 {
+			t.Fatalf("Apply(%v J) = %v escaped [0,1]", joules, out)
+		}
+		// Below threshold must stay dark.
+		if joules < 430e-12 && out != 0 {
+			t.Fatalf("sub-threshold pulse %v J produced output %v", joules, out)
+		}
+	})
+}
+
+// FuzzCellProgram checks that arbitrary level sequences keep the cell's
+// transmission inside its physical range and its counters consistent.
+func FuzzCellProgram(f *testing.F) {
+	f.Add(0, 127)
+	f.Add(254, 0)
+	f.Add(1, 1)
+	f.Fuzz(func(t *testing.T, a, b int) {
+		cell, err := NewCell(CellConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := cell.TransmissionRange()
+		for _, lvl := range []int{a, b} {
+			_, err := cell.Program(lvl, 0)
+			if lvl < 0 || lvl >= cell.Levels() {
+				if err == nil {
+					t.Fatalf("Program(%d) accepted out-of-range level", lvl)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("Program(%d): %v", lvl, err)
+			}
+			tr := cell.Transmission()
+			if tr < lo-1e-15 || tr > hi+1e-15 {
+				t.Fatalf("transmission %v outside [%v,%v]", tr, lo, hi)
+			}
+		}
+		if cell.Writes() > 2 {
+			t.Fatalf("write counter %d exceeds operations", cell.Writes())
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trident/internal/device"
+	"trident/internal/units"
+)
+
+func TestEffectiveIndexEndpoints(t *testing.T) {
+	if got := EffectiveIndex(0); got != AmorphousIndex {
+		t.Errorf("EffectiveIndex(0) = %v, want amorphous %v", got, AmorphousIndex)
+	}
+	if got := EffectiveIndex(1); got != CrystallineIndex {
+		t.Errorf("EffectiveIndex(1) = %v, want crystalline %v", got, CrystallineIndex)
+	}
+	// Clamping outside [0,1].
+	if got := EffectiveIndex(-0.5); got != AmorphousIndex {
+		t.Errorf("EffectiveIndex(-0.5) = %v, want clamp to amorphous", got)
+	}
+	if got := EffectiveIndex(1.5); got != CrystallineIndex {
+		t.Errorf("EffectiveIndex(1.5) = %v, want clamp to crystalline", got)
+	}
+}
+
+// Property: the effective extinction coefficient is positive (passive
+// material) and bounded by the crystalline endpoint.
+func TestQuickEffectiveIndexPhysical(t *testing.T) {
+	f := func(raw float64) bool {
+		chi := math.Mod(math.Abs(raw), 1)
+		n := EffectiveIndex(chi)
+		return imag(n) >= imag(AmorphousIndex)-1e-12 &&
+			imag(n) <= imag(CrystallineIndex)+1e-12 &&
+			real(n) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: absorption grows monotonically with crystalline fraction —
+// "in the crystalline state most of the light is absorbed".
+func TestAbsorptionMonotonic(t *testing.T) {
+	lambda := 1550 * units.Nanometer
+	prev := -1.0
+	for chi := 0.0; chi <= 1.0001; chi += 0.01 {
+		a := AbsorptionCoefficient(chi, lambda)
+		if a <= prev {
+			t.Fatalf("absorption not strictly increasing at χ=%.2f: %v ≤ %v", chi, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestTransmissionBounds(t *testing.T) {
+	lambda := 1550 * units.Nanometer
+	patch := 1.2 * units.Micrometer
+	for chi := 0.0; chi <= 1.0; chi += 0.05 {
+		tr := Transmission(chi, patch, 0.12, lambda)
+		if tr <= 0 || tr > 1 {
+			t.Errorf("transmission at χ=%.2f = %v, want in (0,1]", chi, tr)
+		}
+	}
+	amorph := Transmission(0, patch, 0.12, lambda)
+	cryst := Transmission(1, patch, 0.12, lambda)
+	if amorph <= cryst {
+		t.Errorf("amorphous transmission %v must exceed crystalline %v", amorph, cryst)
+	}
+}
+
+func TestNewCellDefaults(t *testing.T) {
+	c, err := NewCell(CellConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Levels() != device.GSTLevels {
+		t.Errorf("default levels = %d, want %d", c.Levels(), device.GSTLevels)
+	}
+	if c.Level() != 0 {
+		t.Errorf("fresh cell level = %d, want 0 (crystalline)", c.Level())
+	}
+	if c.CrystallineFraction() != 1 {
+		t.Errorf("fresh cell χ = %v, want 1", c.CrystallineFraction())
+	}
+}
+
+func TestNewCellValidation(t *testing.T) {
+	bad := []CellConfig{
+		{Levels: 1},
+		{PatchLength: -1 * units.Micrometer},
+		{Confinement: -0.1},
+		{Confinement: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCell(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestCellProgramAndRead(t *testing.T) {
+	c, _ := NewCell(CellConfig{})
+	done, err := c.Program(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != device.GSTWriteTime {
+		t.Errorf("write completes at %v, want %v", done, device.GSTWriteTime)
+	}
+	if c.Level() != 100 || c.Writes() != 1 {
+		t.Errorf("level=%d writes=%d, want 100 and 1", c.Level(), c.Writes())
+	}
+	if c.EnergyConsumed() != device.GSTWriteEnergy {
+		t.Errorf("energy = %v, want one write pulse %v", c.EnergyConsumed(), device.GSTWriteEnergy)
+	}
+	// Same-level rewrite is free (non-volatile state needs no refresh).
+	done2, err := c.Program(100, done)
+	if err != nil || done2 != done || c.Writes() != 1 {
+		t.Errorf("same-level write: done=%v err=%v writes=%d, want no-op", done2, err, c.Writes())
+	}
+	pre := c.EnergyConsumed()
+	tr := c.Read()
+	if math.Abs(float64(c.EnergyConsumed()-pre-device.GSTReadEnergy)) > 1e-24 {
+		t.Errorf("read energy = %v, want %v", c.EnergyConsumed()-pre, device.GSTReadEnergy)
+	}
+	if tr != c.Transmission() {
+		t.Error("Read() must return the current transmission")
+	}
+}
+
+func TestCellProgramValidation(t *testing.T) {
+	c, _ := NewCell(CellConfig{})
+	if _, err := c.Program(-1, 0); err == nil {
+		t.Error("negative level: want error")
+	}
+	if _, err := c.Program(device.GSTLevels, 0); err == nil {
+		t.Error("level == Levels: want error")
+	}
+}
+
+// Property: transmission is strictly monotonic in programmed level across
+// the whole 255-state range — required for 8-bit weighting.
+func TestCellTransmissionMonotonicInLevel(t *testing.T) {
+	c, _ := NewCell(CellConfig{})
+	prev := -1.0
+	for lvl := 0; lvl < c.Levels(); lvl++ {
+		if _, err := c.Program(lvl, 0); err != nil {
+			t.Fatal(err)
+		}
+		tr := c.Transmission()
+		if tr <= prev {
+			t.Fatalf("transmission not increasing at level %d: %v ≤ %v", lvl, tr, prev)
+		}
+		prev = tr
+	}
+}
+
+func TestCellTransmissionRange(t *testing.T) {
+	c, _ := NewCell(CellConfig{})
+	lo, hi := c.TransmissionRange()
+	if lo >= hi {
+		t.Fatalf("range [%v,%v] inverted", lo, hi)
+	}
+	if c.Transmission() != lo {
+		t.Errorf("fresh (crystalline) cell transmission = %v, want range min %v", c.Transmission(), lo)
+	}
+	if _, err := c.Program(c.Levels()-1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transmission(); math.Abs(got-hi) > 1e-15 {
+		t.Errorf("fully amorphous transmission = %v, want range max %v", got, hi)
+	}
+	// The extinction window must be deep enough for 8-bit weighting:
+	// at least a 3 dB contrast between endpoints.
+	if hi/lo < 2 {
+		t.Errorf("extinction contrast %.2f× too shallow for weighting", hi/lo)
+	}
+}
+
+func TestCellEndurance(t *testing.T) {
+	c, _ := NewCell(CellConfig{Levels: 3})
+	if c.RemainingEndurance() != 1 {
+		t.Errorf("fresh endurance = %v, want 1", c.RemainingEndurance())
+	}
+	// Simulate wear-out by forcing the write counter to the endurance limit.
+	c.writes = uint64(device.GSTEnduranceCycles)
+	if _, err := c.Program(1, 0); err == nil {
+		t.Error("worn cell must refuse writes")
+	} else if err != ErrWornOut && !isWrapped(err, ErrWornOut) {
+		t.Errorf("want ErrWornOut, got %v", err)
+	}
+	if c.RemainingEndurance() != 0 {
+		t.Errorf("worn endurance = %v, want 0", c.RemainingEndurance())
+	}
+}
+
+func isWrapped(err, target error) bool { return err == target }

@@ -1,0 +1,201 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, the two formats cmd/papertables emits.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row, formatting each cell with %v. It panics if the
+// cell count does not match the header — a malformed experiment is a bug.
+func (t *Table) AddRow(cells ...interface{}) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Columns)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders floats with a sensible precision for table cells.
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// WriteTo renders the table as aligned ASCII.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = runeLen(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if l := runeLen(cell); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (title omitted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+func pad(s string, w int) string {
+	if l := runeLen(s); l < w {
+		return s + strings.Repeat(" ", w-l)
+	}
+	return s
+}
+
+// Series is a named (x, y) sequence — the data behind one curve of a
+// figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// NewSeries builds a series, panicking on length mismatch.
+func NewSeries(name string, x, y []float64) Series {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("report: series %q has %d x vs %d y", name, len(x), len(y)))
+	}
+	return Series{Name: name, X: x, Y: y}
+}
+
+// Figure is a titled collection of series.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Table converts a figure into a long-format table (series, x, y).
+func (f *Figure) Table() *Table {
+	t := NewTable(f.Title, "series", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		for i := range s.X {
+			t.AddRow(s.Name, s.X[i], s.Y[i])
+		}
+	}
+	return t
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	writeMDRow(&b, t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeMDRow(&b, sep)
+	for _, row := range t.Rows {
+		writeMDRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeMDRow(b *strings.Builder, cells []string) {
+	b.WriteByte('|')
+	for _, c := range cells {
+		b.WriteByte(' ')
+		b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+		b.WriteString(" |")
+	}
+	b.WriteByte('\n')
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-long-name", 1234.5678)
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "alpha") {
+		t.Errorf("missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), s)
+	}
+	// Large floats render rounded to integer precision.
+	if !strings.Contains(s, "1235") {
+		t.Errorf("large float misformatted:\n%s", s)
+	}
+}
+
+func TestAddRowPanicsOnMismatch(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row should panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.123:   "0.123",
+		3.14159: "3.14",
+		42.42:   "42.4",
+		9999.9:  "10000",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "name", "note")
+	tb.AddRow("plain", "ok")
+	tb.AddRow(`quote"y`, "with,comma")
+	csv := tb.CSV()
+	want := "name,note\nplain,ok\n\"quote\"\"y\",\"with,comma\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched series should panic")
+		}
+	}()
+	NewSeries("bad", []float64{1}, []float64{1, 2})
+}
+
+func TestFigureTable(t *testing.T) {
+	f := &Figure{
+		Title:  "Fig",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{NewSeries("s1", []float64{0, 1}, []float64{2, 3})},
+	}
+	tb := f.Table()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	if tb.Rows[1][0] != "s1" || tb.Rows[1][2] != "3" {
+		t.Errorf("row content wrong: %v", tb.Rows[1])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("MD", "name", "v|alue")
+	tb.AddRow("a|b", 1.0)
+	md := tb.Markdown()
+	for _, want := range []string{"### MD", "| name |", `a\|b`, "| --- |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(md, "\n"), "\n")
+	if len(lines) != 5 { // title, blank, header, separator, row
+		t.Errorf("markdown lines = %d, want 5:\n%s", len(lines), md)
+	}
+}

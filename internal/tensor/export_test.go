@@ -1,0 +1,4 @@
+package tensor
+
+// Conv2DNaive exposes the reference convolution to the test suite.
+var Conv2DNaive = conv2DNaive

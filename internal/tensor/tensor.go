@@ -1,0 +1,338 @@
+// Package tensor implements dense row-major float64 tensors with the
+// parallel primitives the neural-network substrate needs: BLAS-style matrix
+// multiplication, im2col convolution lowering, pooling and element-wise
+// kernels. Heavy loops split across goroutines, one span per logical CPU.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Tensor is a dense row-major array with an explicit shape.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero tensor of the given shape. It panics on non-positive
+// dimensions: shapes are static program structure, not runtime data.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+// It panics if the element count does not match.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: %d elements cannot take shape %v (%d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Shape returns the tensor's dimensions (shared; callers must not mutate).
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total element count.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice (shared).
+func (t *Tensor) Data() []float64 { return t.data }
+
+// At returns the element at the given indices.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", x, t.shape[i], i))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape of equal element
+// count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d", d))
+		}
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Apply replaces every element x with f(x), in parallel for large tensors.
+func (t *Tensor) Apply(f func(float64) float64) {
+	parallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] = f(t.data[i])
+		}
+	})
+}
+
+// AddInPlace accumulates o into t element-wise. Shapes must match exactly.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	t.requireSameShape(o)
+	parallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] += o.data[i]
+		}
+	})
+}
+
+// AxpyInPlace computes t += alpha·o.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) {
+	t.requireSameShape(o)
+	parallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] += alpha * o.data[i]
+		}
+	})
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float64) {
+	parallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] *= alpha
+		}
+	})
+}
+
+// HadamardInPlace computes t ⊙= o element-wise.
+func (t *Tensor) HadamardInPlace(o *Tensor) {
+	t.requireSameShape(o)
+	parallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] *= o.data[i]
+		}
+	})
+}
+
+func (t *Tensor) requireSameShape(o *Tensor) {
+	if len(t.shape) != len(o.shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, o.shape))
+		}
+	}
+}
+
+// Dot returns the inner product of two equal-length tensors viewed flat.
+func Dot(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a.data), len(b.data)))
+	}
+	var s float64
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element, 0 for empty tensors.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), writing into
+// dst (m×n), which is allocated if nil. Rows distribute across goroutines;
+// the inner loops run in the cache-friendly ikj order.
+func MatMul(dst, a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul needs rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	if dst == nil {
+		dst = New(m, n)
+	} else {
+		if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+			panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.shape, m, n))
+		}
+		dst.Zero()
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// MatVec computes y = A·x for a 2-D tensor A (m×k) and a length-k vector x,
+// writing into dst (length m), allocated if nil.
+func MatVec(dst []float64, a *Tensor, x []float64) []float64 {
+	if a.Rank() != 2 {
+		panic("tensor: MatVec needs a rank-2 matrix")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if len(x) != k {
+		panic(fmt.Sprintf("tensor: MatVec vector length %d, want %d", len(x), k))
+	}
+	if cap(dst) < m {
+		dst = make([]float64, m)
+	}
+	dst = dst[:m]
+	ad := a.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := ad[i*k : (i+1)*k]
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			dst[i] = s
+		}
+	})
+	return dst
+}
+
+// Transpose returns Aᵀ for a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose needs rank 2")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Outer computes the outer product dst = x·yᵀ (len(x)×len(y)), allocated if
+// dst is nil — the hardware operation of the weight-update pass.
+func Outer(dst *Tensor, x, y []float64) *Tensor {
+	m, n := len(x), len(y)
+	if dst == nil {
+		dst = New(m, n)
+	} else if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: Outer dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	for i, xv := range x {
+		row := dst.data[i*n : (i+1)*n]
+		for j, yv := range y {
+			row[j] = xv * yv
+		}
+	}
+	return dst
+}
+
+// parallelChunk is the smallest work span worth a goroutine.
+const parallelChunk = 4096
+
+// parallelFor splits [0, n) across GOMAXPROCS goroutines when the span is
+// large enough to amortize the fork/join, and runs inline otherwise.
+func parallelFor(n int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelChunk || workers == 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	span := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += span {
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,310 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	a := New(2, 3)
+	if a.Rank() != 2 || a.Len() != 6 || a.Dim(0) != 2 || a.Dim(1) != 3 {
+		t.Fatalf("bad geometry: rank=%d len=%d", a.Rank(), a.Len())
+	}
+	a.Set(5, 1, 2)
+	if a.At(1, 2) != 5 {
+		t.Errorf("At(1,2) = %v, want 5", a.At(1, 2))
+	}
+	// Row-major layout.
+	if a.Data()[5] != 5 {
+		t.Errorf("data[5] = %v, want 5 (row-major)", a.Data()[5])
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestAtPanics(t *testing.T) {
+	a := New(2, 2)
+	for _, fn := range []func(){
+		func() { a.At(2, 0) },
+		func() { a.At(0, -1) },
+		func() { a.At(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	a := FromSlice(d, 2, 2)
+	if a.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", a.At(1, 0))
+	}
+	d[0] = 9 // FromSlice shares the backing array
+	if a.At(0, 0) != 9 {
+		t.Error("FromSlice must not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched FromSlice should panic")
+		}
+	}()
+	FromSlice(d, 3, 3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(1)
+	b := a.Clone()
+	b.Set(7, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone must copy data")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	a := New(2, 6)
+	a.Set(5, 1, 2)
+	b := a.Reshape(3, 4)
+	if b.At(2, 0) != 5 { // flat index 8
+		t.Errorf("reshaped value = %v, want 5", b.At(2, 0))
+	}
+	b.Set(3, 0, 0)
+	if a.At(0, 0) != 3 {
+		t.Error("Reshape must alias the data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad reshape should panic")
+		}
+	}()
+	a.Reshape(5, 5)
+}
+
+func TestElementWiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 4)
+	b := FromSlice([]float64{10, 20, 30, 40}, 4)
+	a.AddInPlace(b)
+	if a.Data()[3] != 44 {
+		t.Errorf("AddInPlace: %v", a.Data())
+	}
+	a.AxpyInPlace(0.5, b)
+	if a.Data()[0] != 16 {
+		t.Errorf("AxpyInPlace: %v", a.Data())
+	}
+	a.Scale(2)
+	if a.Data()[0] != 32 {
+		t.Errorf("Scale: %v", a.Data())
+	}
+	a.HadamardInPlace(b)
+	if a.Data()[0] != 320 {
+		t.Errorf("Hadamard: %v", a.Data())
+	}
+	a.Apply(func(x float64) float64 { return -x })
+	if a.Data()[0] != -320 {
+		t.Errorf("Apply: %v", a.Data())
+	}
+	a.Zero()
+	if a.MaxAbs() != 0 {
+		t.Errorf("Zero/MaxAbs: %v", a.MaxAbs())
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2, 2), New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddInPlace with mismatched shapes should panic")
+		}
+	}()
+	a.AddInPlace(b)
+}
+
+func TestDotAndArgMax(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	c := FromSlice([]float64{-5, 2, 1}, 3)
+	if got := c.ArgMax(); got != 1 {
+		t.Errorf("ArgMax = %d, want 1", got)
+	}
+	if got := c.MaxAbs(); got != 5 {
+		t.Errorf("MaxAbs = %v, want 5", got)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(nil, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Errorf("C[%d] = %v, want %v", i, c.Data()[i], w)
+		}
+	}
+	// Reuse dst (must zero first internally).
+	c2 := MatMul(c, a, b)
+	for i, w := range want {
+		if c2.Data()[i] != w {
+			t.Errorf("reused C[%d] = %v, want %v", i, c2.Data()[i], w)
+		}
+	}
+}
+
+// TestMatMulLargeParallel exercises the multi-goroutine path against a
+// sequential reference.
+func TestMatMulLargeParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, k, n := 130, 70, 90
+	a, b := New(m, k), New(k, n)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	for i := range b.Data() {
+		b.Data()[i] = rng.NormFloat64()
+	}
+	c := MatMul(nil, a, b)
+	for trial := 0; trial < 50; trial++ {
+		i, j := rng.Intn(m), rng.Intn(n)
+		var want float64
+		for p := 0; p < k; p++ {
+			want += a.At(i, p) * b.At(p, j)
+		}
+		if math.Abs(c.At(i, j)-want) > 1e-9 {
+			t.Fatalf("C[%d,%d] = %v, want %v", i, j, c.At(i, j), want)
+		}
+	}
+}
+
+func TestMatMulPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MatMul(nil, New(2, 3), New(4, 2)) },
+		func() { MatMul(New(3, 3), New(2, 3), New(3, 2)) },
+		func() { MatMul(nil, New(2), New(2, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid MatMul should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := MatVec(nil, a, []float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MatVec = %v, want [-2 -2]", y)
+	}
+	dst := make([]float64, 2)
+	y2 := MatVec(dst, a, []float64{1, 1, 1})
+	if &y2[0] != &dst[0] {
+		t.Error("MatVec must reuse dst")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad vector length should panic")
+		}
+	}()
+	MatVec(nil, a, []float64{1})
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose(a)
+	if at.Dim(0) != 3 || at.Dim(1) != 2 {
+		t.Fatalf("shape %v, want [3 2]", at.Shape())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("transpose values wrong: %v", at.Data())
+	}
+}
+
+// Property: (Aᵀ)ᵀ = A.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := New(m, n)
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		b := Transpose(Transpose(a))
+		for i := range a.Data() {
+			if a.Data()[i] != b.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatVec(A, x) agrees with MatMul(A, x-as-column).
+func TestQuickMatVecMatMulAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := New(m, k)
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := MatVec(nil, a, x)
+		col := MatMul(nil, a, FromSlice(append([]float64(nil), x...), k, 1))
+		for i := range y {
+			if math.Abs(y[i]-col.Data()[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOuter(t *testing.T) {
+	o := Outer(nil, []float64{1, 2}, []float64{3, 4, 5})
+	if o.Dim(0) != 2 || o.Dim(1) != 3 {
+		t.Fatalf("shape %v", o.Shape())
+	}
+	if o.At(1, 2) != 10 || o.At(0, 0) != 3 {
+		t.Errorf("outer values: %v", o.Data())
+	}
+	// Outer must equal MatMul of column × row.
+	a := FromSlice([]float64{1, 2}, 2, 1)
+	b := FromSlice([]float64{3, 4, 5}, 1, 3)
+	m := MatMul(nil, a, b)
+	for i := range m.Data() {
+		if m.Data()[i] != o.Data()[i] {
+			t.Errorf("Outer disagrees with MatMul at %d", i)
+		}
+	}
+}

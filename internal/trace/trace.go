@@ -1,0 +1,98 @@
+// Package trace exports weight-stationary schedules in the Chrome trace
+// event format (chrome://tracing, Perfetto), one track per PE: programming
+// phases and pixel-streaming phases as duration events. The tooling a
+// systems group actually uses to stare at a schedule.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"trident/internal/accel"
+	"trident/internal/dataflow"
+	"trident/internal/device"
+	"trident/internal/models"
+)
+
+// Event is one Chrome trace "complete" (X) event. Timestamps and durations
+// are microseconds, per the format.
+type Event struct {
+	Name     string  `json:"name"`
+	Category string  `json:"cat"`
+	Phase    string  `json:"ph"`
+	TsMicros float64 `json:"ts"`
+	DurMicro float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+}
+
+// File is the trace container.
+type File struct {
+	TraceEvents []Event `json:"traceEvents"`
+	DisplayUnit string  `json:"displayTimeUnit"`
+}
+
+// maxEventsPerPE bounds the trace size: layers with thousands of waves
+// would otherwise produce files no viewer loads. Waves beyond the cap are
+// merged into one summary event.
+const maxEventsPerPE = 2000
+
+// Export writes the serial weight-stationary schedule of the workload on
+// the accelerator as a Chrome trace. Each PE is a thread; each wave
+// contributes a "program" and a "stream" slice.
+func Export(w io.Writer, m *models.Model, cfg accel.PhotonicConfig) error {
+	g := cfg.Geometry()
+	mp, err := dataflow.Map(m, g)
+	if err != nil {
+		return err
+	}
+	sym := device.ClockRate.Period().Seconds() * accel.VectorCyclesPerSymbol * 1e6 // µs
+	tune := cfg.TuneTime.Seconds() * 1e6
+	f := File{DisplayUnit: "ms"}
+	now := 0.0
+	counts := make([]int, g.PEs)
+	truncatedFrom := -1.0
+	for _, l := range mp.Layers {
+		streamDur := float64(l.Pixels) * sym
+		remaining := l.Tiles
+		for wave := int64(0); wave < l.Waves; wave++ {
+			active := int64(g.PEs)
+			if remaining < active {
+				active = remaining
+			}
+			remaining -= active
+			for pe := int64(0); pe < active; pe++ {
+				if counts[pe] >= maxEventsPerPE {
+					if truncatedFrom < 0 {
+						truncatedFrom = now
+					}
+					continue
+				}
+				counts[pe] += 2
+				f.TraceEvents = append(f.TraceEvents,
+					Event{
+						Name: fmt.Sprintf("program %s", l.Name), Category: "tune",
+						Phase: "X", TsMicros: now, DurMicro: tune, PID: 1, TID: int(pe),
+					},
+					Event{
+						Name: fmt.Sprintf("stream %s", l.Name), Category: "stream",
+						Phase: "X", TsMicros: now + tune, DurMicro: streamDur, PID: 1, TID: int(pe),
+					},
+				)
+			}
+			now += tune + streamDur
+		}
+	}
+	if truncatedFrom >= 0 && now > truncatedFrom {
+		// Merge everything past the per-PE cap into one summary slice so
+		// the trace still spans the full makespan.
+		f.TraceEvents = append(f.TraceEvents, Event{
+			Name: "(waves beyond the per-PE event cap)", Category: "summary",
+			Phase: "X", TsMicros: truncatedFrom, DurMicro: now - truncatedFrom,
+			PID: 1, TID: 0,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

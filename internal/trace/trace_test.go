@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"trident/internal/accel"
+	"trident/internal/eventsim"
+	"trident/internal/models"
+)
+
+func exportAlexNet(t *testing.T) File {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Export(&buf, models.AlexNet(), accel.Trident()); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return f
+}
+
+func TestExportWellFormed(t *testing.T) {
+	f := exportAlexNet(t)
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, e := range f.TraceEvents {
+		if e.Phase != "X" || e.DurMicro <= 0 || e.TsMicros < 0 {
+			t.Fatalf("malformed event %+v", e)
+		}
+		if e.Category != "tune" && e.Category != "stream" && e.Category != "summary" {
+			t.Fatalf("unknown category %q", e.Category)
+		}
+		if e.TID < 0 || e.TID >= 44 {
+			t.Fatalf("event on nonexistent PE %d", e.TID)
+		}
+	}
+}
+
+// TestTraceEndMatchesEventSim: the last event must end at the schedule's
+// makespan — the same latency the event simulator computes.
+func TestTraceEndMatchesEventSim(t *testing.T) {
+	f := exportAlexNet(t)
+	end := 0.0
+	for _, e := range f.TraceEvents {
+		if fin := e.TsMicros + e.DurMicro; fin > end {
+			end = fin
+		}
+	}
+	sim, err := eventsim.Simulate(models.AlexNet(), accel.Trident(), eventsim.Serial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMicros := sim.Latency.Seconds() * 1e6
+	if math.Abs(end-wantMicros)/wantMicros > 1e-9 {
+		t.Errorf("trace ends at %vµs, event sim says %vµs", end, wantMicros)
+	}
+}
+
+// TestTraceNonOverlappingPerPE: on one PE, programming and streaming slices
+// must not overlap.
+func TestTraceNonOverlappingPerPE(t *testing.T) {
+	f := exportAlexNet(t)
+	lastEnd := map[int]float64{}
+	for _, e := range f.TraceEvents {
+		if e.Category == "summary" {
+			continue
+		}
+		if e.TsMicros < lastEnd[e.TID]-1e-9 {
+			t.Fatalf("PE %d: event at %v overlaps previous ending %v", e.TID, e.TsMicros, lastEnd[e.TID])
+		}
+		lastEnd[e.TID] = e.TsMicros + e.DurMicro
+	}
+}
+
+// TestTraceBounded: the per-PE event cap keeps even VGG-16 traces loadable.
+func TestTraceBounded(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Export(&buf, models.VGG16(), accel.Trident()); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) > 44*2100 {
+		t.Errorf("trace has %d events, cap leaking", len(f.TraceEvents))
+	}
+}

@@ -1,0 +1,83 @@
+package train
+
+import (
+	"fmt"
+
+	"trident/internal/core"
+	"trident/internal/dataset"
+	"trident/internal/report"
+)
+
+// History records per-epoch training metrics — the data behind a
+// convergence curve.
+type History struct {
+	Epoch    []float64
+	Loss     []float64 // mean training loss per epoch
+	Accuracy []float64 // held-out accuracy per epoch
+}
+
+// Len returns the number of recorded epochs.
+func (h *History) Len() int { return len(h.Epoch) }
+
+// Figure renders the history as a two-series figure (loss and accuracy
+// against epoch).
+func (h *History) Figure(title string) *report.Figure {
+	return &report.Figure{
+		Title:  title,
+		XLabel: "epoch",
+		YLabel: "value",
+		Series: []report.Series{
+			report.NewSeries("train loss", h.Epoch, h.Loss),
+			report.NewSeries("test accuracy", h.Epoch, h.Accuracy),
+		},
+	}
+}
+
+// RunInSituWithHistory trains the standard two-layer in-situ classifier
+// recording a convergence curve: mean loss and held-out accuracy after
+// every epoch.
+func RunInSituWithHistory(data *dataset.Set, hidden, epochs int, lr float64, noisy bool) (*History, error) {
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("train: empty dataset")
+	}
+	if epochs < 1 {
+		return nil, fmt.Errorf("train: epochs %d must be ≥ 1", epochs)
+	}
+	trainSet, testSet := data.Split(0.8)
+	dim := trainSet.Inputs[0].Len()
+	net, err := core.NewNetwork(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: !noisy, NoiseSeed: 11},
+		LearningRate: lr,
+	},
+		core.LayerSpec{In: dim, Out: hidden, Activate: true},
+		core.LayerSpec{In: hidden, Out: data.Classes},
+	)
+	if err != nil {
+		return nil, err
+	}
+	h := &History{}
+	for e := 0; e < epochs; e++ {
+		var lossSum float64
+		for i := range trainSet.Inputs {
+			loss, err := net.TrainSample(trainSet.Inputs[i].Data(), trainSet.Labels[i])
+			if err != nil {
+				return nil, err
+			}
+			lossSum += loss
+		}
+		correct := 0
+		for i := range testSet.Inputs {
+			cls, err := net.Predict(testSet.Inputs[i].Data())
+			if err != nil {
+				return nil, err
+			}
+			if cls == testSet.Labels[i] {
+				correct++
+			}
+		}
+		h.Epoch = append(h.Epoch, float64(e+1))
+		h.Loss = append(h.Loss, lossSum/float64(trainSet.Len()))
+		h.Accuracy = append(h.Accuracy, float64(correct)/float64(testSet.Len()))
+	}
+	return h, nil
+}

@@ -1,0 +1,232 @@
+// Package units provides strongly typed physical quantities for the Trident
+// photonic accelerator simulator.
+//
+// All quantities are stored in SI base units as float64 (watts, joules,
+// seconds, meters, hertz). A float64 time type is used instead of
+// time.Duration because photonic events span femtoseconds (optical
+// propagation) to years (PCM retention), which exceeds the useful range and
+// resolution of an integer nanosecond clock.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Power is an electrical or optical power in watts.
+type Power float64
+
+// Common power scales.
+const (
+	Watt      Power = 1
+	Milliwatt Power = 1e-3
+	Microwatt Power = 1e-6
+	Nanowatt  Power = 1e-9
+)
+
+// Watts returns p as a plain float64 in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Milliwatts returns p in milliwatts.
+func (p Power) Milliwatts() float64 { return float64(p) / 1e-3 }
+
+// OverTime returns the energy dissipated by holding power p for d.
+func (p Power) OverTime(d Duration) Energy { return Energy(float64(p) * float64(d)) }
+
+// String formats the power with an SI prefix, e.g. "563.2mW".
+func (p Power) String() string { return siFormat(float64(p), "W") }
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Common energy scales.
+const (
+	Joule      Energy = 1
+	Millijoule Energy = 1e-3
+	Microjoule Energy = 1e-6
+	Nanojoule  Energy = 1e-9
+	Picojoule  Energy = 1e-12
+	Femtojoule Energy = 1e-15
+)
+
+// Joules returns e as a plain float64 in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// Picojoules returns e in picojoules.
+func (e Energy) Picojoules() float64 { return float64(e) / 1e-12 }
+
+// OverTime returns the average power of spending energy e during d.
+// It returns 0 for a non-positive duration.
+func (e Energy) OverTime(d Duration) Power {
+	if d <= 0 {
+		return 0
+	}
+	return Power(float64(e) / float64(d))
+}
+
+// String formats the energy with an SI prefix, e.g. "660pJ".
+func (e Energy) String() string { return siFormat(float64(e), "J") }
+
+// Duration is a span of time in seconds.
+type Duration float64
+
+// Common duration scales.
+const (
+	Second      Duration = 1
+	Millisecond Duration = 1e-3
+	Microsecond Duration = 1e-6
+	Nanosecond  Duration = 1e-9
+	Picosecond  Duration = 1e-12
+)
+
+// Seconds returns d as a plain float64 in seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Nanoseconds returns d in nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / 1e-9 }
+
+// PerSecond returns the event rate corresponding to one event every d.
+// It returns +Inf for a non-positive duration.
+func (d Duration) PerSecond() float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / float64(d)
+}
+
+// String formats the duration with an SI prefix, e.g. "300ns".
+func (d Duration) String() string { return siFormat(float64(d), "s") }
+
+// Frequency is a rate in hertz.
+type Frequency float64
+
+// Common frequency scales.
+const (
+	Hertz     Frequency = 1
+	Kilohertz Frequency = 1e3
+	Megahertz Frequency = 1e6
+	Gigahertz Frequency = 1e9
+	Terahertz Frequency = 1e12
+)
+
+// Hertz returns f as a plain float64 in hertz.
+func (f Frequency) Hertz() float64 { return float64(f) }
+
+// Period returns the duration of one cycle at frequency f.
+// It returns +Inf for a non-positive frequency.
+func (f Frequency) Period() Duration {
+	if f <= 0 {
+		return Duration(math.Inf(1))
+	}
+	return Duration(1 / float64(f))
+}
+
+// String formats the frequency with an SI prefix, e.g. "1.37GHz".
+func (f Frequency) String() string { return siFormat(float64(f), "Hz") }
+
+// Length is a distance in meters.
+type Length float64
+
+// Common length scales.
+const (
+	Meter      Length = 1
+	Centimeter Length = 1e-2
+	Millimeter Length = 1e-3
+	Micrometer Length = 1e-6
+	Nanometer  Length = 1e-9
+	Picometer  Length = 1e-12
+)
+
+// Meters returns l as a plain float64 in meters.
+func (l Length) Meters() float64 { return float64(l) }
+
+// Nanometers returns l in nanometers.
+func (l Length) Nanometers() float64 { return float64(l) / 1e-9 }
+
+// Times returns l scaled by a dimensionless factor.
+func (l Length) Times(f float64) Length { return Length(float64(l) * f) }
+
+// String formats the length with an SI prefix, e.g. "1553.4nm".
+func (l Length) String() string { return siFormat(float64(l), "m") }
+
+// Area is a surface area in square meters.
+type Area float64
+
+// Common area scales.
+const (
+	SquareMeter      Area = 1
+	SquareMillimeter Area = 1e-6
+	SquareMicrometer Area = 1e-12
+)
+
+// SquareMillimeters returns a in mm².
+func (a Area) SquareMillimeters() float64 { return float64(a) / 1e-6 }
+
+// String formats the area in mm², the natural scale for chip floorplans.
+func (a Area) String() string { return fmt.Sprintf("%.4gmm²", a.SquareMillimeters()) }
+
+// DataSize is an amount of data in bytes.
+type DataSize float64
+
+// Common data scales. Storage sizes in the paper are powers of two
+// (16 kB caches, 32 MB L2), so binary prefixes are used.
+const (
+	Byte     DataSize = 1
+	Kibibyte DataSize = 1024
+	Mebibyte DataSize = 1024 * 1024
+	Gibibyte DataSize = 1024 * 1024 * 1024
+)
+
+// Bytes returns s as a plain float64 in bytes.
+func (s DataSize) Bytes() float64 { return float64(s) }
+
+// String formats the size with a binary prefix, e.g. "16KiB".
+func (s DataSize) String() string {
+	v := float64(s)
+	switch {
+	case math.Abs(v) >= float64(Gibibyte):
+		return fmt.Sprintf("%.4gGiB", v/float64(Gibibyte))
+	case math.Abs(v) >= float64(Mebibyte):
+		return fmt.Sprintf("%.4gMiB", v/float64(Mebibyte))
+	case math.Abs(v) >= float64(Kibibyte):
+		return fmt.Sprintf("%.4gKiB", v/float64(Kibibyte))
+	default:
+		return fmt.Sprintf("%.4gB", v)
+	}
+}
+
+// siPrefixes spans the range used by the simulator: femto (optical pulse
+// energies) through tera (aggregate MAC rates).
+var siPrefixes = []struct {
+	scale  float64
+	symbol string
+}{
+	{1e12, "T"},
+	{1e9, "G"},
+	{1e6, "M"},
+	{1e3, "k"},
+	{1, ""},
+	{1e-3, "m"},
+	{1e-6, "µ"},
+	{1e-9, "n"},
+	{1e-12, "p"},
+	{1e-15, "f"},
+}
+
+// siFormat renders v with the largest SI prefix that keeps the mantissa ≥ 1.
+func siFormat(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fmt.Sprintf("%g%s", v, unit)
+	}
+	abs := math.Abs(v)
+	for _, p := range siPrefixes {
+		if abs >= p.scale {
+			return fmt.Sprintf("%.4g%s%s", v/p.scale, p.symbol, unit)
+		}
+	}
+	// Below femto: fall back to scientific notation.
+	return fmt.Sprintf("%.4g%s", v, unit)
+}

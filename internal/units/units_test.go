@@ -1,0 +1,141 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerOverTime(t *testing.T) {
+	e := (2 * Milliwatt).OverTime(300 * Nanosecond)
+	want := 600e-12
+	if math.Abs(e.Joules()-want) > 1e-18 {
+		t.Fatalf("2mW over 300ns = %v J, want %v", e.Joules(), want)
+	}
+}
+
+func TestEnergyOverTime(t *testing.T) {
+	p := (660 * Picojoule).OverTime(300 * Nanosecond)
+	want := 2.2e-3
+	if math.Abs(p.Watts()-want) > 1e-12 {
+		t.Fatalf("660pJ/300ns = %v W, want %v", p.Watts(), want)
+	}
+	if got := Energy(1).OverTime(0); got != 0 {
+		t.Fatalf("energy over zero time = %v, want 0", got)
+	}
+	if got := Energy(1).OverTime(-1); got != 0 {
+		t.Fatalf("energy over negative time = %v, want 0", got)
+	}
+}
+
+func TestDurationPerSecond(t *testing.T) {
+	if got := (100 * Millisecond).PerSecond(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("rate of 100ms period = %v, want 10", got)
+	}
+	if got := Duration(0).PerSecond(); !math.IsInf(got, 1) {
+		t.Fatalf("rate of zero period = %v, want +Inf", got)
+	}
+}
+
+func TestFrequencyPeriod(t *testing.T) {
+	p := (1.37 * Gigahertz).Period()
+	want := 1 / 1.37e9
+	if math.Abs(p.Seconds()-want) > 1e-20 {
+		t.Fatalf("period of 1.37GHz = %v, want %v", p.Seconds(), want)
+	}
+	if got := Frequency(0).Period(); !math.IsInf(got.Seconds(), 1) {
+		t.Fatalf("period of 0Hz = %v, want +Inf", got)
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		got  string
+		want string
+	}{
+		{(563.2 * Milliwatt).String(), "563.2mW"},
+		{(660 * Picojoule).String(), "660pJ"},
+		{(300 * Nanosecond).String(), "300ns"},
+		{(1.37 * Gigahertz).String(), "1.37GHz"},
+		{(1553.4 * Nanometer).String(), "1.553µm"},
+		{Power(0).String(), "0W"},
+		{(16 * Kibibyte).String(), "16KiB"},
+		{(32 * Mebibyte).String(), "32MiB"},
+		{(604.6 * SquareMillimeter).String(), "604.6mm²"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestSIFormatExtremes(t *testing.T) {
+	if got := siFormat(math.Inf(1), "W"); got != "+InfW" {
+		t.Errorf("siFormat(+Inf) = %q", got)
+	}
+	if got := siFormat(1e-18, "J"); got != "1e-18J" {
+		t.Errorf("siFormat(1e-18) = %q", got)
+	}
+	if got := siFormat(-2.2e-3, "W"); got != "-2.2mW" {
+		t.Errorf("siFormat(-2.2mW) = %q", got)
+	}
+}
+
+// Property: power→energy→power round-trips for positive durations.
+func TestQuickEnergyPowerRoundTrip(t *testing.T) {
+	f := func(pw float64, dur float64) bool {
+		p := Power(math.Abs(pw))
+		d := Duration(math.Abs(dur) + 1e-9)
+		if math.IsInf(float64(p), 0) || float64(p) > 1e30 || float64(d) > 1e30 {
+			return true // out of modelled range
+		}
+		back := p.OverTime(d).OverTime(d)
+		return math.Abs(back.Watts()-p.Watts()) <= 1e-9*math.Max(1, p.Watts())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SI formatting never produces an empty string and always ends with
+// the unit symbol.
+func TestQuickSIFormatTotal(t *testing.T) {
+	f := func(v float64) bool {
+		s := siFormat(v, "X")
+		return len(s) > 1 && s[len(s)-1] == 'X'
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessorGetters(t *testing.T) {
+	if (2 * Milliwatt).Milliwatts() != 2 {
+		t.Error("Milliwatts")
+	}
+	if (3 * Picojoule).Picojoules() != 3 {
+		t.Error("Picojoules")
+	}
+	if got := (5 * Nanosecond).Nanoseconds(); math.Abs(got-5) > 1e-9 {
+		t.Error("Nanoseconds")
+	}
+	if (7 * Hertz).Hertz() != 7 {
+		t.Error("Hertz")
+	}
+	if (2 * Meter).Meters() != 2 {
+		t.Error("Meters")
+	}
+	if got := (4 * Nanometer).Nanometers(); math.Abs(got-4) > 1e-9 {
+		t.Error("Nanometers")
+	}
+	if (2 * Meter).Times(3) != 6*Meter {
+		t.Error("Times")
+	}
+	if (8 * Byte).Bytes() != 8 {
+		t.Error("Bytes")
+	}
+	if got := (2 * Gibibyte).String(); got != "2GiB" {
+		t.Errorf("GiB formatting = %q", got)
+	}
+}

@@ -1,0 +1,96 @@
+package trident_test
+
+import (
+	"fmt"
+	"testing"
+
+	"trident"
+	"trident/internal/core"
+	"trident/internal/dataset"
+)
+
+func TestFacadeEvaluate(t *testing.T) {
+	tr := trident.NewAccelerator()
+	if tr.Name != "Trident" {
+		t.Fatalf("accelerator = %q", tr.Name)
+	}
+	for _, m := range trident.Workloads() {
+		res, err := trident.Evaluate(tr, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput <= 0 || res.Energy <= 0 || res.Latency <= 0 {
+			t.Errorf("%s: degenerate result %+v", m.Name, res)
+		}
+	}
+	if len(trident.Baselines()) != 3 || len(trident.EdgeDevices()) != 3 {
+		t.Error("baseline sets wrong size")
+	}
+	if trident.Version == "" {
+		t.Error("version missing")
+	}
+}
+
+func TestFacadeHardwareNetwork(t *testing.T) {
+	net, err := trident.NewHardwareNetwork(core.NetworkConfig{
+		PE: core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
+	}, core.LayerSpec{In: 4, Out: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Forward([]float64{0.5, 0.5, 0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTrainInSitu(t *testing.T) {
+	data := dataset.Blobs(100, 2, 4, 0.1, 1)
+	res, err := trident.TrainInSitu(data, 8, 5, 0.1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.8 {
+		t.Errorf("facade in-situ accuracy = %.2f", res.TestAccuracy)
+	}
+}
+
+// ExampleEvaluate shows the one-call inference analysis.
+func ExampleEvaluate() {
+	tr := trident.NewAccelerator()
+	m := trident.Workloads()[1] // MobileNetV2
+	res, err := trident.Evaluate(tr, m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s on %s: trains=%v, energy and throughput are positive: %v\n",
+		m.Name, res.Accel, res.CanTrain, res.Energy > 0 && res.Throughput > 0)
+	// Output: MobileNetV2 on Trident: trains=true, energy and throughput are positive: true
+}
+
+// ExampleNewHardwareNetwork shows one in-situ training step on the
+// functional model.
+func ExampleNewHardwareNetwork() {
+	net, err := trident.NewHardwareNetwork(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
+		LearningRate: 0.1,
+	},
+		core.LayerSpec{In: 2, Out: 8, Activate: true},
+		core.LayerSpec{In: 8, Out: 2},
+	)
+	if err != nil {
+		panic(err)
+	}
+	first, err := net.TrainSample([]float64{0.9, -0.4}, 1)
+	if err != nil {
+		panic(err)
+	}
+	var last float64
+	for i := 0; i < 20; i++ {
+		last, err = net.TrainSample([]float64{0.9, -0.4}, 1)
+		if err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("loss decreased: %v\n", last < first)
+	// Output: loss decreased: true
+}
