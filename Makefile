@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: tier1 tier2 bench all
+
+all: tier1
+
+# Tier 1: build + full test suite (the gate every change must keep green).
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Tier 2: static analysis + race-detector run over the whole repo.
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Hot-path and experiment benchmarks with allocation reporting.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

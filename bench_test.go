@@ -29,6 +29,7 @@ import (
 // BenchmarkTableI_TuningMethods regenerates Table I (device constants) and
 // times one programming event of each tuner mechanism.
 func BenchmarkTableI_TuningMethods(b *testing.B) {
+	b.ReportAllocs()
 	thermal := mrr.NewThermalTuner()
 	gst, err := mrr.NewPCMTuner()
 	if err != nil {
@@ -50,6 +51,7 @@ func BenchmarkTableI_TuningMethods(b *testing.B) {
 
 // BenchmarkTableIII_PowerBreakdown regenerates the PE power table.
 func BenchmarkTableIII_PowerBreakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := experiments.TableIII()
 		if len(t.Rows) == 0 {
@@ -61,6 +63,7 @@ func BenchmarkTableIII_PowerBreakdown(b *testing.B) {
 // BenchmarkTableIV_TOPS regenerates the accelerator comparison, including
 // the first-principles Trident TOPS computation.
 func BenchmarkTableIV_TOPS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.TableIVData()
 		if len(rows) != 4 {
@@ -72,6 +75,7 @@ func BenchmarkTableIV_TOPS(b *testing.B) {
 // BenchmarkTableV_TrainingTime regenerates the 50,000-image training-time
 // estimates (four full dataflow mappings per iteration).
 func BenchmarkTableV_TrainingTime(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.TableVData()
 		if err != nil {
@@ -86,6 +90,7 @@ func BenchmarkTableV_TrainingTime(b *testing.B) {
 // BenchmarkFigure3_ActivationCurve samples the GST activation transfer
 // function.
 func BenchmarkFigure3_ActivationCurve(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f, err := experiments.Figure3(256)
 		if err != nil {
@@ -100,6 +105,7 @@ func BenchmarkFigure3_ActivationCurve(b *testing.B) {
 // BenchmarkFigure4_PhotonicEnergy regenerates the 5-model × 4-accelerator
 // energy comparison.
 func BenchmarkFigure4_PhotonicEnergy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure4Data()
 		if err != nil {
@@ -113,6 +119,7 @@ func BenchmarkFigure4_PhotonicEnergy(b *testing.B) {
 
 // BenchmarkFigure5_Area regenerates the chip-area breakdown.
 func BenchmarkFigure5_Area(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := experiments.Figure5()
 		if len(t.Rows) == 0 {
@@ -124,6 +131,7 @@ func BenchmarkFigure5_Area(b *testing.B) {
 // BenchmarkFigure6_InferencesPerSecond regenerates the 5-model ×
 // 7-accelerator throughput comparison.
 func BenchmarkFigure6_InferencesPerSecond(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure6Data()
 		if err != nil {
@@ -140,6 +148,7 @@ func BenchmarkFigure6_InferencesPerSecond(b *testing.B) {
 // BenchmarkOpticalMVM times one 16×16 optical matrix-vector pass through a
 // programmed PCM weight bank (with crosstalk, without noise).
 func BenchmarkOpticalMVM(b *testing.B) {
+	b.ReportAllocs()
 	pe, err := core.NewPE(core.PEConfig{DisableNoise: true})
 	if err != nil {
 		b.Fatal(err)
@@ -159,9 +168,10 @@ func BenchmarkOpticalMVM(b *testing.B) {
 	for i := range x {
 		x[i] = rng.Float64()
 	}
+	out := make([]float64, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pe.MVMPass(x); err != nil {
+		if _, err := pe.MVMPassInto(out, x); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -169,6 +179,7 @@ func BenchmarkOpticalMVM(b *testing.B) {
 
 // BenchmarkPEProgram times reprogramming a full 256-cell weight bank.
 func BenchmarkPEProgram(b *testing.B) {
+	b.ReportAllocs()
 	pe, err := core.NewPE(core.PEConfig{DisableNoise: true})
 	if err != nil {
 		b.Fatal(err)
@@ -194,6 +205,7 @@ func BenchmarkPEProgram(b *testing.B) {
 // BenchmarkInSituTrainStep times one full hardware training step (forward,
 // gradient-vector, outer-product, update, reprogram) on a 6→16→3 network.
 func BenchmarkInSituTrainStep(b *testing.B) {
+	b.ReportAllocs()
 	net, err := core.NewNetwork(core.NetworkConfig{
 		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
 		LearningRate: 0.05,
@@ -215,6 +227,7 @@ func BenchmarkInSituTrainStep(b *testing.B) {
 
 // BenchmarkGSTProgram times one phase-change cell write.
 func BenchmarkGSTProgram(b *testing.B) {
+	b.ReportAllocs()
 	cell, err := pcm.NewCell(pcm.CellConfig{})
 	if err != nil {
 		b.Fatal(err)
@@ -230,6 +243,7 @@ func BenchmarkGSTProgram(b *testing.B) {
 // BenchmarkDataflowMapResNet50 times a full weight-stationary mapping of
 // ResNet-50 onto the 44-PE array.
 func BenchmarkDataflowMapResNet50(b *testing.B) {
+	b.ReportAllocs()
 	m := models.ResNet50()
 	g := dataflow.Geometry{PEs: device.TridentPEs, Rows: 16, Cols: 16}
 	b.ResetTimer()
@@ -243,6 +257,7 @@ func BenchmarkDataflowMapResNet50(b *testing.B) {
 // BenchmarkConv2DIm2col times the im2col convolution on a mid-network
 // ResNet-shaped layer.
 func BenchmarkConv2DIm2col(b *testing.B) {
+	b.ReportAllocs()
 	s := tensor.Conv2DSpec{InC: 64, InH: 28, InW: 28, OutC: 64, KH: 3, KW: 3,
 		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1}
 	in := tensor.New(s.InC, s.InH, s.InW)
@@ -265,6 +280,7 @@ func BenchmarkConv2DIm2col(b *testing.B) {
 
 // BenchmarkMatMul times the parallel GEMM on a 256×256 product.
 func BenchmarkMatMul(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	a := tensor.New(256, 256)
 	c := tensor.New(256, 256)
@@ -282,6 +298,7 @@ func BenchmarkMatMul(b *testing.B) {
 // BenchmarkEvaluateAllAccelerators times one full seven-accelerator,
 // five-model evaluation sweep (the whole evaluation section in one call).
 func BenchmarkEvaluateAllAccelerators(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, m := range models.All() {
 			for _, c := range append([]accel.PhotonicConfig{accel.Trident()}, accel.PhotonicBaselines()...) {
@@ -301,6 +318,7 @@ func BenchmarkEvaluateAllAccelerators(b *testing.B) {
 // BenchmarkInSituEpoch times a full in-situ training epoch on synthetic
 // blobs (150 samples through the hardware model).
 func BenchmarkInSituEpoch(b *testing.B) {
+	b.ReportAllocs()
 	data := dataset.Blobs(150, 3, 6, 0.1, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -313,6 +331,7 @@ func BenchmarkInSituEpoch(b *testing.B) {
 // BenchmarkAblationStudy regenerates the design-choice ablation table
 // (Trident vs its -ADC / -Volatile / -SlowTune variants).
 func BenchmarkAblationStudy(b *testing.B) {
+	b.ReportAllocs()
 	m := models.ResNet50()
 	for i := 0; i < b.N; i++ {
 		rows, err := accel.AblationStudy(m)
@@ -329,6 +348,7 @@ func BenchmarkAblationStudy(b *testing.B) {
 // functional convolutional classifier (per-pixel optical passes and
 // hardware outer products on an 8×8 image).
 func BenchmarkHardwareCNNTrainStep(b *testing.B) {
+	b.ReportAllocs()
 	cnn, err := core.NewCNN(core.NetworkConfig{
 		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
 		LearningRate: 0.1,
@@ -352,6 +372,7 @@ func BenchmarkHardwareCNNTrainStep(b *testing.B) {
 // BenchmarkBankGeometryDSE regenerates the weight-bank design-space
 // exploration (25 geometries, each fully re-provisioned and mapped).
 func BenchmarkBankGeometryDSE(b *testing.B) {
+	b.ReportAllocs()
 	m := models.ResNet50()
 	for i := 0; i < b.N; i++ {
 		pts, err := accel.ExploreBankGeometry(m, device.PowerBudget)
@@ -367,6 +388,7 @@ func BenchmarkBankGeometryDSE(b *testing.B) {
 // BenchmarkEventSimSerial times the discrete-event validation schedule of
 // ResNet-50 on the 44-PE array.
 func BenchmarkEventSimSerial(b *testing.B) {
+	b.ReportAllocs()
 	m := models.ResNet50()
 	cfg := accel.Trident()
 	for i := 0; i < b.N; i++ {
@@ -384,6 +406,7 @@ func BenchmarkEventSimSerial(b *testing.B) {
 // stacked hardware convolution stages (per-pixel transpose and
 // outer-product passes at every stage).
 func BenchmarkDeepCNNTrainStep(b *testing.B) {
+	b.ReportAllocs()
 	d, err := core.NewDeepCNN(core.NetworkConfig{
 		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
 		LearningRate: 0.1,

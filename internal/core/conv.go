@@ -27,6 +27,11 @@ type CNN struct {
 	patches *tensor.Tensor // (InC·KH·KW) × pixels
 	pre     *tensor.Tensor // OutC × pixels pre-activations
 	gap     []float64      // pooled activated features
+
+	// Backward-pass scratch, reused across samples.
+	rawGap []float64
+	deltaH []float64 // OutC × pixels, pixel-minor
+	active []bool    // pixels with any non-zero gated gradient
 }
 
 // NewCNN builds the hardware CNN. The convolution must be ungrouped
@@ -75,31 +80,24 @@ func (c *CNN) Forward(img *tensor.Tensor) ([]float64, error) {
 	}
 	c.patches = tensor.Im2Col(c.patches, img, c.spec, 0)
 	pixels := c.patches.Dim(1)
-	kcols := c.patches.Dim(0)
 	if c.pre == nil || c.pre.Dim(1) != pixels {
 		c.pre = tensor.New(c.spec.OutC, pixels)
 	}
-	// Stream one patch per clock through the kernel banks.
-	col := make([]float64, kcols)
-	gap := make([]float64, c.spec.OutC)
-	pd := c.patches.Data()
-	for p := 0; p < pixels; p++ {
-		for r := 0; r < kcols; r++ {
-			col[r] = pd[r*pixels+p]
-		}
-		h, err := c.kernel.MVM(col)
-		if err != nil {
-			return nil, err
-		}
-		for oc, hv := range h {
-			c.pre.Data()[oc*pixels+p] = hv
-			// GST activation fires per pixel; the activated map feeds the
-			// global average pool.
-			gap[oc] += c.act.Eval(hv)
-		}
+	// Stream one patch per clock through the kernel banks, all tiles in
+	// parallel (tile-major decomposition; see streamMVM).
+	if err := c.kernel.streamMVM(c.patches.Data(), pixels, c.pre.Data()); err != nil {
+		return nil, err
 	}
+	// GST activation fires per pixel; the activated map feeds the global
+	// average pool.
+	gap := growFloats(c.gap, c.spec.OutC)
+	pre := c.pre.Data()
 	for oc := range gap {
-		gap[oc] /= float64(pixels)
+		var s float64
+		for p := 0; p < pixels; p++ {
+			s += c.act.Eval(pre[oc*pixels+p])
+		}
+		gap[oc] = s / float64(pixels)
 	}
 	c.gap = gap
 	return c.head.Forward(gap)
@@ -138,55 +136,46 @@ func (c *CNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
 
 	// Head backward: δgap = Wᵀ·δlogits (gradient-vector pass), δW_head =
 	// δlogits ⊗ gap (outer-product pass).
-	rawGap, err := c.head.TransposeMVM(deltaLogits)
+	rawGap, err := c.head.TransposeMVMInto(c.rawGap, deltaLogits)
 	if err != nil {
 		return 0, err
 	}
-	headGrad, err := c.head.OuterProduct(deltaLogits, c.gap)
-	if err != nil {
+	c.rawGap = rawGap
+	headGrad := c.head.gradScratch()
+	if err := c.head.OuterProductInto(headGrad, deltaLogits, c.gap); err != nil {
 		return 0, err
 	}
 	c.head.ApplyUpdate(c.cfg.LearningRate, headGrad)
 
 	// Convolution backward. The GAP distributes δgap uniformly over
 	// pixels; the LDSU-latched derivative gates each pixel's contribution.
+	// The control unit computes the gated per-pixel δh map and the
+	// active-pixel mask digitally, then the outer-product passes — one
+	// rank-1 update per active pixel, accumulated in the PE caches —
+	// stream through the kernel banks with all tiles in parallel.
 	pixels := c.pre.Dim(1)
-	kcols := c.patches.Dim(0)
 	scale := 1 / float64(pixels)
-	kernGrad := make([][]float64, c.spec.OutC)
-	for j := range kernGrad {
-		kernGrad[j] = make([]float64, kcols)
+	pre := c.pre.Data()
+	c.deltaH = growFloats(c.deltaH, c.spec.OutC*pixels)
+	if cap(c.active) < pixels {
+		c.active = make([]bool, pixels)
 	}
-	deltaH := make([]float64, c.spec.OutC)
-	col := make([]float64, kcols)
-	pd := c.patches.Data()
-	for p := 0; p < pixels; p++ {
-		nonzero := false
-		for oc := 0; oc < c.spec.OutC; oc++ {
-			d := rawGap[oc] * scale * c.act.Derivative(c.pre.Data()[oc*pixels+p])
-			deltaH[oc] = d
+	active := c.active[:pixels]
+	for p := range active {
+		active[p] = false
+	}
+	for oc := 0; oc < c.spec.OutC; oc++ {
+		for p := 0; p < pixels; p++ {
+			d := rawGap[oc] * scale * c.act.Derivative(pre[oc*pixels+p])
+			c.deltaH[oc*pixels+p] = d
 			if d != 0 {
-				nonzero = true
+				active[p] = true
 			}
 		}
-		if !nonzero {
-			continue // the derivative gate silenced this pixel entirely
-		}
-		for r := 0; r < kcols; r++ {
-			col[r] = pd[r*pixels+p]
-		}
-		// Outer-product pass: banks hold the patch (broadcast), inputs
-		// carry δh — one rank-1 update per pixel, accumulated in the PE
-		// caches.
-		grad, err := c.kernel.OuterProduct(deltaH, col)
-		if err != nil {
-			return 0, err
-		}
-		for j := range grad {
-			for i := range grad[j] {
-				kernGrad[j][i] += grad[j][i]
-			}
-		}
+	}
+	kernGrad := c.kernel.gradScratch()
+	if err := c.kernel.streamOuterProduct(c.patches.Data(), c.deltaH, active, pixels, kernGrad); err != nil {
+		return 0, err
 	}
 	c.kernel.ApplyUpdate(c.cfg.LearningRate, kernGrad)
 	return loss, nil
@@ -194,20 +183,7 @@ func (c *CNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
 
 // Ledger merges the energy ledgers of the kernel and head banks.
 func (c *CNN) Ledger() *Ledger {
-	out := NewLedger()
-	var maxElapsed float64
-	for _, l := range []*DenseLayer{c.kernel, c.head} {
-		for _, row := range l.tiles {
-			for _, pe := range row {
-				out.Merge(pe.Ledger())
-				if e := pe.Ledger().Elapsed().Seconds(); e > maxElapsed {
-					maxElapsed = e
-				}
-			}
-		}
-	}
-	out.Advance(durationFromSeconds(maxElapsed))
-	return out
+	return mergeTileLedgers([]*DenseLayer{c.kernel, c.head})
 }
 
 // KernelWeights exposes the kernel master matrix for inspection.

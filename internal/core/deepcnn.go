@@ -23,14 +23,25 @@ type DeepCNN struct {
 	act     *nn.GSTActivation
 	classes int
 	gap     []float64
+
+	// Backward-pass scratch, reused across samples.
+	rawGap []float64
+	deltaY *tensor.Tensor
 }
 
-// convStage is one hardware convolution layer with its saved forward state.
+// convStage is one hardware convolution layer with its saved forward state
+// and its reusable backward-pass scratch.
 type convStage struct {
 	spec    tensor.Conv2DSpec
 	kernel  *DenseLayer // OutC × (InC·KH·KW)
 	patches *tensor.Tensor
 	pre     *tensor.Tensor // OutC × pixels
+
+	out     *tensor.Tensor // activated output map, reused across samples
+	deltaH  []float64      // OutC × pixels gated gradient, pixel-minor
+	active  []bool         // pixels with any non-zero gated gradient
+	dIn     *tensor.Tensor // ∂L/∂(input map), reused across samples
+	dInPart [][]float64    // per-tile input-gradient buffers (transpose stream)
 }
 
 // NewDeepCNN builds the stack. Every spec must be ungrouped and each
@@ -96,11 +107,12 @@ func (d *DeepCNN) Forward(img *tensor.Tensor) ([]float64, error) {
 	// Global average pool over the final activated map.
 	lastSpec := d.stages[len(d.stages)-1].spec
 	pixels := lastSpec.OutH() * lastSpec.OutW()
-	gap := make([]float64, lastSpec.OutC)
+	gap := growFloats(d.gap, lastSpec.OutC)
+	data := cur.Data()
 	for oc := 0; oc < lastSpec.OutC; oc++ {
 		var s float64
 		for p := 0; p < pixels; p++ {
-			s += cur.Data()[oc*pixels+p]
+			s += data[oc*pixels+p]
 		}
 		gap[oc] = s / float64(pixels)
 	}
@@ -108,33 +120,28 @@ func (d *DeepCNN) Forward(img *tensor.Tensor) ([]float64, error) {
 	return d.head.Forward(gap)
 }
 
-// forwardStage streams every im2col patch of the stage through its banks
-// and returns the activated output map.
+// forwardStage streams every im2col patch of the stage through its banks —
+// all tiles in parallel, tile-major (see streamMVM) — and returns the
+// activated output map.
 func (d *DeepCNN) forwardStage(st *convStage, in *tensor.Tensor) (*tensor.Tensor, error) {
 	s := st.spec
 	st.patches = tensor.Im2Col(st.patches, in, s, 0)
 	pixels := st.patches.Dim(1)
-	kcols := st.patches.Dim(0)
 	if st.pre == nil || st.pre.Dim(1) != pixels {
 		st.pre = tensor.New(s.OutC, pixels)
 	}
-	out := tensor.New(s.OutC, s.OutH(), s.OutW())
-	col := make([]float64, kcols)
-	pd := st.patches.Data()
-	for p := 0; p < pixels; p++ {
-		for r := 0; r < kcols; r++ {
-			col[r] = pd[r*pixels+p]
-		}
-		h, err := st.kernel.MVM(col)
-		if err != nil {
-			return nil, err
-		}
-		for oc, hv := range h {
-			st.pre.Data()[oc*pixels+p] = hv
-			out.Data()[oc*pixels+p] = d.act.Eval(hv)
-		}
+	if st.out == nil {
+		st.out = tensor.New(s.OutC, s.OutH(), s.OutW())
 	}
-	return out, nil
+	if err := st.kernel.streamMVM(st.patches.Data(), pixels, st.pre.Data()); err != nil {
+		return nil, err
+	}
+	pre := st.pre.Data()
+	out := st.out.Data()
+	for i := 0; i < s.OutC*pixels; i++ {
+		out[i] = d.act.Eval(pre[i])
+	}
+	return st.out, nil
 }
 
 // Predict returns the argmax class.
@@ -167,12 +174,13 @@ func (d *DeepCNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
 	deltaLogits[label] -= 1
 
 	// Head backward (dense Table II passes).
-	rawGap, err := d.head.TransposeMVM(deltaLogits)
+	rawGap, err := d.head.TransposeMVMInto(d.rawGap, deltaLogits)
 	if err != nil {
 		return 0, err
 	}
-	headGrad, err := d.head.OuterProduct(deltaLogits, d.gap)
-	if err != nil {
+	d.rawGap = rawGap
+	headGrad := d.head.gradScratch()
+	if err := d.head.OuterProductInto(headGrad, deltaLogits, d.gap); err != nil {
 		return 0, err
 	}
 	d.head.ApplyUpdate(d.cfg.LearningRate, headGrad)
@@ -181,11 +189,15 @@ func (d *DeepCNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
 	// uniformly over pixels.
 	lastSpec := d.stages[len(d.stages)-1].spec
 	pixels := lastSpec.OutH() * lastSpec.OutW()
-	deltaY := tensor.New(lastSpec.OutC, lastSpec.OutH(), lastSpec.OutW())
+	if d.deltaY == nil {
+		d.deltaY = tensor.New(lastSpec.OutC, lastSpec.OutH(), lastSpec.OutW())
+	}
+	deltaY := d.deltaY
+	dyd := deltaY.Data()
 	scale := 1 / float64(pixels)
 	for oc := 0; oc < lastSpec.OutC; oc++ {
 		for p := 0; p < pixels; p++ {
-			deltaY.Data()[oc*pixels+p] = rawGap[oc] * scale
+			dyd[oc*pixels+p] = rawGap[oc] * scale
 		}
 	}
 
@@ -205,85 +217,128 @@ func (d *DeepCNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
 func (d *DeepCNN) backwardStage(st *convStage, deltaY *tensor.Tensor, needInput bool) (*tensor.Tensor, error) {
 	s := st.spec
 	pixels := s.OutH() * s.OutW()
-	kcols := s.InC * s.KH * s.KW
 
-	// δh = δy ⊙ f'(pre), per pixel.
-	deltaH := tensor.New(s.OutC, pixels)
+	// δh = δy ⊙ f'(pre) per pixel, and the active-pixel mask — digital
+	// control-unit work shared by both hardware phases below. A pixel
+	// whose entire gated gradient is zero never enters the banks.
+	st.deltaH = growFloats(st.deltaH, s.OutC*pixels)
+	if cap(st.active) < pixels {
+		st.active = make([]bool, pixels)
+	}
+	active := st.active[:pixels]
+	for p := range active {
+		active[p] = false
+	}
+	dy := deltaY.Data()
+	pre := st.pre.Data()
 	for oc := 0; oc < s.OutC; oc++ {
 		for p := 0; p < pixels; p++ {
-			deltaH.Data()[oc*pixels+p] = deltaY.Data()[oc*pixels+p] *
-				d.act.Derivative(st.pre.Data()[oc*pixels+p])
+			v := dy[oc*pixels+p] * d.act.Derivative(pre[oc*pixels+p])
+			st.deltaH[oc*pixels+p] = v
+			if v != 0 {
+				active[p] = true
+			}
 		}
 	}
 
 	var deltaIn *tensor.Tensor
-	dhCol := make([]float64, s.OutC)
 	if needInput {
 		// Transpose passes first, while the banks hold Kᵀ once.
-		deltaIn = tensor.New(s.InC, s.InH, s.InW)
-		for p := 0; p < pixels; p++ {
-			zero := true
-			for oc := 0; oc < s.OutC; oc++ {
-				dhCol[oc] = deltaH.Data()[oc*pixels+p]
-				if dhCol[oc] != 0 {
-					zero = false
-				}
-			}
-			if zero {
-				continue
-			}
-			dpatch, err := st.kernel.TransposeMVM(dhCol)
-			if err != nil {
-				return nil, err
-			}
-			col2imAdd(deltaIn, dpatch, s, p)
+		if st.dIn == nil {
+			st.dIn = tensor.New(s.InC, s.InH, s.InW)
+		}
+		st.dIn.Zero()
+		deltaIn = st.dIn
+		if err := streamTransposeCol2im(st, active, deltaIn); err != nil {
+			return nil, err
 		}
 	}
 
-	// Outer-product passes for the kernel gradient.
-	kernGrad := make([][]float64, s.OutC)
-	for j := range kernGrad {
-		kernGrad[j] = make([]float64, kcols)
-	}
-	col := make([]float64, kcols)
-	pd := st.patches.Data()
-	for p := 0; p < pixels; p++ {
-		zero := true
-		for oc := 0; oc < s.OutC; oc++ {
-			dhCol[oc] = deltaH.Data()[oc*pixels+p]
-			if dhCol[oc] != 0 {
-				zero = false
-			}
-		}
-		if zero {
-			continue
-		}
-		for r := 0; r < kcols; r++ {
-			col[r] = pd[r*pixels+p]
-		}
-		grad, err := st.kernel.OuterProduct(dhCol, col)
-		if err != nil {
-			return nil, err
-		}
-		for j := range grad {
-			for i := range grad[j] {
-				kernGrad[j][i] += grad[j][i]
-			}
-		}
+	// Outer-product passes for the kernel gradient, all tiles in parallel.
+	kernGrad := st.kernel.gradScratch()
+	if err := st.kernel.streamOuterProduct(st.patches.Data(), st.deltaH, active, pixels, kernGrad); err != nil {
+		return nil, err
 	}
 	st.kernel.ApplyUpdate(d.cfg.LearningRate, kernGrad)
 	return deltaIn, nil
 }
 
-// col2imAdd scatters one pixel's patch gradient back onto the input map.
-func col2imAdd(dst *tensor.Tensor, dpatch []float64, s tensor.Conv2DSpec, pixel int) {
+// streamTransposeCol2im runs the stage's per-pixel gradient-vector passes
+// (banks holding Kᵀ) with one transpose tile per worker: each tile walks
+// every active pixel in order — preserving its PE's serial noise and energy
+// sequence — computing its rows of the patch gradient and scattering them
+// via col2im into a per-tile input-gradient buffer. The buffers merge into
+// dst in fixed tile order afterwards, so the result is independent of how
+// many workers ran the passes.
+func streamTransposeCol2im(st *convStage, active []bool, dst *tensor.Tensor) error {
+	l := st.kernel
+	s := st.spec
+	pixels := s.OutH() * s.OutW()
+	if l.state != bankTranspose {
+		if err := l.programTranspose(); err != nil {
+			return err
+		}
+	}
+	rt := (l.spec.In + l.rows - 1) / l.rows
+	ct := (l.spec.Out + l.cols - 1) / l.cols
+	n := dst.Len()
+	if st.dInPart == nil || len(st.dInPart) < rt*ct || len(st.dInPart[0]) < n {
+		flat := make([]float64, rt*ct*n)
+		st.dInPart = make([][]float64, rt*ct)
+		for t := range st.dInPart {
+			st.dInPart[t] = flat[t*n : (t+1)*n]
+		}
+	}
+	if err := runTiles(rt, ct, func(r, c int) error {
+		pe := l.tiles[c][r]
+		j0 := r * l.rows
+		j1 := min(j0+l.rows, l.spec.In)
+		i0 := c * l.cols
+		i1 := min(i0+l.cols, l.spec.Out)
+		buf := st.dInPart[r*ct+c][:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		dh := pe.colBuf[:i1-i0]
+		for p := 0; p < pixels; p++ {
+			if !active[p] {
+				continue
+			}
+			for k := i0; k < i1; k++ {
+				dh[k-i0] = st.deltaH[k*pixels+p]
+			}
+			part, err := pe.MVMPassInto(l.part[r*ct+c], dh)
+			if err != nil {
+				return err
+			}
+			col2imAddRows(buf, part[:j1-j0], j0, s, p)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	out := dst.Data()
+	for t := 0; t < rt*ct; t++ {
+		for i, v := range st.dInPart[t][:n] {
+			if v != 0 {
+				out[i] += v
+			}
+		}
+	}
+	return nil
+}
+
+// col2imAddRows scatters rows [j0, j0+len(rows)) of one pixel's patch
+// gradient back onto the flat input map.
+func col2imAddRows(dst []float64, rows []float64, j0 int, s tensor.Conv2DSpec, pixel int) {
 	outW := s.OutW()
 	oy := pixel / outW
 	ox := pixel % outW
-	for r, v := range dpatch {
+	for rr, v := range rows {
 		if v == 0 {
 			continue
 		}
+		r := j0 + rr
 		c := r / (s.KH * s.KW)
 		kh := (r / s.KW) % s.KH
 		kw := r % s.KW
@@ -292,30 +347,17 @@ func col2imAdd(dst *tensor.Tensor, dpatch []float64, s tensor.Conv2DSpec, pixel 
 		if iy < 0 || iy >= s.InH || ix < 0 || ix >= s.InW {
 			continue
 		}
-		dst.Data()[c*s.InH*s.InW+iy*s.InW+ix] += v
+		dst[c*s.InH*s.InW+iy*s.InW+ix] += v
 	}
 }
 
 // Ledger merges every stage's and the head's PE ledgers.
 func (d *DeepCNN) Ledger() *Ledger {
-	out := NewLedger()
-	var maxElapsed float64
 	layers := []*DenseLayer{d.head}
 	for _, st := range d.stages {
 		layers = append(layers, st.kernel)
 	}
-	for _, l := range layers {
-		for _, row := range l.tiles {
-			for _, pe := range row {
-				out.Merge(pe.Ledger())
-				if e := pe.Ledger().Elapsed().Seconds(); e > maxElapsed {
-					maxElapsed = e
-				}
-			}
-		}
-	}
-	out.Advance(durationFromSeconds(maxElapsed))
-	return out
+	return mergeTileLedgers(layers)
 }
 
 // Stages returns the number of convolution stages.

@@ -106,7 +106,3 @@ func (l *Ledger) String() string {
 	}
 	return b.String()
 }
-
-// durationFromSeconds converts a plain seconds value into the ledger's
-// duration type.
-func durationFromSeconds(s float64) units.Duration { return units.Duration(s) }

@@ -6,7 +6,6 @@ import (
 
 	"trident/internal/device"
 	"trident/internal/nn"
-	"trident/internal/units"
 )
 
 // LayerSpec describes one dense layer mapped onto Trident PEs.
@@ -48,6 +47,16 @@ type DenseLayer struct {
 	actCells *nn.GSTActivation
 	momentum float64
 	velocity [][]float64 // heavy-ball state, allocated on first update
+
+	// Execution-engine scratch, reused across passes. part holds one
+	// partial-sum buffer per tile (indexed rowTile*colTiles+colTile) so
+	// concurrent tile passes never write shared accumulators; the merge
+	// into the layer output happens afterwards in fixed tile order.
+	part    [][]float64
+	hBuf    []float64   // forward accumulator scratch
+	tBuf    []float64   // transpose-pass accumulator scratch
+	gradBuf [][]float64 // outer-product gradient scratch (see gradScratch)
+	stream  []float64   // per-tile pixel-stream slabs (conv streaming)
 }
 
 // bankState tracks which operand layout the tile banks currently hold.
@@ -143,27 +152,34 @@ func newDenseLayer(cfg NetworkConfig, spec LayerSpec, seed int64) (*DenseLayer, 
 			l.tiles[r][c] = pe
 		}
 	}
+	// One partial-sum buffer per tile; the transpose grid has the same
+	// tile count (square banks), so the buffers serve both layouts.
+	partFlat := make([]float64, rt*ct*l.rows)
+	l.part = make([][]float64, rt*ct)
+	for t := range l.part {
+		l.part[t] = partFlat[t*l.rows : (t+1)*l.rows]
+	}
 	if err := l.programForward(); err != nil {
 		return nil, err
 	}
 	return l, nil
 }
 
-// tileBlock extracts the weight block for tile (r, c), clamped at the
-// matrix edges.
-func (l *DenseLayer) tileBlock(r, c int, transpose bool) [][]float64 {
+// tileBlock stages the weight block for tile (r, c), clamped at the matrix
+// edges, into the destination PE's reusable block scratch.
+func (l *DenseLayer) tileBlock(pe *PE, r, c int, transpose bool) [][]float64 {
 	src := l.w
 	outDim, inDim := l.spec.Out, l.spec.In
 	if transpose {
 		outDim, inDim = inDim, outDim
 	}
 	j0 := r * l.rows
-	j1 := minInt(j0+l.rows, outDim)
+	j1 := min(j0+l.rows, outDim)
 	i0 := c * l.cols
-	i1 := minInt(i0+l.cols, inDim)
-	blk := make([][]float64, j1-j0)
+	i1 := min(i0+l.cols, inDim)
+	blk := pe.blockBuf[:j1-j0]
 	for j := j0; j < j1; j++ {
-		row := make([]float64, i1-i0)
+		row := pe.blockData[(j-j0)*pe.cfg.Cols:][: i1-i0 : i1-i0]
 		for i := i0; i < i1; i++ {
 			if transpose {
 				row[i-i0] = src[i][j]
@@ -176,14 +192,14 @@ func (l *DenseLayer) tileBlock(r, c int, transpose bool) [][]float64 {
 	return blk
 }
 
-// programForward writes W into the tile banks.
+// programForward writes W into the tile banks; all tiles program
+// concurrently (in hardware every cell of every bank tunes in parallel).
 func (l *DenseLayer) programForward() error {
-	for r := range l.tiles {
-		for c, pe := range l.tiles[r] {
-			if err := pe.Program(l.tileBlock(r, c, false)); err != nil {
-				return err
-			}
-		}
+	if err := runTiles(len(l.tiles), len(l.tiles[0]), func(r, c int) error {
+		pe := l.tiles[r][c]
+		return pe.Program(l.tileBlock(pe, r, c, false))
+	}); err != nil {
+		return err
 	}
 	l.state = bankForward
 	return nil
@@ -201,13 +217,11 @@ func (l *DenseLayer) programTranspose() error {
 	}
 	rt := (l.spec.In + l.rows - 1) / l.rows
 	ct := (l.spec.Out + l.cols - 1) / l.cols
-	for r := 0; r < rt; r++ {
-		for c := 0; c < ct; c++ {
-			pe := l.tiles[c][r] // reuse the forward tile grid transposed
-			if err := pe.Program(l.tileBlock(r, c, true)); err != nil {
-				return err
-			}
-		}
+	if err := runTiles(rt, ct, func(r, c int) error {
+		pe := l.tiles[c][r] // reuse the forward tile grid transposed
+		return pe.Program(l.tileBlock(pe, r, c, true))
+	}); err != nil {
+		return err
 	}
 	l.state = bankTranspose
 	return nil
@@ -217,6 +231,14 @@ func (l *DenseLayer) programTranspose() error {
 // grid without touching the layer's saved training state: the primitive
 // shared by Forward and by the convolutional layer's per-pixel streaming.
 func (l *DenseLayer) MVM(x []float64) ([]float64, error) {
+	return l.MVMInto(nil, x)
+}
+
+// MVMInto is MVM writing into a caller-owned buffer. All tiles run their
+// optical passes concurrently — every bank filters its wavelengths in the
+// same clock — with per-tile partial sums merged afterwards in fixed
+// (rowTile, colTile) order, so the result is independent of scheduling.
+func (l *DenseLayer) MVMInto(dst, x []float64) ([]float64, error) {
 	if len(x) != l.spec.In {
 		return nil, fmt.Errorf("core: layer input %d, want %d", len(x), l.spec.In)
 	}
@@ -225,17 +247,24 @@ func (l *DenseLayer) MVM(x []float64) ([]float64, error) {
 			return nil, err
 		}
 	}
-	h := make([]float64, l.spec.Out)
+	ct := len(l.tiles[0])
+	if err := runTiles(len(l.tiles), ct, func(r, c int) error {
+		i0 := c * l.cols
+		i1 := min(i0+l.cols, l.spec.In)
+		_, err := l.tiles[r][c].MVMPassInto(l.part[r*ct+c], x[i0:i1])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	h := growFloats(dst, l.spec.Out)
+	for j := range h {
+		h[j] = 0
+	}
 	for r := range l.tiles {
 		j0 := r * l.rows
-		j1 := minInt(j0+l.rows, l.spec.Out)
-		for c, pe := range l.tiles[r] {
-			i0 := c * l.cols
-			i1 := minInt(i0+l.cols, l.spec.In)
-			part, err := pe.MVMPass(x[i0:i1])
-			if err != nil {
-				return nil, err
-			}
+		j1 := min(j0+l.rows, l.spec.Out)
+		for c := range l.tiles[r] {
+			part := l.part[r*ct+c]
 			for j := j0; j < j1; j++ {
 				h[j] += part[j-j0]
 			}
@@ -248,22 +277,24 @@ func (l *DenseLayer) MVM(x []float64) ([]float64, error) {
 // sum accumulation across column tiles, then the GST activation (if
 // enabled) on the row-tile PEs.
 func (l *DenseLayer) Forward(x []float64) ([]float64, error) {
-	h, err := l.MVM(x)
+	h, err := l.MVMInto(l.hBuf, x)
 	if err != nil {
 		return nil, err
 	}
+	l.hBuf = h
 	l.lastX = append(l.lastX[:0], x...)
 	l.lastH = append(l.lastH[:0], h...)
 	y := make([]float64, len(h))
 	if l.spec.Activate {
-		for r := range l.tiles {
+		// One activation row per row tile; the GST cells of distinct
+		// tiles fire concurrently.
+		if err := runTiles(len(l.tiles), 1, func(r, _ int) error {
 			j0 := r * l.rows
-			j1 := minInt(j0+l.rows, l.spec.Out)
-			out, err := l.tiles[r][0].Activate(h[j0:j1])
-			if err != nil {
-				return nil, err
-			}
-			copy(y[j0:j1], out)
+			j1 := min(j0+l.rows, l.spec.Out)
+			_, err := l.tiles[r][0].ActivateInto(y[j0:j1], h[j0:j1])
+			return err
+		}); err != nil {
+			return nil, err
 		}
 	} else {
 		copy(y, h)
@@ -284,6 +315,12 @@ func (l *DenseLayer) Forward(x []float64) ([]float64, error) {
 // TransposeMVM computes Wᵀ·δ on hardware (the gradient-vector pass before
 // the Hadamard product).
 func (l *DenseLayer) TransposeMVM(delta []float64) ([]float64, error) {
+	return l.TransposeMVMInto(nil, delta)
+}
+
+// TransposeMVMInto is TransposeMVM writing into a caller-owned buffer, with
+// the tile passes fanned out like MVMInto (transposed grid).
+func (l *DenseLayer) TransposeMVMInto(dst, delta []float64) ([]float64, error) {
 	if len(delta) != l.spec.Out {
 		return nil, fmt.Errorf("core: layer delta %d, want %d", len(delta), l.spec.Out)
 	}
@@ -292,19 +329,25 @@ func (l *DenseLayer) TransposeMVM(delta []float64) ([]float64, error) {
 			return nil, err
 		}
 	}
-	out := make([]float64, l.spec.In)
 	rt := (l.spec.In + l.rows - 1) / l.rows
 	ct := (l.spec.Out + l.cols - 1) / l.cols
+	if err := runTiles(rt, ct, func(r, c int) error {
+		i0 := c * l.cols
+		i1 := min(i0+l.cols, l.spec.Out)
+		_, err := l.tiles[c][r].MVMPassInto(l.part[r*ct+c], delta[i0:i1])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	out := growFloats(dst, l.spec.In)
+	for j := range out {
+		out[j] = 0
+	}
 	for r := 0; r < rt; r++ {
 		j0 := r * l.rows
-		j1 := minInt(j0+l.rows, l.spec.In)
+		j1 := min(j0+l.rows, l.spec.In)
 		for c := 0; c < ct; c++ {
-			i0 := c * l.cols
-			i1 := minInt(i0+l.cols, l.spec.Out)
-			part, err := l.tiles[c][r].MVMPass(delta[i0:i1])
-			if err != nil {
-				return nil, err
-			}
+			part := l.part[r*ct+c]
 			for j := j0; j < j1; j++ {
 				out[j] += part[j-j0]
 			}
@@ -316,34 +359,42 @@ func (l *DenseLayer) TransposeMVM(delta []float64) ([]float64, error) {
 // OuterProduct computes δW = δh·yᵀ on hardware: each tile programs the
 // broadcast y slice and feeds its δh slice (Table II, third column).
 func (l *DenseLayer) OuterProduct(deltaH, y []float64) ([][]float64, error) {
-	if len(deltaH) != l.spec.Out || len(y) != l.spec.In {
-		return nil, fmt.Errorf("core: outer product dims %d×%d, want %d×%d",
-			len(deltaH), len(y), l.spec.Out, l.spec.In)
-	}
 	grad := make([][]float64, l.spec.Out)
 	for j := range grad {
 		grad[j] = make([]float64, l.spec.In)
 	}
-	for r := range l.tiles {
+	if err := l.OuterProductInto(grad, deltaH, y); err != nil {
+		return nil, err
+	}
+	return grad, nil
+}
+
+// OuterProductInto is OuterProduct writing into caller-owned gradient rows.
+// Every tile programs its broadcast slice and runs its pass concurrently;
+// tiles write disjoint blocks of grad, so no merge step is needed.
+func (l *DenseLayer) OuterProductInto(grad [][]float64, deltaH, y []float64) error {
+	if len(deltaH) != l.spec.Out || len(y) != l.spec.In {
+		return fmt.Errorf("core: outer product dims %d×%d, want %d×%d",
+			len(deltaH), len(y), l.spec.Out, l.spec.In)
+	}
+	if err := runTiles(len(l.tiles), len(l.tiles[0]), func(r, c int) error {
+		pe := l.tiles[r][c]
 		j0 := r * l.rows
-		j1 := minInt(j0+l.rows, l.spec.Out)
-		for c, pe := range l.tiles[r] {
-			i0 := c * l.cols
-			i1 := minInt(i0+l.cols, l.spec.In)
-			if err := pe.ProgramBroadcast(y[i0:i1]); err != nil {
-				return nil, err
-			}
-			rows, err := pe.OuterProductPass(deltaH[j0:j1], y[i0:i1])
-			if err != nil {
-				return nil, err
-			}
-			for j := j0; j < j1; j++ {
-				copy(grad[j][i0:i1], rows[j-j0])
-			}
+		j1 := min(j0+l.rows, l.spec.Out)
+		i0 := c * l.cols
+		i1 := min(i0+l.cols, l.spec.In)
+		if err := pe.ProgramBroadcast(y[i0:i1]); err != nil {
+			return err
 		}
+		for j := j0; j < j1; j++ {
+			pe.opRows[j-j0] = grad[j][i0:i1]
+		}
+		return pe.outerProductInto(pe.opRows[:j1-j0], deltaH[j0:j1], y[i0:i1], false)
+	}); err != nil {
+		return err
 	}
 	l.state = bankBroadcast
-	return grad, nil
+	return nil
 }
 
 // ApplyUpdate performs the equation (1) update W ← W − β·v on the
@@ -446,18 +497,19 @@ func (n *Network) TrainSample(x []float64, label int) (float64, error) {
 		// restored lazily on the next inference.
 		var nextDelta []float64
 		if k > 0 {
-			raw, err := l.TransposeMVM(delta)
+			raw, err := l.TransposeMVMInto(l.tBuf, delta)
 			if err != nil {
 				return 0, err
 			}
+			l.tBuf = raw
 			prev := n.layers[k-1]
 			nextDelta = make([]float64, len(raw))
 			for i := range raw {
 				nextDelta[i] = raw[i] * prev.derivs[i]
 			}
 		}
-		grad, err := l.OuterProduct(delta, input)
-		if err != nil {
+		grad := l.gradScratch()
+		if err := l.OuterProductInto(grad, delta, input); err != nil {
 			return 0, err
 		}
 		l.ApplyUpdate(n.cfg.LearningRate, grad)
@@ -471,20 +523,7 @@ func (n *Network) Layers() []*DenseLayer { return n.layers }
 
 // Ledger returns a merged energy ledger across every PE tile.
 func (n *Network) Ledger() *Ledger {
-	out := NewLedger()
-	var maxElapsed units.Duration
-	for _, l := range n.layers {
-		for _, row := range l.tiles {
-			for _, pe := range row {
-				out.Merge(pe.Ledger())
-				if e := pe.Ledger().Elapsed(); e > maxElapsed {
-					maxElapsed = e
-				}
-			}
-		}
-	}
-	out.Advance(maxElapsed)
-	return out
+	return mergeTileLedgers(n.layers)
 }
 
 // PECount returns the number of PE tiles in the network.
@@ -496,11 +535,4 @@ func (n *Network) PECount() int {
 		}
 	}
 	return total
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

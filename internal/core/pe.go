@@ -78,6 +78,18 @@ type PE struct {
 	// from the BPD noise model.
 	noiseRel float64
 	scratch  []float64
+
+	// Reusable scratch owned by this PE. A PE is driven by exactly one
+	// goroutine at a time (the tile-execution engine decomposes work per
+	// tile), so these need no locking.
+	colBuf    []float64   // input-slice extraction (len Cols)
+	dhBuf     []float64   // δh-slice extraction (len Rows)
+	normBuf   []float64   // threshold-normalized pre-activations (len Rows)
+	derivBuf  []float64   // LDSU derivative reads (len Rows)
+	opRows    [][]float64 // outer-product destination row views (len Rows)
+	bcastRows [][]float64 // broadcast-programming row views (len Rows)
+	blockBuf  [][]float64 // weight-block staging rows (len Rows)
+	blockData []float64   // backing store for blockBuf (Rows×Cols)
 }
 
 // NewPE builds a processing element. Zero config fields take the paper's
@@ -108,12 +120,19 @@ func NewPE(cfg PEConfig) (*PE, error) {
 		return nil, fmt.Errorf("core: PE lasers: %w", err)
 	}
 	pe := &PE{
-		cfg:    cfg,
-		bank:   bank,
-		lasers: lasers,
-		ldsu:   pcm.NewLDSUBank(cfg.Rows),
-		ledger: NewLedger(),
-		rng:    rand.New(rand.NewSource(cfg.NoiseSeed)),
+		cfg:       cfg,
+		bank:      bank,
+		lasers:    lasers,
+		ldsu:      pcm.NewLDSUBank(cfg.Rows),
+		ledger:    NewLedger(),
+		rng:       rand.New(rand.NewSource(cfg.NoiseSeed)),
+		colBuf:    make([]float64, cfg.Cols),
+		dhBuf:     make([]float64, cfg.Rows),
+		normBuf:   make([]float64, cfg.Rows),
+		opRows:    make([][]float64, cfg.Rows),
+		bcastRows: make([][]float64, cfg.Rows),
+		blockBuf:  make([][]float64, cfg.Rows),
+		blockData: make([]float64, cfg.Rows*cfg.Cols),
 	}
 	for j := 0; j < cfg.Rows; j++ {
 		fe, err := analog.NewRowFrontEnd(cfg.NoiseSeed + int64(j) + 1)
@@ -192,34 +211,47 @@ func (p *PE) noisy(v float64, n int) float64 {
 // filter through the rings, detect on the BPDs. It returns the noisy analog
 // pre-activations and books one clock of pipeline energy.
 func (p *PE) MVMPass(x []float64) ([]float64, error) {
+	return p.MVMPassInto(nil, x)
+}
+
+// MVMPassInto is MVMPass writing into a caller-owned buffer: dst is
+// allocated only when nil or too small, so the steady-state hot path is
+// allocation-free.
+func (p *PE) MVMPassInto(dst, x []float64) ([]float64, error) {
 	if len(x) > p.cfg.Cols {
 		return nil, fmt.Errorf("core: input length %d exceeds bank cols %d", len(x), p.cfg.Cols)
 	}
+	dst = growFloats(dst, p.cfg.Rows)
 	p.scratch = p.bank.MVM(p.scratch, x)
-	h := make([]float64, p.cfg.Rows)
-	for j := range h {
-		h[j] = p.noisy(p.scratch[j], len(x))
+	for j := range dst {
+		dst[j] = p.noisy(p.scratch[j], len(x))
 	}
 	p.step(len(x))
-	return h, nil
+	return dst, nil
 }
 
 // Activate pushes accumulated pre-activations h (len ≤ Rows) through the
 // PE's GST activation cells and latches the LDSUs. It returns the activated
 // outputs and books the recrystallization energy for cells that fired.
 func (p *PE) Activate(h []float64) ([]float64, error) {
+	return p.ActivateInto(nil, h)
+}
+
+// ActivateInto is Activate writing into a caller-owned buffer (allocated
+// only when nil or too small).
+func (p *PE) ActivateInto(dst, h []float64) ([]float64, error) {
 	if len(h) > p.cfg.Rows {
 		return nil, fmt.Errorf("core: %d pre-activations exceed bank rows %d", len(h), p.cfg.Rows)
 	}
 	// LDSU latches the comparator result relative to the activation
 	// threshold (normalized so the threshold sits at 1).
-	norm := make([]float64, len(h))
+	norm := p.normBuf[:len(h)]
 	for j, v := range h {
 		norm[j] = p.normalizeToThreshold(v)
 	}
 	p.ldsu.Latch(norm)
 	p.ledger.Add(CatLDSU, device.PowerLDSU.OverTime(device.ClockRate.Period()))
-	y := make([]float64, len(h))
+	y := growFloats(dst, len(h))
 	fired := false
 	for j, v := range norm {
 		y[j] = p.acts[j].ApplyNormalized(v) * p.thresholdScale()
@@ -267,12 +299,19 @@ func (p *PE) thresholdScale() float64 { return 1 }
 // caller), inputs carry the upstream error δ, and the TIAs apply the
 // latched derivatives, returning δh = (Wᵀδ) ⊙ f'(h).
 func (p *PE) GradientPass(delta []float64) ([]float64, error) {
+	return p.GradientPassInto(nil, delta)
+}
+
+// GradientPassInto is GradientPass writing into a caller-owned buffer
+// (allocated only when nil or too small).
+func (p *PE) GradientPassInto(dst, delta []float64) ([]float64, error) {
 	if len(delta) > p.cfg.Cols {
 		return nil, fmt.Errorf("core: delta length %d exceeds bank cols %d", len(delta), p.cfg.Cols)
 	}
 	p.scratch = p.bank.MVM(p.scratch, delta)
-	derivs := p.ldsu.Derivatives(nil)
-	out := make([]float64, p.cfg.Rows)
+	p.derivBuf = p.ldsu.Derivatives(p.derivBuf)
+	derivs := p.derivBuf
+	out := growFloats(dst, p.cfg.Rows)
 	for j := range out {
 		v := p.noisy(p.scratch[j], len(delta))
 		// TIA programmed to f'(h_j): the Hadamard product in analog.
@@ -290,30 +329,58 @@ func (p *PE) GradientPass(delta []float64) ([]float64, error) {
 // PE computes Rows outer-product rows per pass; the caller supplies y
 // pre-programmed via ProgramBroadcast.
 func (p *PE) OuterProductPass(deltaH []float64, y []float64) ([][]float64, error) {
+	out := make([][]float64, len(deltaH))
+	for j := range out {
+		out[j] = make([]float64, len(y))
+	}
+	if err := p.OuterProductPassInto(out, deltaH, y); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// OuterProductPassInto is OuterProductPass writing row j of the outer
+// product into dst[j] (each at least len(y) long), avoiding the per-pass row
+// allocations.
+func (p *PE) OuterProductPassInto(dst [][]float64, deltaH, y []float64) error {
+	if len(dst) < len(deltaH) {
+		return fmt.Errorf("core: %d destination rows for %d δh entries", len(dst), len(deltaH))
+	}
+	return p.outerProductInto(dst, deltaH, y, false)
+}
+
+// outerProductInto computes the outer-product rows, either overwriting or
+// accumulating into dst — the accumulate form is the per-pixel streaming
+// path of the convolution backward, where rank-1 updates sum in the PE
+// caches.
+func (p *PE) outerProductInto(dst [][]float64, deltaH, y []float64, accumulate bool) error {
 	if len(y) > p.cfg.Cols {
-		return nil, fmt.Errorf("core: y length %d exceeds bank cols %d", len(y), p.cfg.Cols)
+		return fmt.Errorf("core: y length %d exceeds bank cols %d", len(y), p.cfg.Cols)
 	}
 	if len(deltaH) > p.cfg.Rows {
-		return nil, fmt.Errorf("core: δh length %d exceeds bank rows %d", len(deltaH), p.cfg.Rows)
+		return fmt.Errorf("core: δh length %d exceeds bank rows %d", len(deltaH), p.cfg.Rows)
 	}
 	// The bank holds y on every row; feeding δh_j on row j's drive yields
 	// row j of the outer product. Physically each row sees its scalar
 	// δh_j modulating the shared y spectrum; numerically: δW[j][i] =
 	// δh[j]·y_realized[i] where y_realized is the quantized bank content.
-	out := make([][]float64, len(deltaH))
 	for j := range deltaH {
-		row := make([]float64, len(y))
+		row := dst[j]
 		for i := range y {
-			row[i] = p.noisy(deltaH[j]*p.bank.Weight(j, i), 1)
+			v := p.noisy(deltaH[j]*p.bank.Weight(j, i), 1)
+			if accumulate {
+				row[i] += v
+			} else {
+				row[i] = v
+			}
 		}
 		// TIAs act as plain amplifiers in this mode.
 		if err := p.fes[j%len(p.fes)].TIA.SetScale(1); err != nil {
-			return nil, err
+			return err
 		}
-		out[j] = row
 	}
 	p.step(len(y))
-	return out, nil
+	return nil
 }
 
 // ProgramBroadcast writes the same vector y into every bank row — the
@@ -323,11 +390,10 @@ func (p *PE) ProgramBroadcast(y []float64) error {
 	if len(y) > p.cfg.Cols {
 		return fmt.Errorf("core: broadcast length %d exceeds bank cols %d", len(y), p.cfg.Cols)
 	}
-	w := make([][]float64, p.cfg.Rows)
-	for j := range w {
-		w[j] = y
+	for j := range p.bcastRows {
+		p.bcastRows[j] = y
 	}
-	return p.Program(w)
+	return p.Program(p.bcastRows)
 }
 
 // Derivatives exposes the LDSU bank contents (for tests and the trainer).
