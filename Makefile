@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: tier1 tier2 bench all
+.PHONY: tier1 tier2 tier2-reliability bench all
 
 all: tier1
 
-# Tier 1: build + full test suite (the gate every change must keep green).
+# Tier 1: vet + build + full test suite (the gate every change must keep
+# green).
 tier1:
+	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 
@@ -13,6 +15,13 @@ tier1:
 tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Tier 2 reliability: the fault campaigns under the race detector, plus
+# short fuzz runs over the PCM cell state machines the wear model leans on.
+tier2-reliability:
+	$(GO) test -race -run 'Campaign|Wear|Fault|BIST|Scheduler|Drift' ./internal/reliability/ ./internal/core/ ./internal/mrr/ ./internal/pcm/
+	$(GO) test -run '^$$' -fuzz '^FuzzActivationCell$$' -fuzztime 10s ./internal/pcm/
+	$(GO) test -run '^$$' -fuzz '^FuzzCellProgram$$' -fuzztime 10s ./internal/pcm/
 
 # Hot-path and experiment benchmarks with allocation reporting.
 bench:

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	trident infer  [-model VGG-16] [-accel Trident] [-batch 32] [-layers]
-//	trident train  [-samples 600] [-hidden 16] [-epochs 10] [-noise]
+//	trident train  [-samples 600] [-hidden 16] [-epochs 10] [-noise] [-lifetime]
 //	trident sweep  [-model ResNet-50]
 //	trident devices
 package main
@@ -61,6 +61,7 @@ func usage() {
 commands:
   infer    map a CNN onto an accelerator and report latency/energy
   train    run functional in-situ training on synthetic data
+           (-lifetime: compressed wear-out campaign with BIST + self-healing)
   sweep    sweep the PE budget for one model
   cache    analyze on-chip memory behaviour for one model
   export   train in-situ and save the network state; verify a reload round-trip
@@ -136,8 +137,13 @@ func cmdTrain(args []string) {
 	lr := fs.Float64("lr", 0.08, "learning rate (β)")
 	noise := fs.Bool("noise", false, "enable analog BPD noise")
 	seed := fs.Int64("seed", 42, "dataset seed")
+	lifetime := fs.Bool("lifetime", false, "run the lifetime wear-out campaign instead of plain training")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
+	}
+	if *lifetime {
+		cmdLifetime(*seed)
+		return
 	}
 	data := dataset.Blobs(*samples, *classes, *dim, 0.1, *seed)
 	fmt.Printf("in-situ training: %d samples, %d classes, %d→%d→%d network, %d epochs\n",
@@ -152,6 +158,26 @@ func cmdTrain(args []string) {
 	fmt.Printf("  energy           %v (%.1f%% GST tuning)\n", res.Energy, res.TuningShare*100)
 	digital := train.DigitalBaselineAccuracy(data, *hidden, *epochs, *lr, 1)
 	fmt.Printf("  digital baseline %.1f%%\n", digital*100)
+}
+
+// cmdLifetime runs the compressed wear-out campaign: a network trains in
+// situ while GST cells exhaust Weibull endurance budgets, the built-in
+// self-test localizes the deaths without oracle access, and the remediation
+// scheduler refreshes, wear-levels, heals and masks to hold accuracy.
+func cmdLifetime(seed int64) {
+	fmt.Println("lifetime campaign: compressed wear-out with BIST, wear-leveling and self-healing")
+	res, err := experiments.Lifetime(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.LifetimeTable(res).String())
+	fmt.Printf("  baseline accuracy  %.1f%%\n", res.BaselineAccuracy*100)
+	fmt.Printf("  final accuracy     %.1f%%\n", res.FinalAccuracy*100)
+	fmt.Printf("  wear faults        %d (%d detected by BIST, %.0f%%)\n",
+		res.WearFaults, res.Detected, 100*res.DetectionRate)
+	fmt.Printf("  healing runs       %d\n", res.Heals)
+	fmt.Printf("  masked rows        %d\n", res.MaskedRows)
+	fmt.Printf("  writes/cell        mean %.0f, max %d\n", res.MeanCellWrites, res.MaxCellWrites)
 }
 
 func cmdSweep(args []string) {

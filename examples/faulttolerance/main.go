@@ -4,9 +4,16 @@
 // device that only runs pre-trained weights has no recovery path when PCM
 // cells wear out; a device that trains on its own hardware routes around
 // them.
+//
+// With --lifetime the example instead runs the compressed wear-out
+// campaign: cells die organically of endurance exhaustion mid-training,
+// the built-in self-test localizes them without oracle access, and the
+// remediation scheduler refreshes, wear-levels, heals and masks to hold
+// accuracy. It prints the wear/accuracy timeline.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,6 +23,13 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	lifetime := flag.Bool("lifetime", false, "run the lifetime wear-out campaign (BIST + wear-leveling + self-healing)")
+	seed := flag.Int64("seed", 42, "campaign seed (with --lifetime)")
+	flag.Parse()
+	if *lifetime {
+		runLifetime(*seed)
+		return
+	}
 	fmt.Println("== Stuck-cell injection and in-situ healing ==")
 	rows, err := experiments.FaultRecovery(5)
 	if err != nil {
@@ -50,4 +64,23 @@ func main() {
 	fmt.Println("per-cell endurance is ~1e12 switching cycles; at the Table V training")
 	fmt.Println("rates that is 55–660 years of continuous training (papertables -only endurance),")
 	fmt.Println("so faults arrive slowly — and when they do, the loop above absorbs them.")
+	fmt.Println("\nrun with --lifetime to watch a whole deployed life, compressed: cells")
+	fmt.Println("dying of wear mid-training, the self-test finding them, the scheduler healing.")
+}
+
+// runLifetime executes the compressed wear-out campaign and prints its
+// health-check timeline: each row is one scheduler check, with the oracle
+// fault count alongside the scheduler's own (oracle-blind) suspect count.
+func runLifetime(seed int64) {
+	fmt.Println("== Lifetime wear-out campaign ==")
+	res, err := experiments.Lifetime(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.LifetimeTable(res).String())
+	fmt.Printf("baseline %.1f%% → final %.1f%%; BIST detected %d/%d wear faults (%.0f%%) with zero oracle access\n",
+		res.BaselineAccuracy*100, res.FinalAccuracy*100,
+		res.Detected, res.WearFaults, 100*res.DetectionRate)
+	fmt.Printf("%d healing runs, %d masked rows, writes/cell mean %.0f max %d\n",
+		res.Heals, res.MaskedRows, res.MeanCellWrites, res.MaxCellWrites)
 }

@@ -144,6 +144,15 @@ func runTiles(rt, ct int, fn func(r, c int) error) error {
 	return kept
 }
 
+// RunTiles exposes the tile fan-out to sibling packages (the reliability
+// engine runs its self-test passes tile-parallel under the same ownership
+// contract): fn is called once per (r, c) of an rt×ct grid, with per-tile
+// results confined to per-tile state and merged by the caller in fixed
+// order. See runTiles for the error-selection rule.
+func RunTiles(rt, ct int, fn func(r, c int) error) error {
+	return runTiles(rt, ct, fn)
+}
+
 // growFloats returns s resized to n, reallocating only when the capacity is
 // insufficient. Contents are unspecified; callers overwrite or zero.
 func growFloats(s []float64, n int) []float64 {

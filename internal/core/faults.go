@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
+
+	"trident/internal/units"
 )
 
 // Fault injection. Fabricated GST cells fail: a cell can stick at its
@@ -13,6 +15,13 @@ import (
 // on the dead weight — which is an operational advantage over the
 // train-offline-then-map flow, where a dead cell silently corrupts a
 // pre-trained weight. The experiments quantify that recovery.
+//
+// Faults address *physical* bank positions: a stuck ring stays stuck no
+// matter which logical matrix row the wear-leveling rotation currently maps
+// onto it. Besides explicit injection (the one-shot studies), faults also
+// emerge organically: when a cell's switching endurance runs out mid-write,
+// the PE converts the failed pulse into a stuck-cell fault event instead of
+// aborting the training run (see PE.Program).
 
 // FaultKind classifies a stuck cell.
 type FaultKind int
@@ -42,15 +51,48 @@ func (k FaultKind) String() string {
 	}
 }
 
-// fault records one stuck cell inside a PE.
+// FaultCause records how a stuck cell came to be.
+type FaultCause int
+
+// Fault causes.
+const (
+	// CauseInjected marks a fault pinned by an explicit InjectFault call.
+	CauseInjected FaultCause = iota
+	// CauseWear marks a fault that emerged when a write pulse found the
+	// cell's switching endurance exhausted.
+	CauseWear
+)
+
+// String names the cause.
+func (c FaultCause) String() string {
+	switch c {
+	case CauseInjected:
+		return "injected"
+	case CauseWear:
+		return "wear"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// FaultEvent records one cell turning stuck, with the PE-local physical
+// position and the PE clock at which it happened.
+type FaultEvent struct {
+	Row, Col int // physical bank position
+	Kind     FaultKind
+	Cause    FaultCause
+	At       units.Duration // PE ledger time when the fault appeared
+}
+
+// fault records one stuck cell inside a PE, at its physical position.
 type fault struct {
 	row, col int
 	value    float64 // the weight the cell is pinned to
 }
 
-// InjectFault pins the cell at (row, col) according to kind. Subsequent
-// Program calls leave the cell at its pinned weight. Injecting twice
-// replaces the earlier fault.
+// InjectFault pins the cell at physical (row, col) according to kind.
+// Subsequent Program calls leave the cell at its pinned weight. Injecting
+// twice replaces the earlier fault.
 func (p *PE) InjectFault(row, col int, kind FaultKind) error {
 	if row < 0 || row >= p.cfg.Rows || col < 0 || col >= p.cfg.Cols {
 		return fmt.Errorf("core: fault position (%d,%d) outside %d×%d bank",
@@ -63,32 +105,80 @@ func (p *PE) InjectFault(row, col int, kind FaultKind) error {
 	case StuckAmorphous:
 		v = 1
 	case StuckCurrent:
-		v = p.bank.Weight(row, col)
+		v = p.bank.PhysicalWeight(row, col)
 	default:
 		return fmt.Errorf("core: unknown fault kind %v", kind)
 	}
+	p.recordFault(row, col, v, kind, CauseInjected)
+	return nil
+}
+
+// recordFault installs or replaces the fault at physical (row, col), appends
+// the event, and re-applies all overrides.
+func (p *PE) recordFault(row, col int, value float64, kind FaultKind, cause FaultCause) {
+	p.events = append(p.events, FaultEvent{
+		Row: row, Col: col, Kind: kind, Cause: cause, At: p.ledger.Elapsed(),
+	})
 	for i, f := range p.faults {
 		if f.row == row && f.col == col {
-			p.faults[i].value = v
+			p.faults[i].value = value
 			p.applyFaults()
-			return nil
+			return
 		}
 	}
-	p.faults = append(p.faults, fault{row: row, col: col, value: v})
+	p.faults = append(p.faults, fault{row: row, col: col, value: value})
 	p.applyFaults()
-	return nil
+}
+
+// hasFault reports whether physical (row, col) is already pinned.
+func (p *PE) hasFault(row, col int) bool {
+	for _, f := range p.faults {
+		if f.row == row && f.col == col {
+			return true
+		}
+	}
+	return false
+}
+
+// wearFault converts a worn-out cell at physical (row, col) into a stuck
+// fault. The failure signature is stuck-crystalline: the amorphizing melt
+// pulse is what endurance limits first, so an exhausted cell relaxes to the
+// crystalline extreme and stops responding to writes.
+func (p *PE) wearFault(row, col int) {
+	if p.hasFault(row, col) {
+		return
+	}
+	p.recordFault(row, col, -1, StuckCrystalline, CauseWear)
 }
 
 // FaultCount returns the number of stuck cells.
 func (p *PE) FaultCount() int { return len(p.faults) }
+
+// FaultEvents returns the PE's fault history in occurrence order (shared;
+// callers must not mutate).
+func (p *PE) FaultEvents() []FaultEvent { return p.events }
+
+// Faulted reports whether physical (row, col) is pinned by a fault.
+func (p *PE) Faulted(row, col int) bool { return p.hasFault(row, col) }
 
 // applyFaults forces every stuck cell back to its pinned weight after a
 // programming pass: the write pulse was issued (and its energy booked by
 // Program), but the dead material simply did not change state.
 func (p *PE) applyFaults() {
 	for _, f := range p.faults {
-		p.bank.OverrideWeight(f.row, f.col, f.value)
+		p.bank.OverridePhysicalWeight(f.row, f.col, f.value)
 	}
+}
+
+// MaskRow retires the physical bank row: its output reads zero from then on
+// and programming skips it — the graceful-degradation endpoint when healing
+// cannot recover a row full of dead cells.
+func (p *PE) MaskRow(row int) error {
+	if row < 0 || row >= p.cfg.Rows {
+		return fmt.Errorf("core: mask row %d outside %d-row bank", row, p.cfg.Rows)
+	}
+	p.bank.MaskPhysicalRow(row)
+	return nil
 }
 
 // InjectRandomFaults pins `count` distinct random cells of the PE with the
@@ -147,4 +237,28 @@ func (n *Network) FaultCount() int {
 		}
 	}
 	return total
+}
+
+// NetworkFaultEvent is a PE fault event tagged with its position in the
+// network's tile grid.
+type NetworkFaultEvent struct {
+	Layer, TileRow, TileCol int
+	FaultEvent
+}
+
+// FaultEvents returns every fault event across the network, merged in fixed
+// (layer, tileRow, tileCol, occurrence) order so the list is deterministic
+// regardless of how many workers executed the passes that triggered them.
+func (n *Network) FaultEvents() []NetworkFaultEvent {
+	var out []NetworkFaultEvent
+	for li, l := range n.layers {
+		for r := range l.tiles {
+			for c, pe := range l.tiles[r] {
+				for _, ev := range pe.FaultEvents() {
+					out = append(out, NetworkFaultEvent{Layer: li, TileRow: r, TileCol: c, FaultEvent: ev})
+				}
+			}
+		}
+	}
+	return out
 }

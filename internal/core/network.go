@@ -6,6 +6,7 @@ import (
 
 	"trident/internal/device"
 	"trident/internal/nn"
+	"trident/internal/units"
 )
 
 // LayerSpec describes one dense layer mapped onto Trident PEs.
@@ -435,6 +436,31 @@ func clamp1(v float64) float64 {
 // mutate).
 func (l *DenseLayer) Weights() [][]float64 { return l.w }
 
+// Tiles exposes the layer's PE grid (shared; callers must not mutate the
+// grid itself). Tile (r, c) holds the forward-layout weight block
+// W[r·J:(r+1)·J, c·N:(c+1)·N].
+func (l *DenseLayer) Tiles() [][]*PE { return l.tiles }
+
+// TileDims returns the per-tile bank geometry (J rows, N cols).
+func (l *DenseLayer) TileDims() (rows, cols int) { return l.rows, l.cols }
+
+// Spec returns the layer's shape.
+func (l *DenseLayer) Spec() LayerSpec { return l.spec }
+
+// EnsureForward (re)programs the forward weight layout into the tile banks
+// unless it is already resident — the precondition for self-test passes,
+// which probe the banks with basis vectors through the inference path.
+func (l *DenseLayer) EnsureForward() error {
+	if l.state == bankForward {
+		return nil
+	}
+	return l.programForward()
+}
+
+// Invalidate marks the tile banks stale so the next pass reprograms them —
+// required after an out-of-band change to the logical→physical row maps.
+func (l *DenseLayer) Invalidate() { l.state = bankStale }
+
 // Derivs returns the latched derivative vector of the last forward pass.
 func (l *DenseLayer) Derivs() []float64 { return l.derivs }
 
@@ -535,4 +561,46 @@ func (n *Network) PECount() int {
 		}
 	}
 	return total
+}
+
+// ForEachPE walks every PE tile in fixed (layer, tileRow, tileCol) order —
+// the deterministic iteration the reliability engine uses to seed per-cell
+// wear budgets and collect health state.
+func (n *Network) ForEachPE(fn func(layer, tileRow, tileCol int, pe *PE)) {
+	for li, l := range n.layers {
+		for r := range l.tiles {
+			for c, pe := range l.tiles[r] {
+				fn(li, r, c, pe)
+			}
+		}
+	}
+}
+
+// ApplyDrift ages every bank's readout by the given hold duration (see
+// PE.ApplyDrift). Tiles age concurrently; each PE's state has a single
+// writer, so the result is independent of scheduling.
+func (n *Network) ApplyDrift(hold units.Duration) {
+	for _, l := range n.layers {
+		tiles := l.tiles
+		_ = runTiles(len(tiles), len(tiles[0]), func(r, c int) error {
+			tiles[r][c].ApplyDrift(hold)
+			return nil
+		})
+	}
+}
+
+// RotateWearLeveling advances every bank's logical→physical row rotation by
+// k and invalidates the layers, so the next pass redistributes the weight
+// rows across physical rings. Write traffic that concentrates on hot
+// logical rows is thereby spread over all fabricated cells — classic
+// wear-leveling, at the cost of one full reprogramming pass.
+func (n *Network) RotateWearLeveling(k int) {
+	for _, l := range n.layers {
+		for _, row := range l.tiles {
+			for _, pe := range row {
+				pe.bank.RotateRows(k)
+			}
+		}
+		l.Invalidate()
+	}
 }

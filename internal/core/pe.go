@@ -73,7 +73,8 @@ type PE struct {
 	acts   []*pcm.ActivationCell
 	ledger *Ledger
 	rng    *rand.Rand
-	faults []fault // stuck cells (see faults.go)
+	faults []fault      // stuck cells (see faults.go)
+	events []FaultEvent // fault history in occurrence order
 	// noiseRel is the relative RMS analog noise at full scale, derived
 	// from the BPD noise model.
 	noiseRel float64
@@ -168,6 +169,9 @@ func (p *PE) Bank() *mrr.WeightBank { return p.bank }
 
 // Program writes a weight tile into the PCM-MRR bank. All cells program in
 // parallel (300 ns wall time per pass); energy is booked per changed cell.
+// Cells whose switching endurance ran out during the pass do not abort it:
+// each surfaces as a stuck-crystalline wear fault event and the PE keeps
+// serving with the cell pinned (see faults.go).
 func (p *PE) Program(w [][]float64) error {
 	res, err := p.bank.Program(w, p.ledger.Elapsed())
 	if err != nil {
@@ -175,9 +179,36 @@ func (p *PE) Program(w [][]float64) error {
 	}
 	p.ledger.Add(CatGSTTuning, res.Energy)
 	p.ledger.Advance(res.Elapsed)
+	for _, worn := range res.Worn {
+		p.wearFault(worn[0], worn[1])
+	}
 	// Stuck cells ignore the write pulses they just received.
 	p.applyFaults()
 	return nil
+}
+
+// ApplyDrift ages the bank's readout by the given hold duration: every GST
+// cell's realized weight relaxes per the amorphous drift law, after which
+// stuck cells are re-pinned (dead material drifts nowhere). The programmed
+// levels are untouched; RefreshWeights or any reprogramming pass restores
+// the nominal weights.
+func (p *PE) ApplyDrift(hold units.Duration) {
+	p.bank.ApplyDrift(hold)
+	p.applyFaults()
+}
+
+// RefreshWeights re-issues write pulses on every drift-displaced cell,
+// restoring nominal weights at the cost of one endurance cycle and the full
+// write energy per refreshed cell. Cells that turn out worn surface as wear
+// fault events, exactly as in Program.
+func (p *PE) RefreshWeights() {
+	res := p.bank.Refresh(p.ledger.Elapsed())
+	p.ledger.Add(CatGSTTuning, res.Energy)
+	p.ledger.Advance(res.Elapsed)
+	for _, worn := range res.Worn {
+		p.wearFault(worn[0], worn[1])
+	}
+	p.applyFaults()
 }
 
 // step books the per-symbol energies common to every optical pass: E/O

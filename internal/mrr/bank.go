@@ -1,11 +1,13 @@
 package mrr
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"trident/internal/fixed"
 	"trident/internal/optics"
+	"trident/internal/pcm"
 	"trident/internal/units"
 )
 
@@ -13,13 +15,36 @@ import (
 // matrix-vector engine of a broadcast-and-weight PE. Row j filters the N
 // input wavelengths through its N rings and accumulates them on one balanced
 // photodetector, producing y_j = Σ_n w_jn·x_n in a single optical transit.
+//
+// The bank distinguishes logical rows (the matrix rows the control unit
+// addresses) from physical rows (the fabricated rings). A rotating
+// logical→physical map lets the controller wear-level write traffic across
+// rings, and physical rows can be masked out when their cells die beyond
+// repair — the bank keeps serving with the dead row contributing zero.
+// Internal storage (rings, tuners, weights) is physical; Program, MVM,
+// Weight and Tuner address logical rows through the map.
 type WeightBank struct {
 	rows, cols int
 	plan       *optics.ChannelPlan
 	rings      [][]*Ring
 	tuners     [][]Tuner
-	weights    [][]float64 // realized (quantized) weights
+	weights    [][]float64 // realized (quantized) weights, physical layout
 	crosstalk  []float64   // drop leakage vs. channel distance
+	rowMap     []int       // logical row → physical row
+	rotation   int         // current rotation offset of rowMap
+	masked     []bool      // physical rows retired from service
+}
+
+// drifter is the tuner capability of reporting a time-drifted weight
+// (implemented by PCMTuner; volatile tuners do not drift, they vanish).
+type drifter interface {
+	DriftedWeight(hold units.Duration) float64
+}
+
+// refresher is the tuner capability of re-issuing a write pulse at the
+// current level to undo drift (implemented by PCMTuner).
+type refresher interface {
+	Refresh(now units.Duration) (units.Duration, error)
 }
 
 // NewTunerFunc constructs the tuner for the ring at (row, col).
@@ -42,6 +67,11 @@ func NewWeightBank(rows, cols int, plan *optics.ChannelPlan, newTuner NewTunerFu
 		rings:   make([][]*Ring, rows),
 		tuners:  make([][]Tuner, rows),
 		weights: make([][]float64, rows),
+		rowMap:  make([]int, rows),
+		masked:  make([]bool, rows),
+	}
+	for j := range b.rowMap {
+		b.rowMap[j] = j
 	}
 	for j := 0; j < rows; j++ {
 		b.rings[j] = make([]*Ring, cols)
@@ -94,17 +124,90 @@ func (b *WeightBank) Rows() int { return b.rows }
 // Cols returns N.
 func (b *WeightBank) Cols() int { return b.cols }
 
-// Tuner returns the tuner at (row, col) for inspection.
-func (b *WeightBank) Tuner(row, col int) Tuner { return b.tuners[row][col] }
+// Tuner returns the tuner at logical (row, col) for inspection.
+func (b *WeightBank) Tuner(row, col int) Tuner { return b.tuners[b.rowMap[row]][col] }
 
-// Weight returns the realized weight at (row, col).
-func (b *WeightBank) Weight(row, col int) float64 { return b.weights[row][col] }
+// PhysicalTuner returns the tuner of the fabricated ring at physical
+// (row, col), independent of the current wear-leveling rotation.
+func (b *WeightBank) PhysicalTuner(row, col int) Tuner { return b.tuners[row][col] }
 
-// OverrideWeight forces the realized weight at (row, col) without driving
-// the tuner — the fault-modeling hook: a stuck cell keeps transmitting its
-// pinned value no matter what was programmed. It panics on out-of-range
-// positions (a wiring error in the caller).
+// Weight returns the realized weight at logical (row, col).
+func (b *WeightBank) Weight(row, col int) float64 { return b.weights[b.rowMap[row]][col] }
+
+// PhysicalWeight returns the realized weight of the fabricated ring at
+// physical (row, col).
+func (b *WeightBank) PhysicalWeight(row, col int) float64 { return b.weights[row][col] }
+
+// PhysicalRow returns the physical row currently serving the given logical
+// row.
+func (b *WeightBank) PhysicalRow(logical int) int { return b.rowMap[logical] }
+
+// LogicalRow returns the logical row currently served by the given physical
+// row.
+func (b *WeightBank) LogicalRow(physical int) int {
+	for lj, pr := range b.rowMap {
+		if pr == physical {
+			return lj
+		}
+	}
+	return -1
+}
+
+// RotateRows advances the wear-leveling rotation by k: logical row j is
+// remapped to physical row (j + rotation) mod J, spreading write traffic of
+// hot logical rows across all fabricated rings over time. The weights stay
+// with their physical rings, so logical reads are stale until the caller
+// reprograms the bank. It returns the new rotation offset.
+func (b *WeightBank) RotateRows(k int) int {
+	b.rotation = ((b.rotation+k)%b.rows + b.rows) % b.rows
+	for j := range b.rowMap {
+		b.rowMap[j] = (j + b.rotation) % b.rows
+	}
+	return b.rotation
+}
+
+// RowRotation returns the current wear-leveling rotation offset.
+func (b *WeightBank) RowRotation() int { return b.rotation }
+
+// MaskPhysicalRow retires a fabricated row from service: its logical output
+// reads zero and Program skips its cells. Masking is the graceful-degradation
+// endpoint for rows whose cells died beyond repair.
+func (b *WeightBank) MaskPhysicalRow(row int) {
+	if row < 0 || row >= b.rows {
+		panic(fmt.Sprintf("mrr: mask row %d outside %d-row bank", row, b.rows))
+	}
+	b.masked[row] = true
+}
+
+// RowMasked reports whether the physical row is retired.
+func (b *WeightBank) RowMasked(row int) bool { return b.masked[row] }
+
+// MaskedRowCount returns how many physical rows are retired.
+func (b *WeightBank) MaskedRowCount() int {
+	n := 0
+	for _, m := range b.masked {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// OverrideWeight forces the realized weight at logical (row, col) without
+// driving the tuner — the fault-modeling hook: a stuck cell keeps
+// transmitting its pinned value no matter what was programmed. It panics on
+// out-of-range positions (a wiring error in the caller).
 func (b *WeightBank) OverrideWeight(row, col int, w float64) {
+	if row < 0 || row >= b.rows || col < 0 || col >= b.cols {
+		panic(fmt.Sprintf("mrr: override (%d,%d) outside %d×%d bank", row, col, b.rows, b.cols))
+	}
+	b.weights[b.rowMap[row]][col] = clampWeight(w)
+}
+
+// OverridePhysicalWeight is OverrideWeight addressing the fabricated ring at
+// physical (row, col) — faults pin hardware cells, which stay put while the
+// wear-leveling rotation moves logical rows around them.
+func (b *WeightBank) OverridePhysicalWeight(row, col int, w float64) {
 	if row < 0 || row >= b.rows || col < 0 || col >= b.cols {
 		panic(fmt.Sprintf("mrr: override (%d,%d) outside %d×%d bank", row, col, b.rows, b.cols))
 	}
@@ -121,11 +224,20 @@ type ProgramResult struct {
 	Energy units.Energy
 	// CellsWritten counts cells whose state actually changed.
 	CellsWritten int
+	// Worn lists the physical (row, col) cells whose write pulse failed on
+	// exhausted switching endurance during this operation. A worn cell is
+	// not an abort: the rest of the bank programs normally and the dead
+	// cell keeps transmitting its last state — the caller converts these
+	// into stuck-cell fault events.
+	Worn [][2]int
 }
 
 // Program writes the weight matrix W (dimensions ≤ J×N; missing entries
-// keep their value) into the bank. Each weight is quantized by its tuner.
-// Programming is issued at time now and proceeds for all cells in parallel.
+// keep their value) into the bank, logical row j landing on physical row
+// rowMap[j]. Each weight is quantized by its tuner. Programming is issued at
+// time now and proceeds for all cells in parallel. Cells whose endurance is
+// exhausted are reported in ProgramResult.Worn rather than failing the pass;
+// masked (retired) physical rows are skipped entirely.
 func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, error) {
 	if len(w) > b.rows {
 		return ProgramResult{}, fmt.Errorf("mrr: %d weight rows exceed bank rows %d", len(w), b.rows)
@@ -136,16 +248,28 @@ func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, 
 		if len(w[j]) > b.cols {
 			return ProgramResult{}, fmt.Errorf("mrr: row %d has %d weights, bank cols %d", j, len(w[j]), b.cols)
 		}
+		pr := b.rowMap[j]
+		if b.masked[pr] {
+			continue
+		}
 		for n := range w[j] {
-			t := b.tuners[j][n]
+			t := b.tuners[pr][n]
 			before := t.Writes()
 			beforeE := t.EnergyConsumed()
 			actual, done, err := t.Set(w[j][n], now)
 			if err != nil {
+				if errors.Is(err, pcm.ErrWornOut) {
+					res.Worn = append(res.Worn, [2]int{pr, n})
+					continue
+				}
 				return res, fmt.Errorf("mrr: programming (%d,%d): %w", j, n, err)
 			}
-			b.weights[j][n] = actual
+			// The realized weight moves only when a pulse was actually
+			// issued: the compare-first write logic skips cells already at
+			// the target level, and a skipped pulse cannot undo drift — the
+			// displaced readout stays until Refresh or a real write.
 			if t.Writes() != before {
+				b.weights[pr][n] = actual
 				res.CellsWritten++
 				res.Energy += t.EnergyConsumed() - beforeE
 				if d := done - now; d > res.Elapsed {
@@ -155,6 +279,63 @@ func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, 
 		}
 	}
 	return res, nil
+}
+
+// ApplyDrift overwrites the realized weights with each cell's time-drifted
+// readout after holding state for the given duration: the read-side effect
+// of amorphous-phase structural relaxation as simulated time advances.
+// Tuners without a drift model (volatile mechanisms) are left untouched.
+// The programmed tuner state is not modified — a subsequent Refresh or
+// reprogram restores the nominal weights.
+func (b *WeightBank) ApplyDrift(hold units.Duration) {
+	for pr := range b.tuners {
+		if b.masked[pr] {
+			continue
+		}
+		for n, t := range b.tuners[pr] {
+			if d, ok := t.(drifter); ok {
+				b.weights[pr][n] = d.DriftedWeight(hold)
+			}
+		}
+	}
+}
+
+// Refresh re-issues write pulses on every cell whose realized weight has
+// been displaced from its programmed state (by ApplyDrift), restoring the
+// nominal weights. Each refresh pulse consumes one endurance cycle and the
+// full write energy; cells with no endurance left are reported in Worn and
+// keep their displaced state. Masked rows are skipped.
+func (b *WeightBank) Refresh(now units.Duration) ProgramResult {
+	var res ProgramResult
+	for pr := range b.tuners {
+		if b.masked[pr] {
+			continue
+		}
+		for n, t := range b.tuners[pr] {
+			r, ok := t.(refresher)
+			if !ok || b.weights[pr][n] == t.Weight() {
+				continue
+			}
+			beforeE := t.EnergyConsumed()
+			done, err := r.Refresh(now)
+			if err != nil {
+				if errors.Is(err, pcm.ErrWornOut) {
+					res.Worn = append(res.Worn, [2]int{pr, n})
+					continue
+				}
+				// Refresh can only fail on endurance; anything else is a
+				// modeling bug surfaced loudly.
+				panic(fmt.Sprintf("mrr: refresh (%d,%d): %v", pr, n, err))
+			}
+			b.weights[pr][n] = t.Weight()
+			res.CellsWritten++
+			res.Energy += t.EnergyConsumed() - beforeE
+			if d := done - now; d > res.Elapsed {
+				res.Elapsed = d
+			}
+		}
+	}
+	return res
 }
 
 // MVM computes the bank's optical matrix-vector product y = W·x for a
@@ -174,8 +355,13 @@ func (b *WeightBank) MVM(dst, x []float64) []float64 {
 		n = b.cols
 	}
 	for j := 0; j < b.rows; j++ {
+		pr := b.rowMap[j]
+		if b.masked[pr] {
+			dst[j] = 0
+			continue
+		}
 		var acc float64
-		wj := b.weights[j]
+		wj := b.weights[pr]
 		for i := 0; i < n; i++ {
 			acc += wj[i] * x[i]
 		}
@@ -219,13 +405,28 @@ func (b *WeightBank) IdealMVM(dst, x []float64) []float64 {
 		n = b.cols
 	}
 	for j := 0; j < b.rows; j++ {
+		pr := b.rowMap[j]
+		if b.masked[pr] {
+			dst[j] = 0
+			continue
+		}
 		var acc float64
 		for i := 0; i < n; i++ {
-			acc += b.weights[j][i] * x[i]
+			acc += b.weights[pr][i] * x[i]
 		}
 		dst[j] = acc
 	}
 	return dst
+}
+
+// CrosstalkProfile returns a copy of the bank's drop-leakage calibration:
+// entry d is the linear leakage a ring inflicts on a channel d slots away
+// (entry 0, the intended signal, is zero). The profile is a fabrication
+// characterization constant — the control unit's self-test uses it to
+// predict what a healthy bank should measure, without reading any cell
+// state.
+func (b *WeightBank) CrosstalkProfile() []float64 {
+	return append([]float64(nil), b.crosstalk...)
 }
 
 // WorstCrosstalk returns the largest single-neighbour leakage coefficient,

@@ -1,0 +1,106 @@
+package mrr
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/device"
+	"trident/internal/fixed"
+	"trident/internal/units"
+)
+
+// TestYearDriftReprogramWithinHalfLevel walks the retention/refresh cycle a
+// deployed part lives through: program a bank, hold it for one simulated
+// year of amorphous drift, then re-program. The drifted readout must have
+// moved (amorphous states relax) yet stay retention-clean, and the refresh
+// pulse must bring every cell back within half an 8-bit level of its
+// unquantized target — drift fully erased, only quantization error left.
+func TestYearDriftReprogramWithinHalfLevel(t *testing.T) {
+	const year = 365 * 24 * 3600 * units.Second
+	p := testPlan(t, 4)
+	b, err := NewPCMWeightBank(4, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := [][]float64{
+		{0.9, 0.5, 0.1, -0.4},
+		{0.75, -0.2, 0.33, 0.6},
+		{-0.9, 0.05, 0.8, -0.55},
+		{0.42, 0.67, -0.15, 0.98},
+	}
+	if _, err := b.Program(targets, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.ApplyDrift(year)
+	halfLevel := fixed.MustForBits(device.GSTBits).Step() / 2
+	displaced := 0
+	for r := range targets {
+		for c := range targets[r] {
+			nominal := b.Tuner(b.LogicalRow(r), c).Weight()
+			got := b.PhysicalWeight(r, c)
+			if got != nominal {
+				displaced++
+			}
+			// The 10-year retention claim implies a single year never drifts
+			// a cell past half a level of its programmed state.
+			if math.Abs(got-nominal) > halfLevel {
+				t.Fatalf("cell (%d,%d) drifted %.6f from nominal %.6f in one year — past half a level (%.6f)",
+					r, c, got, nominal, halfLevel)
+			}
+		}
+	}
+	if displaced == 0 {
+		t.Fatal("a year of hold displaced no readout; the drift model is inert")
+	}
+	// Re-program after the hold: refresh pulses restore every drifted cell.
+	res := b.Refresh(year)
+	if res.CellsWritten == 0 {
+		t.Fatal("refresh after a year of drift issued no pulses")
+	}
+	for r := range targets {
+		for c := range targets[r] {
+			got := b.PhysicalWeight(r, c)
+			if want := b.Tuner(b.LogicalRow(r), c).Weight(); got != want {
+				t.Fatalf("cell (%d,%d) reads %.6f after re-program, nominal %.6f", r, c, got, want)
+			}
+			if math.Abs(got-targets[r][c]) > halfLevel {
+				t.Fatalf("cell (%d,%d) reads %.6f after re-program, target %.6f — off by more than half a level",
+					r, c, got, targets[r][c])
+			}
+		}
+	}
+}
+
+// TestDriftRetentionBoundsAcrossLevels checks the drift law per level: a
+// mid-range amorphous state must still satisfy the half-level retention
+// bound at the paper's 10-year horizon, while crystalline states do not
+// drift at all.
+func TestDriftRetentionBoundsAcrossLevels(t *testing.T) {
+	const year = 365 * 24 * 3600 * units.Second
+	for _, w := range []float64{-1, -0.5, 0, 0.5, 1} {
+		tun, err := NewPCMTuner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _, err := tun.Set(w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tun.Cell().RetentionOK(10 * year) {
+			t.Errorf("weight %v: retention broken before the 10-year horizon", w)
+		}
+		drifted := tun.DriftedWeight(year)
+		if w == -1 {
+			if drifted != q {
+				t.Errorf("crystalline cell drifted: %v → %v", q, drifted)
+			}
+			continue
+		}
+		if drifted == q {
+			t.Errorf("weight %v: one year of drift left the readout untouched", w)
+		}
+		if drifted > q {
+			t.Errorf("weight %v: drift increased transmission (%v → %v); relaxation must shrink it", w, q, drifted)
+		}
+	}
+}

@@ -236,6 +236,29 @@ func (t *PCMTuner) Set(w float64, now units.Duration) (float64, units.Duration, 
 // Weight implements Tuner.
 func (t *PCMTuner) Weight() float64 { return t.weight }
 
+// DriftedWeight returns the weight the ring realizes after the GST state has
+// been held for the given duration: amorphous-phase structural relaxation
+// shrinks the cell's transmission (pcm.TransmissionAfter), which reads as a
+// smaller weight. The drift is expressed in level units via the cell's drift
+// law and mapped onto the linear weight grid, clamped to [-1, 1].
+func (t *PCMTuner) DriftedWeight(hold units.Duration) float64 {
+	levelErr := t.cell.DriftLevelError(hold)
+	if levelErr == 0 {
+		return t.weight
+	}
+	step := 2.0 / float64(t.cell.Levels()-1)
+	return clampWeight(t.weight - levelErr*step)
+}
+
+// Refresh re-issues a write pulse at the currently programmed level,
+// restoring a drifted amorphous state to its nominal transmission. The pulse
+// consumes one endurance cycle and the full write energy even though the
+// target level is unchanged — refreshing is not free, which is why the
+// remediation scheduler only refreshes out-of-tolerance cells.
+func (t *PCMTuner) Refresh(now units.Duration) (done units.Duration, err error) {
+	return t.cell.Rewrite(now)
+}
+
 // ProgramTime implements Tuner.
 func (t *PCMTuner) ProgramTime() units.Duration { return device.GSTWriteTime }
 

@@ -99,7 +99,8 @@ type Cell struct {
 	gamma    float64
 	lambda   units.Length
 
-	writes    uint64 // endurance cycles consumed
+	writes    uint64  // endurance cycles consumed
+	endurance float64 // switching-endurance budget of this specific cell
 	energy    units.Energy
 	busyUntil units.Duration // completion time of the in-flight write
 }
@@ -111,6 +112,11 @@ type CellConfig struct {
 	PatchLength units.Length // GST patch length; default 1.2 µm
 	Confinement float64      // modal overlap Γ; default 0.12
 	Wavelength  units.Length // operating wavelength; default 1550 nm
+	// EnduranceCycles is the switching-endurance budget of this cell;
+	// default device.GSTEnduranceCycles. Fabricated cells spread around the
+	// nominal figure, so lifetime simulations assign per-cell budgets drawn
+	// from a wear distribution (internal/reliability).
+	EnduranceCycles float64
 }
 
 // ErrWornOut reports a cell past its switching endurance.
@@ -140,11 +146,18 @@ func NewCell(cfg CellConfig) (*Cell, error) {
 	if cfg.Wavelength == 0 {
 		cfg.Wavelength = 1550 * units.Nanometer
 	}
+	if cfg.EnduranceCycles == 0 {
+		cfg.EnduranceCycles = device.GSTEnduranceCycles
+	}
+	if cfg.EnduranceCycles < 0 {
+		return nil, fmt.Errorf("pcm: negative endurance budget %v", cfg.EnduranceCycles)
+	}
 	return &Cell{
-		levels:   cfg.Levels,
-		patchLen: cfg.PatchLength,
-		gamma:    cfg.Confinement,
-		lambda:   cfg.Wavelength,
+		levels:    cfg.Levels,
+		patchLen:  cfg.PatchLength,
+		gamma:     cfg.Confinement,
+		lambda:    cfg.Wavelength,
+		endurance: cfg.EnduranceCycles,
 	}, nil
 }
 
@@ -173,14 +186,31 @@ func (c *Cell) Program(level int, now units.Duration) (done units.Duration, err 
 	if level == c.level {
 		return now, nil
 	}
-	if float64(c.writes) >= device.GSTEnduranceCycles {
+	if float64(c.writes) >= c.endurance {
 		return now, ErrWornOut
 	}
+	return c.pulse(level, now), nil
+}
+
+// Rewrite re-issues a write pulse at the cell's current level — the refresh
+// operation a controller uses to re-amorphize a drifted state. Unlike
+// Program, an equal level is not a no-op: the pulse is physically emitted,
+// consuming one endurance cycle and the full write energy. It returns
+// ErrWornOut when the cell has no endurance left.
+func (c *Cell) Rewrite(now units.Duration) (done units.Duration, err error) {
+	if float64(c.writes) >= c.endurance {
+		return now, ErrWornOut
+	}
+	return c.pulse(c.level, now), nil
+}
+
+// pulse books one write pulse landing the cell at level.
+func (c *Cell) pulse(level int, now units.Duration) units.Duration {
 	c.level = level
 	c.writes++
 	c.energy += device.GSTWriteEnergy
 	c.busyUntil = now + device.GSTWriteTime
-	return c.busyUntil, nil
+	return c.busyUntil
 }
 
 // Transmission returns the linear optical power transmission of the cell in
@@ -211,9 +241,26 @@ func (c *Cell) EnergyConsumed() units.Energy { return c.energy }
 
 // RemainingEndurance returns the fraction of switching endurance left.
 func (c *Cell) RemainingEndurance() float64 {
-	used := float64(c.writes) / device.GSTEnduranceCycles
+	used := float64(c.writes) / c.endurance
 	if used > 1 {
 		return 0
 	}
 	return 1 - used
 }
+
+// EnduranceLimit returns the cell's switching-endurance budget in cycles.
+func (c *Cell) EnduranceLimit() float64 { return c.endurance }
+
+// SetEnduranceLimit overrides the cell's endurance budget — the hook the
+// reliability engine uses to assign Weibull-sampled per-cell lifetimes.
+// Non-positive budgets are clamped to zero (an already-dead cell).
+func (c *Cell) SetEnduranceLimit(cycles float64) {
+	if cycles < 0 || math.IsNaN(cycles) {
+		cycles = 0
+	}
+	c.endurance = cycles
+}
+
+// WornOut reports whether the cell has exhausted its switching endurance:
+// the next state-changing write will fail with ErrWornOut.
+func (c *Cell) WornOut() bool { return float64(c.writes) >= c.endurance }

@@ -1,0 +1,310 @@
+package reliability
+
+import (
+	"fmt"
+
+	"trident/internal/core"
+	"trident/internal/units"
+)
+
+// The remediation scheduler. It owns the detect→diagnose→repair loop of a
+// deployed part: between training (or serving) intervals it ages the banks
+// by the wall-clock time that passed, self-tests them, and applies the
+// cheapest repair that restores health — refresh pulses for drift, row-map
+// rotation to spread write wear, bounded in-situ healing epochs when
+// validation accuracy sags, and row masking as the graceful-degradation
+// endpoint. It never reads simulator fault state: every decision comes from
+// BIST reports and the validation probe.
+
+// Policy sets the scheduler's knobs. Zero values select the documented
+// defaults.
+type Policy struct {
+	// CheckEvery is the number of training steps between health checks
+	// (default 500). The campaign driver calls Check at this cadence; the
+	// scheduler itself only needs it to convert steps to simulated time.
+	CheckEvery int
+	// Tolerance is the BIST deviation threshold (default DefaultTolerance,
+	// three 8-bit levels).
+	Tolerance float64
+	// BISTRepeats is the number of averaged probe passes per basis vector
+	// (default 2) — averaging suppresses read noise.
+	BISTRepeats int
+	// TimePerStep is the simulated deployment time one training step
+	// represents. Each check ages the banks by TimePerStep × steps-since-
+	// last-check before self-testing, so drift accrues with the campaign
+	// horizon. Zero disables drift aging.
+	TimePerStep units.Duration
+	// NoRefresh disables the drift-refresh pass (re-pulsing every cell
+	// whose readout left its programmed state); by default refresh runs at
+	// every check.
+	NoRefresh bool
+	// WearLevelEvery rotates every bank's logical→physical row map by one
+	// row after every k-th check (0 disables wear-leveling).
+	WearLevelEvery int
+	// HealEpochs bounds one in-situ healing intervention (default 2
+	// epochs): training re-routes gradient flow around pinned cells.
+	HealEpochs int
+	// AccuracyDrop is the validation-accuracy slack below baseline that
+	// triggers healing (default 0.02, i.e. two points).
+	AccuracyDrop float64
+	// MaskRowAfter masks a physical row once a post-refresh self-test
+	// still finds at least this many stuck suspects in it and healing
+	// alone did not recover accuracy. 0 defaults to half the row's cells.
+	MaskRowAfter int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.CheckEvery <= 0 {
+		p.CheckEvery = 500
+	}
+	if p.Tolerance <= 0 {
+		p.Tolerance = DefaultTolerance()
+	}
+	if p.BISTRepeats <= 0 {
+		p.BISTRepeats = 2
+	}
+	if p.HealEpochs <= 0 {
+		p.HealEpochs = 2
+	}
+	if p.AccuracyDrop <= 0 {
+		p.AccuracyDrop = 0.02
+	}
+	return p
+}
+
+// CheckResult reports one scheduler health check.
+type CheckResult struct {
+	Step int
+	// SimTime is the simulated deployment time at the check.
+	SimTime units.Duration
+	// NewSuspects counts cells flagged for the first time this check;
+	// Suspects is the cumulative distinct count.
+	NewSuspects, Suspects int
+	// Refreshed counts drift-refresh write pulses issued this check.
+	Refreshed int
+	// Accuracy is the validation accuracy after any remediation.
+	Accuracy float64
+	// Healed reports whether an in-situ healing intervention ran.
+	Healed bool
+	// MaskedRows is the cumulative count of retired physical rows.
+	MaskedRows int
+	// Rotated reports whether wear-leveling advanced the row maps.
+	Rotated bool
+}
+
+// Scheduler drives periodic health checks over one network. The validation
+// probe and the healing routine are injected: the scheduler decides *when*
+// to remediate, the campaign owns the data.
+type Scheduler struct {
+	net      *core.Network
+	policy   Policy
+	baseline float64
+	eval     func() (float64, error)
+	heal     func(epochs int) error
+
+	seen     map[suspectKey]Suspect
+	order    []Suspect // insertion-ordered view of seen
+	checks   int
+	lastStep int
+	heals    int
+}
+
+// NewScheduler builds a scheduler for net. baseline is the pre-degradation
+// validation accuracy remediation tries to hold; eval measures current
+// validation accuracy; heal runs bounded in-situ training epochs (nil
+// disables healing).
+func NewScheduler(net *core.Network, policy Policy, baseline float64,
+	eval func() (float64, error), heal func(epochs int) error) (*Scheduler, error) {
+	if net == nil {
+		return nil, fmt.Errorf("reliability: nil network")
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("reliability: scheduler needs a validation probe")
+	}
+	return &Scheduler{
+		net:      net,
+		policy:   policy.withDefaults(),
+		baseline: baseline,
+		eval:     eval,
+		heal:     heal,
+		seen:     make(map[suspectKey]Suspect),
+	}, nil
+}
+
+// Baseline returns the accuracy target the scheduler defends.
+func (s *Scheduler) Baseline() float64 { return s.baseline }
+
+// Heals returns how many healing interventions have run.
+func (s *Scheduler) Heals() int { return s.heals }
+
+// SuspectCount returns the cumulative number of distinct flagged cells.
+func (s *Scheduler) SuspectCount() int { return len(s.seen) }
+
+// Suspects returns the cumulative distinct suspects in first-flagged order.
+func (s *Scheduler) Suspects() []Suspect { return s.order }
+
+// Suspected reports whether the self-test has ever flagged the fabricated
+// cell at the given network position — the hook the campaign's oracle-side
+// scoring uses to measure detection coverage.
+func (s *Scheduler) Suspected(layer, tileRow, tileCol, physRow, col int) bool {
+	_, ok := s.seen[suspectKey{layer, tileRow, tileCol, physRow, col}]
+	return ok
+}
+
+// absorb merges a report into the cumulative suspect set, returning how many
+// cells were flagged for the first time.
+func (s *Scheduler) absorb(rep *BISTReport) int {
+	fresh := 0
+	for _, su := range rep.Suspects {
+		if _, ok := s.seen[su.key()]; !ok {
+			s.seen[su.key()] = su
+			s.order = append(s.order, su)
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// maskedRows counts retired physical rows across the network.
+func (s *Scheduler) maskedRows() int {
+	total := 0
+	s.net.ForEachPE(func(_, _, _ int, pe *core.PE) {
+		total += pe.Bank().MaskedRowCount()
+	})
+	return total
+}
+
+// refreshAll re-pulses every drift-displaced cell. Walks PEs in fixed order;
+// refresh traffic is rare enough that parallelism buys nothing here.
+func (s *Scheduler) refreshAll() int {
+	before := s.writes()
+	s.net.ForEachPE(func(_, _, _ int, pe *core.PE) {
+		pe.RefreshWeights()
+	})
+	return int(s.writes() - before)
+}
+
+// writes sums lifetime write pulses across every cell (cheap bookkeeping
+// read, used to report refresh volume).
+func (s *Scheduler) writes() uint64 {
+	var total uint64
+	s.net.ForEachPE(func(_, _, _ int, pe *core.PE) {
+		bank := pe.Bank()
+		for r := 0; r < bank.Rows(); r++ {
+			for c := 0; c < bank.Cols(); c++ {
+				total += bank.PhysicalTuner(r, c).Writes()
+			}
+		}
+	})
+	return total
+}
+
+// belowTarget reports whether acc violates the baseline slack.
+func (s *Scheduler) belowTarget(acc float64) bool {
+	return acc < s.baseline-s.policy.AccuracyDrop
+}
+
+// Check runs one full health check at the given training step: drift aging,
+// self-test, drift refresh, periodic wear-leveling, then accuracy-driven
+// healing and (if healing alone cannot recover) row masking followed by one
+// more healing round. It is meant to be called from the training loop
+// between samples — never concurrently with a pass.
+func (s *Scheduler) Check(step int) (CheckResult, error) {
+	p := s.policy
+	res := CheckResult{Step: step, SimTime: units.Duration(float64(step)) * p.TimePerStep}
+	if p.TimePerStep > 0 && step > s.lastStep {
+		hold := units.Duration(float64(step-s.lastStep)) * p.TimePerStep
+		s.net.ApplyDrift(hold)
+	}
+	rep, err := RunBIST(s.net, p.Tolerance, p.BISTRepeats)
+	if err != nil {
+		return res, err
+	}
+	res.NewSuspects = s.absorb(rep)
+	if !p.NoRefresh {
+		res.Refreshed = s.refreshAll()
+	}
+	s.checks++
+	if p.WearLevelEvery > 0 && s.checks%p.WearLevelEvery == 0 {
+		s.net.RotateWearLeveling(1)
+		res.Rotated = true
+	}
+	acc, err := s.eval()
+	if err != nil {
+		return res, err
+	}
+	if s.heal != nil && s.belowTarget(acc) {
+		if err := s.heal(p.HealEpochs); err != nil {
+			return res, err
+		}
+		s.heals++
+		res.Healed = true
+		if acc, err = s.eval(); err != nil {
+			return res, err
+		}
+		if s.belowTarget(acc) {
+			masked, err := s.maskDeadRows()
+			if err != nil {
+				return res, err
+			}
+			if masked > 0 {
+				if err := s.heal(p.HealEpochs); err != nil {
+					return res, err
+				}
+				s.heals++
+				if acc, err = s.eval(); err != nil {
+					return res, err
+				}
+			}
+		}
+	}
+	res.Accuracy = acc
+	res.Suspects = len(s.seen)
+	res.MaskedRows = s.maskedRows()
+	s.lastStep = step
+	return res, nil
+}
+
+// maskDeadRows runs a fresh post-refresh self-test — cells still out of
+// tolerance now are stuck, not drifted — and retires every physical row
+// whose stuck-suspect count reaches the policy threshold. It returns how
+// many rows were newly masked.
+func (s *Scheduler) maskDeadRows() (int, error) {
+	rep, err := RunBIST(s.net, s.policy.Tolerance, s.policy.BISTRepeats)
+	if err != nil {
+		return 0, err
+	}
+	s.absorb(rep)
+	type rowKey struct{ layer, tileRow, tileCol, physRow int }
+	counts := make(map[rowKey]int)
+	for _, su := range rep.Suspects {
+		counts[rowKey{su.Layer, su.TileRow, su.TileCol, su.PhysRow}]++
+	}
+	masked := 0
+	layers := s.net.Layers()
+	// Walk suspects in report order (deterministic) rather than map order.
+	done := make(map[rowKey]bool)
+	for _, su := range rep.Suspects {
+		rk := rowKey{su.Layer, su.TileRow, su.TileCol, su.PhysRow}
+		if done[rk] {
+			continue
+		}
+		done[rk] = true
+		pe := layers[su.Layer].Tiles()[su.TileRow][su.TileCol]
+		threshold := s.policy.MaskRowAfter
+		if threshold <= 0 {
+			threshold = pe.Cols() / 2
+			if threshold < 1 {
+				threshold = 1
+			}
+		}
+		if counts[rk] < threshold || pe.Bank().RowMasked(su.PhysRow) {
+			continue
+		}
+		if err := pe.MaskRow(su.PhysRow); err != nil {
+			return masked, err
+		}
+		masked++
+	}
+	return masked, nil
+}
