@@ -9,6 +9,7 @@ package trident
 // and compare the printed artifacts against EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"trident/internal/experiments"
 	"trident/internal/models"
 	"trident/internal/mrr"
+	"trident/internal/optics"
 	"trident/internal/pcm"
 	"trident/internal/tensor"
 	"trident/internal/train"
@@ -366,6 +368,135 @@ func BenchmarkHardwareCNNTrainStep(b *testing.B) {
 		if _, err := cnn.TrainSample(img, i%2); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- factored-kernel and batched-path microbenchmarks ---
+//
+// These feed the benchmark-trajectory harness (`make bench`, `trident
+// bench`): cmd/benchjson parses their output into BENCH_PR3.json and gates
+// on the factored kernel holding ≥2× over the reference triple loop on the
+// 64×64 bank.
+
+// bankSizes are the square bank geometries the kernel benchmarks sweep: the
+// paper's 16×16 PE bank plus 64- and 256-column stress widths on the
+// extended (multi-comb) channel plan.
+var bankSizes = []int{16, 64, 256}
+
+// benchBank builds a programmed size×size PCM bank for kernel benchmarks.
+func benchBank(b *testing.B, size int) *mrr.WeightBank {
+	b.Helper()
+	plan, err := optics.NewExtendedChannelPlan(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank, err := mrr.NewPCMWeightBank(size, size, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(size)))
+	w := make([][]float64, size)
+	for j := range w {
+		w[j] = make([]float64, size)
+		for i := range w[j] {
+			w[j][i] = rng.Float64()*2 - 1
+		}
+	}
+	if _, err := bank.Program(w, 0); err != nil {
+		b.Fatal(err)
+	}
+	return bank
+}
+
+func benchInput(size int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, size)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+// BenchmarkBankMVM times the production (factored) bank kernel.
+func BenchmarkBankMVM(b *testing.B) {
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			x := benchInput(size, 9)
+			dst := make([]float64, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bank.MVM(dst, x)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+}
+
+// BenchmarkBankMVMReference times the reference triple-loop kernel on the
+// same banks — the denominator of the ≥2× trajectory gate.
+func BenchmarkBankMVMReference(b *testing.B) {
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			x := benchInput(size, 9)
+			dst := make([]float64, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bank.ReferenceMVM(dst, x)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+}
+
+// BenchmarkBankMVMBatch streams 32-sample batches through the bank,
+// reporting per-sample throughput.
+func BenchmarkBankMVMBatch(b *testing.B) {
+	const batch = 32
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			xs := benchInput(batch*size, 9)
+			dst := make([]float64, batch*size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bank.MVMBatchInto(dst, xs, batch, size)
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+}
+
+// BenchmarkBankProgram times full-bank reprogramming across the same
+// geometry sweep (two alternating weight sets so the compare-first write
+// logic cannot elide the writes).
+func BenchmarkBankProgram(b *testing.B) {
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			sets := make([][][]float64, 2)
+			rng := rand.New(rand.NewSource(77))
+			for s := range sets {
+				sets[s] = make([][]float64, size)
+				for j := range sets[s] {
+					sets[s][j] = make([]float64, size)
+					for i := range sets[s][j] {
+						sets[s][j][i] = rng.Float64()*2 - 1
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bank.Program(sets[i%2], 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

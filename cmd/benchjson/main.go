@@ -1,0 +1,57 @@
+// Command benchjson turns `go test -bench` output into the machine-readable
+// benchmark-trajectory file (BENCH_PR3.json) and enforces the kernel speedup
+// gate: the factored crosstalk kernel must hold the required factor over the
+// reference triple loop on the 64×64 bank, or the pipe exits non-zero.
+//
+// Usage (as wired by `make bench`):
+//
+//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR3.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+
+	"trident/internal/benchio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_PR3.json", "trajectory file to write")
+	fast := flag.String("fast", "BenchmarkBankMVM/64x64", "gate numerator benchmark")
+	ref := flag.String("ref", "BenchmarkBankMVMReference/64x64", "gate denominator benchmark")
+	min := flag.Float64("min", 2, "required ref/fast speedup (0 disables the gate)")
+	flag.Parse()
+
+	// Tee the raw stream through so the human-readable benchmark lines stay
+	// visible on the terminal.
+	results, err := benchio.Parse(io.TeeReader(os.Stdin, os.Stdout))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version(), Results: results}
+	if *min > 0 {
+		if err := rep.ApplyGate(*fast, *ref, *min); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := benchio.WriteFile(*out, rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
+	if rep.Gate != nil {
+		fmt.Printf("benchjson: %s vs %s: %.1f× speedup (gate ≥%.1f×)\n",
+			*fast, *ref, rep.Gate.Speedup, rep.Gate.Required)
+		if !rep.Gate.Passed {
+			log.Fatalf("speedup gate FAILED: %.2f× < %.2f×", rep.Gate.Speedup, rep.Gate.Required)
+		}
+	}
+}

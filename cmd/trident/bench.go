@@ -1,0 +1,187 @@
+package main
+
+// The bench subcommand: the in-process twin of `make bench`. It runs the
+// factored-kernel, batched-path and bank-programming microbenchmarks plus
+// two regenerating-table benchmarks through testing.Benchmark, prints a
+// summary table, writes the same BENCH_PR3.json trajectory schema as
+// cmd/benchjson, and enforces the same ≥2× kernel gate — so a deployment
+// host without the test tree can still measure and gate the hot paths.
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"trident/internal/benchio"
+	"trident/internal/experiments"
+	"trident/internal/mrr"
+	"trident/internal/optics"
+	"trident/internal/report"
+)
+
+// benchBankSizes mirrors the bank-geometry sweep of the go test benchmarks.
+var benchBankSizes = []int{16, 64, 256}
+
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH_PR3.json", "trajectory file to write")
+	min := fs.Float64("min", 2, "required factored/reference speedup on the 64×64 bank (0 disables the gate)")
+	batch := fs.Int("batch", 32, "batch size for the batched-path benchmark")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version()}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := benchio.Result{
+			Name: name, Runs: 1, NsPerOp: ns, NsPerOpMean: ns,
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			MVMsPerSec:  r.Extra["MVMs/sec"],
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
+	for _, size := range benchBankSizes {
+		size := size
+		bank := newBenchBank(size)
+		x := benchVector(size, 9)
+		dst := make([]float64, size)
+		add(fmt.Sprintf("BenchmarkBankMVM/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = bank.MVM(dst, x)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+		add(fmt.Sprintf("BenchmarkBankMVMReference/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = bank.ReferenceMVM(dst, x)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+		xs := benchVector(*batch*size, 9)
+		bdst := make([]float64, *batch*size)
+		add(fmt.Sprintf("BenchmarkBankMVMBatch/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bdst = bank.MVMBatchInto(bdst, xs, *batch, size)
+			}
+			b.ReportMetric(float64(b.N)*float64(*batch)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+		sets := benchWeightSets(size)
+		add(fmt.Sprintf("BenchmarkBankProgram/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bank.Program(sets[i%2], 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Regenerating-table benchmarks: the paper artifacts the trajectory
+	// tracks alongside the kernels.
+	add("BenchmarkTableIII_PowerBreakdown", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if t := experiments.TableIII(); len(t.Rows) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	})
+	add("BenchmarkFigure6_InferencesPerSecond", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := experiments.Figure6Data()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != 35 {
+				b.Fatal("bad row count")
+			}
+		}
+	})
+
+	if *min > 0 {
+		if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkBankMVMReference/64x64", *min); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := benchio.WriteFile(*out, rep); err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("hot-path benchmarks", "benchmark", "ns/op", "MVMs/sec", "allocs/op")
+	for _, r := range rep.Results {
+		mvms := "-"
+		if r.MVMsPerSec > 0 {
+			mvms = fmt.Sprintf("%.0f", r.MVMsPerSec)
+		}
+		t.AddRow(r.Name, fmt.Sprintf("%.0f", r.NsPerOp), mvms, fmt.Sprintf("%.0f", r.AllocsPerOp))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("wrote %s\n", *out)
+	if rep.Gate != nil {
+		fmt.Printf("factored vs reference kernel on 64×64: %.1f× (gate ≥%.1f×)\n",
+			rep.Gate.Speedup, rep.Gate.Required)
+		if !rep.Gate.Passed {
+			log.Fatalf("speedup gate FAILED: %.2f× < %.2f×", rep.Gate.Speedup, rep.Gate.Required)
+		}
+	}
+}
+
+// newBenchBank builds a programmed size×size PCM bank on the extended
+// channel plan (widths past one comb are benchmark-only stress geometries).
+func newBenchBank(size int) *mrr.WeightBank {
+	plan, err := optics.NewExtendedChannelPlan(size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank, err := mrr.NewPCMWeightBank(size, size, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(size)))
+	w := make([][]float64, size)
+	for j := range w {
+		w[j] = make([]float64, size)
+		for i := range w[j] {
+			w[j][i] = rng.Float64()*2 - 1
+		}
+	}
+	if _, err := bank.Program(w, 0); err != nil {
+		log.Fatal(err)
+	}
+	return bank
+}
+
+func benchVector(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+// benchWeightSets returns two alternating weight matrices so repeated
+// Program calls cannot be elided by the compare-first write logic.
+func benchWeightSets(size int) [][][]float64 {
+	rng := rand.New(rand.NewSource(77))
+	sets := make([][][]float64, 2)
+	for s := range sets {
+		sets[s] = make([][]float64, size)
+		for j := range sets[s] {
+			sets[s][j] = make([]float64, size)
+			for i := range sets[s][j] {
+				sets[s][j][i] = rng.Float64()*2 - 1
+			}
+		}
+	}
+	return sets
+}

@@ -7,6 +7,7 @@
 //	trident infer  [-model VGG-16] [-accel Trident] [-batch 32] [-layers]
 //	trident train  [-samples 600] [-hidden 16] [-epochs 10] [-noise] [-lifetime]
 //	trident sweep  [-model ResNet-50]
+//	trident bench  [-o BENCH_PR3.json] [-min 2] [-batch 32]
 //	trident devices
 package main
 
@@ -48,6 +49,8 @@ func main() {
 		cmdExport(os.Args[2:])
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "bench":
+		cmdBench(os.Args[2:])
 	case "devices":
 		cmdDevices()
 	default:
@@ -66,6 +69,7 @@ commands:
   cache    analyze on-chip memory behaviour for one model
   export   train in-situ and save the network state; verify a reload round-trip
   trace    write a Chrome trace of the weight-stationary schedule
+  bench    run hot-path microbenchmarks; write the BENCH_PR3.json trajectory
   devices  print the device parameter sheet`)
 	os.Exit(2)
 }

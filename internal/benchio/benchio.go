@@ -1,0 +1,196 @@
+// Package benchio is the benchmark-trajectory format: it parses `go test
+// -bench` output into aggregated per-benchmark results and writes the
+// machine-readable trajectory file (BENCH_PR3.json) that `make bench`, the
+// cmd/benchjson gate and the `trident bench` subcommand all share, so the
+// kernel's speedup over its reference is recorded — and enforced — the same
+// way no matter which entry point produced the numbers.
+package benchio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark series aggregated across -count repetitions.
+type Result struct {
+	Name string `json:"name"`
+	Runs int    `json:"runs"`
+	// NsPerOp is the best (minimum) time per operation across runs — the
+	// least-noise estimate of the kernel's speed.
+	NsPerOp float64 `json:"ns_per_op"`
+	// NsPerOpMean is the arithmetic mean across runs, kept alongside the
+	// minimum so trajectory diffs can spot variance blow-ups.
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MVMsPerSec is the best (maximum) throughput metric across runs, for
+	// benchmarks that report one.
+	MVMsPerSec float64 `json:"mvms_per_sec,omitempty"`
+}
+
+// Gate records the enforced speedup requirement of a trajectory file.
+type Gate struct {
+	Fast     string  `json:"fast"`
+	Ref      string  `json:"ref"`
+	Required float64 `json:"required"`
+	Speedup  float64 `json:"speedup"`
+	Passed   bool    `json:"passed"`
+}
+
+// Report is the trajectory file schema.
+type Report struct {
+	Schema    string   `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	Results   []Result `json:"results"`
+	Gate      *Gate    `json:"gate,omitempty"`
+}
+
+// Schema is the current trajectory-file schema identifier.
+const Schema = "trident-bench/1"
+
+// procSuffix strips the trailing -GOMAXPROCS from a benchmark name, so the
+// same benchmark aggregates under one key on any host.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// accum collects one benchmark's repetitions during parsing.
+type accum struct {
+	runs                  int
+	nsMin, nsSum          float64
+	bytesMax, allocsMax   float64
+	mvmsMax               float64
+	haveBytes, haveAllocs bool
+}
+
+// Parse reads `go test -bench` output and aggregates repeated runs of each
+// benchmark: minimum and mean ns/op, maximum MVMs/sec, maximum B/op and
+// allocs/op. Results keep first-appearance order. Non-benchmark lines are
+// ignored, so the full `go test` stream can be piped in unfiltered.
+func Parse(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	byName := map[string]*accum{}
+	var order []string
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // PASS/FAIL summary lines etc.
+		}
+		a := byName[name]
+		if a == nil {
+			a = &accum{}
+			byName[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		// The remainder is value-unit pairs: "785.1 ns/op 1273814 MVMs/sec
+		// 0 B/op 0 allocs/op".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchio: %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if a.runs == 1 || v < a.nsMin {
+					a.nsMin = v
+				}
+				a.nsSum += v
+			case "B/op":
+				a.haveBytes = true
+				if v > a.bytesMax {
+					a.bytesMax = v
+				}
+			case "allocs/op":
+				a.haveAllocs = true
+				if v > a.allocsMax {
+					a.allocsMax = v
+				}
+			case "MVMs/sec":
+				if v > a.mvmsMax {
+					a.mvmsMax = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchio: %w", err)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		out = append(out, Result{
+			Name:        name,
+			Runs:        a.runs,
+			NsPerOp:     a.nsMin,
+			NsPerOpMean: a.nsSum / float64(a.runs),
+			BytesPerOp:  a.bytesMax,
+			AllocsPerOp: a.allocsMax,
+			MVMsPerSec:  a.mvmsMax,
+		})
+	}
+	return out, nil
+}
+
+// Find returns the result with the given name, or nil.
+func (rep *Report) Find(name string) *Result {
+	for i := range rep.Results {
+		if rep.Results[i].Name == name {
+			return &rep.Results[i]
+		}
+	}
+	return nil
+}
+
+// ApplyGate computes ref/fast speedup from the two named results and records
+// the pass/fail verdict against the required factor. It errors when either
+// benchmark is missing from the report — an absent gate benchmark must fail
+// the build, not silently pass it.
+func (rep *Report) ApplyGate(fast, ref string, required float64) error {
+	f := rep.Find(fast)
+	if f == nil {
+		return fmt.Errorf("benchio: gate benchmark %q not in report", fast)
+	}
+	g := rep.Find(ref)
+	if g == nil {
+		return fmt.Errorf("benchio: gate benchmark %q not in report", ref)
+	}
+	if f.NsPerOp <= 0 {
+		return fmt.Errorf("benchio: gate benchmark %q has no timing", fast)
+	}
+	speedup := g.NsPerOp / f.NsPerOp
+	rep.Gate = &Gate{Fast: fast, Ref: ref, Required: required,
+		Speedup: speedup, Passed: speedup >= required}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func WriteFile(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a trajectory file.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("benchio: %s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,104 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: trident
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBankMVM/64x64-8    	   19147	     13259 ns/op	     75422 MVMs/sec	       0 B/op	       0 allocs/op
+BenchmarkBankMVM/64x64-8    	   20000	     12800 ns/op	     78000 MVMs/sec	       0 B/op	       0 allocs/op
+BenchmarkBankMVMReference/64x64-8	     487	    457775 ns/op	      2185 MVMs/sec	       0 B/op	       0 allocs/op
+BenchmarkBankProgram/16x16-8    	    5000	    240000 ns/op	    1024 B/op	       2 allocs/op
+PASS
+ok  	trident	3.600s
+`
+
+func TestParseAggregates(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	mvm := results[0]
+	if mvm.Name != "BenchmarkBankMVM/64x64" {
+		t.Fatalf("name %q (CPU suffix must be stripped)", mvm.Name)
+	}
+	if mvm.Runs != 2 {
+		t.Errorf("runs = %d, want 2", mvm.Runs)
+	}
+	if mvm.NsPerOp != 12800 {
+		t.Errorf("ns/op = %v, want min 12800", mvm.NsPerOp)
+	}
+	if want := (13259.0 + 12800.0) / 2; mvm.NsPerOpMean != want {
+		t.Errorf("mean ns/op = %v, want %v", mvm.NsPerOpMean, want)
+	}
+	if mvm.MVMsPerSec != 78000 {
+		t.Errorf("MVMs/sec = %v, want max 78000", mvm.MVMsPerSec)
+	}
+	prog := results[2]
+	if prog.AllocsPerOp != 2 || prog.BytesPerOp != 1024 {
+		t.Errorf("program allocs=%v bytes=%v, want 2/1024", prog.AllocsPerOp, prog.BytesPerOp)
+	}
+}
+
+func TestApplyGate(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Schema: Schema, Results: results}
+	if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkBankMVMReference/64x64", 2); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Gate.Passed {
+		t.Errorf("gate failed: speedup %v", rep.Gate.Speedup)
+	}
+	if want := 457775.0 / 12800.0; rep.Gate.Speedup != want {
+		t.Errorf("speedup %v, want %v", rep.Gate.Speedup, want)
+	}
+	if err := rep.ApplyGate("BenchmarkMissing", "BenchmarkBankMVM/64x64", 2); err == nil {
+		t.Error("missing fast benchmark: want error")
+	}
+	if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkMissing", 2); err == nil {
+		t.Error("missing ref benchmark: want error")
+	}
+	// An impossible requirement must record a failing gate.
+	if err := rep.ApplyGate("BenchmarkBankMVMReference/64x64", "BenchmarkBankMVM/64x64", 2); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gate.Passed {
+		t.Error("inverted gate passed; want fail")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Schema: Schema, GoVersion: "go1.22", Results: results}
+	if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkBankMVMReference/64x64", 2); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if back.Gate == nil || back.Gate.Speedup != rep.Gate.Speedup {
+		t.Errorf("gate did not survive round trip: %+v", back.Gate)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+// The batched inference path. Trident serves edge workloads weight-
+// stationary: once a layer's W is resident in the PCM banks, any number of
+// input vectors can stream through without reprogramming. The batch APIs
+// below exploit that — B samples stream through each tile back-to-back, so
+// the per-batch cost is one tile fan-out plus B optical passes per tile,
+// with every scratch buffer reused across samples and across calls.
+//
+// Determinism contract: a tile PE executes exactly the per-sample call
+// sequence of the serial single-sample path (samples in batch order), so its
+// noise stream, ledger bookings and outputs are bit-identical to calling
+// Forward once per sample. The batch paths are serving-only: they do not
+// save lastX/lastH/derivs training state, so a TrainSample must not rely on
+// a preceding batched forward.
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/tensor"
+)
+
+// MVMBatchInto runs forward-layout optical passes for a whole batch: sample
+// s occupies xs[s*In : (s+1)*In] and its pre-activations land in
+// dst[s*Out : (s+1)*Out], both sample-major. Tiles fan out across the worker
+// pool; each tile streams every sample through its bank in batch order, and
+// the per-tile partial sums are merged afterwards in fixed (rowTile,
+// colTile) order — the same merge order as the single-sample MVMInto, so
+// results are bit-identical to B independent MVMInto calls.
+func (l *DenseLayer) MVMBatchInto(dst, xs []float64, batch int) ([]float64, error) {
+	in, out := l.spec.In, l.spec.Out
+	if batch < 0 || len(xs) < batch*in {
+		return nil, fmt.Errorf("core: batch %d×%d needs %d inputs, have %d", batch, in, batch*in, len(xs))
+	}
+	if l.state != bankForward {
+		if err := l.programForward(); err != nil {
+			return nil, err
+		}
+	}
+	rt, ct := len(l.tiles), len(l.tiles[0])
+	rows := l.rows
+	l.stream = growFloats(l.stream, rt*ct*rows*batch)
+	slab := l.stream
+	if err := runTiles(rt, ct, func(r, c int) error {
+		pe := l.tiles[r][c]
+		i0 := c * l.cols
+		i1 := min(i0+l.cols, in)
+		tileOut := slab[(r*ct+c)*rows*batch:][: rows*batch : rows*batch]
+		for s := 0; s < batch; s++ {
+			// Sample s's tile slice is contiguous in the sample-major
+			// layout — no gather copy needed.
+			if _, err := pe.MVMPassInto(tileOut[s*rows:(s+1)*rows], xs[s*in+i0:s*in+i1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	dst = growFloats(dst, batch*out)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for s := 0; s < batch; s++ {
+		h := dst[s*out : (s+1)*out]
+		for r := 0; r < rt; r++ {
+			j0 := r * rows
+			j1 := min(j0+rows, out)
+			for c := 0; c < ct; c++ {
+				part := slab[((r*ct+c)*batch+s)*rows:]
+				for j := j0; j < j1; j++ {
+					h[j] += part[j-j0]
+				}
+			}
+		}
+	}
+	return dst, nil
+}
+
+// ForwardBatchInto runs the layer on a batch: tile MVM passes, electronic
+// partial-sum merge, then the GST activation (when enabled) on the row-tile
+// PEs, each row tile walking its samples in batch order. dst receives the
+// activated outputs sample-major (grown only when nil or short). Unlike
+// Forward, no training state (lastX/lastH/derivs) is saved — this is the
+// serving path.
+func (l *DenseLayer) ForwardBatchInto(dst, xs []float64, batch int) ([]float64, error) {
+	out := l.spec.Out
+	h, err := l.MVMBatchInto(l.batchH, xs, batch)
+	if err != nil {
+		return nil, err
+	}
+	l.batchH = h
+	dst = growFloats(dst, batch*out)
+	if !l.spec.Activate {
+		copy(dst, h[:batch*out])
+		return dst, nil
+	}
+	if err := runTiles(len(l.tiles), 1, func(r, _ int) error {
+		j0 := r * l.rows
+		j1 := min(j0+l.rows, out)
+		pe := l.tiles[r][0]
+		for s := 0; s < batch; s++ {
+			if _, err := pe.ActivateInto(dst[s*out+j0:s*out+j1], h[s*out+j0:s*out+j1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ForwardBatch runs a full batched inference through the network, returning
+// the logits sample-major in a fresh slice. See ForwardBatchInto.
+func (n *Network) ForwardBatch(xs []float64, batch int) ([]float64, error) {
+	return n.ForwardBatchInto(nil, xs, batch)
+}
+
+// ForwardBatchInto streams a batch through every layer in turn: sample s's
+// input occupies xs[s*In : (s+1)*In] and its logits land in
+// dst[s*Out : (s+1)*Out]. Intermediate activations ping through per-layer
+// scratch buffers, so steady-state serving allocates nothing. Outputs are
+// bit-identical to calling Forward once per sample in batch order, noise
+// and all.
+func (n *Network) ForwardBatchInto(dst, xs []float64, batch int) ([]float64, error) {
+	if batch < 0 || len(xs) < batch*n.layers[0].spec.In {
+		return nil, fmt.Errorf("core: batch %d×%d needs %d inputs, have %d",
+			batch, n.layers[0].spec.In, batch*n.layers[0].spec.In, len(xs))
+	}
+	cur := xs
+	last := len(n.layers) - 1
+	for k, l := range n.layers {
+		if k == last {
+			return l.ForwardBatchInto(dst, cur, batch)
+		}
+		y, err := l.ForwardBatchInto(l.batchY, cur, batch)
+		if err != nil {
+			return nil, err
+		}
+		l.batchY = y
+		cur = y
+	}
+	return nil, fmt.Errorf("core: network has no layers")
+}
+
+// PredictBatch returns the argmax class per sample, reusing dst when large
+// enough. The logits buffer is network-owned scratch, so repeated serving
+// calls allocate nothing.
+func (n *Network) PredictBatch(dst []int, xs []float64, batch int) ([]int, error) {
+	logits, err := n.ForwardBatchInto(n.batchLogits, xs, batch)
+	if err != nil {
+		return nil, err
+	}
+	n.batchLogits = logits
+	classes := n.layers[len(n.layers)-1].spec.Out
+	if cap(dst) < batch {
+		dst = make([]int, batch)
+	}
+	dst = dst[:batch]
+	for s := 0; s < batch; s++ {
+		dst[s] = argmax(logits[s*classes : (s+1)*classes])
+	}
+	return dst, nil
+}
+
+// argmax returns the index of the largest value (first wins on ties, like
+// the single-sample Predict loops).
+func argmax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// ForwardBatch runs a batch of images through the CNN and returns the
+// classifier logits sample-major in a fresh slice.
+func (c *CNN) ForwardBatch(imgs []*tensor.Tensor) ([]float64, error) {
+	return c.ForwardBatchInto(nil, imgs)
+}
+
+// ForwardBatchInto streams every image through the convolution — im2col
+// patches through the weight-stationary kernel banks, GST activation, global
+// average pool — then runs the classifier head on the whole pooled batch.
+// Each kernel tile sees the images in batch order and each head tile sees
+// the pooled samples in batch order, so logits, noise streams and ledgers
+// are bit-identical to calling Forward once per image. Serving-only: the
+// backward-pass state (patches/pre/gap) is left holding the last image.
+func (c *CNN) ForwardBatchInto(dst []float64, imgs []*tensor.Tensor) ([]float64, error) {
+	batch := len(imgs)
+	outC := c.spec.OutC
+	c.gapBatch = growFloats(c.gapBatch, batch*outC)
+	for s, img := range imgs {
+		if img.Rank() != 3 || img.Dim(0) != c.spec.InC || img.Dim(1) != c.spec.InH || img.Dim(2) != c.spec.InW {
+			return nil, fmt.Errorf("core: CNN batch image %d shape %v, want [%d %d %d]",
+				s, img.Shape(), c.spec.InC, c.spec.InH, c.spec.InW)
+		}
+		c.patches = tensor.Im2Col(c.patches, img, c.spec, 0)
+		pixels := c.patches.Dim(1)
+		if c.pre == nil || c.pre.Dim(1) != pixels {
+			c.pre = tensor.New(c.spec.OutC, pixels)
+		}
+		if err := c.kernel.streamMVM(c.patches.Data(), pixels, c.pre.Data()); err != nil {
+			return nil, err
+		}
+		gap := c.gapBatch[s*outC : (s+1)*outC]
+		pre := c.pre.Data()
+		for oc := range gap {
+			var sum float64
+			for p := 0; p < pixels; p++ {
+				sum += c.act.Eval(pre[oc*pixels+p])
+			}
+			gap[oc] = sum / float64(pixels)
+		}
+	}
+	return c.head.ForwardBatchInto(dst, c.gapBatch, batch)
+}
+
+// PredictBatch returns the argmax class per image, reusing dst when large
+// enough.
+func (c *CNN) PredictBatch(dst []int, imgs []*tensor.Tensor) ([]int, error) {
+	logits, err := c.ForwardBatchInto(c.logitsBatch, imgs)
+	if err != nil {
+		return nil, err
+	}
+	c.logitsBatch = logits
+	if cap(dst) < len(imgs) {
+		dst = make([]int, len(imgs))
+	}
+	dst = dst[:len(imgs)]
+	for s := range imgs {
+		dst[s] = argmax(logits[s*c.classes : (s+1)*c.classes])
+	}
+	return dst, nil
+}

@@ -32,6 +32,11 @@ type CNN struct {
 	rawGap []float64
 	deltaH []float64 // OutC × pixels, pixel-minor
 	active []bool    // pixels with any non-zero gated gradient
+
+	// Batched-serving scratch (see batch.go): pooled features and head
+	// logits for a whole batch, sample-major.
+	gapBatch    []float64 // batch×OutC
+	logitsBatch []float64 // batch×classes
 }
 
 // NewCNN builds the hardware CNN. The convolution must be ungrouped

@@ -57,7 +57,9 @@ type DenseLayer struct {
 	hBuf    []float64   // forward accumulator scratch
 	tBuf    []float64   // transpose-pass accumulator scratch
 	gradBuf [][]float64 // outer-product gradient scratch (see gradScratch)
-	stream  []float64   // per-tile pixel-stream slabs (conv streaming)
+	stream  []float64   // per-tile sample-stream slabs (conv + batch paths)
+	batchH  []float64   // batched pre-activation accumulator (batch×Out)
+	batchY  []float64   // batched activated-output scratch (batch×Out)
 }
 
 // bankState tracks which operand layout the tile banks currently hold.
@@ -77,6 +79,8 @@ const (
 type Network struct {
 	cfg    NetworkConfig
 	layers []*DenseLayer
+	// Batched-serving scratch (see batch.go), reused across calls.
+	batchLogits []float64
 }
 
 // NewNetwork builds a hardware network for the given layer stack. Initial

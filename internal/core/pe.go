@@ -261,6 +261,61 @@ func (p *PE) MVMPassInto(dst, x []float64) ([]float64, error) {
 	return dst, nil
 }
 
+// MVMPassBatchInto streams a batch of input vectors through the weight-
+// stationary bank in one call: sample s occupies xs[s*n : (s+1)*n] and its
+// noisy pre-activations land in dst[s*Rows : (s+1)*Rows], both sample-major.
+// Each sample runs exactly the single-sample MVMPass sequence — bank kernel,
+// per-row noise draw, one clock of pipeline energy — so the outputs, the
+// PE's noise stream and its ledger are bit-identical to calling MVMPassInto
+// once per sample. The bank's leaked-input scratch is reused across the
+// whole batch; the steady-state path allocates nothing.
+func (p *PE) MVMPassBatchInto(dst, xs []float64, batch, n int) ([]float64, error) {
+	if n > p.cfg.Cols {
+		return nil, fmt.Errorf("core: batch sample width %d exceeds bank cols %d", n, p.cfg.Cols)
+	}
+	if batch < 0 || len(xs) < batch*n {
+		return nil, fmt.Errorf("core: batch %d×%d needs %d inputs, have %d", batch, n, batch*n, len(xs))
+	}
+	dst = growFloats(dst, batch*p.cfg.Rows)
+	for s := 0; s < batch; s++ {
+		p.scratch = p.bank.MVM(p.scratch, xs[s*n:(s+1)*n])
+		out := dst[s*p.cfg.Rows : (s+1)*p.cfg.Rows]
+		for j := range out {
+			out[j] = p.noisy(p.scratch[j], n)
+		}
+		p.step(n)
+	}
+	return dst, nil
+}
+
+// InferBatch executes full ModeInference passes for a batch of samples:
+// optical MVM, balanced detection, GST activation and LDSU latch per sample,
+// in sample order. ys and hs receive the activated outputs and the raw
+// pre-activations sample-major (sample s at [s*Rows : (s+1)*Rows]); both
+// are allocated only when nil or short, so steady-state serving is
+// allocation-free. Results are bit-identical to calling Infer once per
+// sample.
+func (p *PE) InferBatch(ys, hs, xs []float64, batch, n int) (y, h []float64, err error) {
+	if n > p.cfg.Cols {
+		return nil, nil, fmt.Errorf("core: batch sample width %d exceeds bank cols %d", n, p.cfg.Cols)
+	}
+	if batch < 0 || len(xs) < batch*n {
+		return nil, nil, fmt.Errorf("core: batch %d×%d needs %d inputs, have %d", batch, n, batch*n, len(xs))
+	}
+	rows := p.cfg.Rows
+	ys = growFloats(ys, batch*rows)
+	hs = growFloats(hs, batch*rows)
+	for s := 0; s < batch; s++ {
+		if _, err := p.MVMPassInto(hs[s*rows:(s+1)*rows], xs[s*n:(s+1)*n]); err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.ActivateInto(ys[s*rows:(s+1)*rows], hs[s*rows:(s+1)*rows]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ys, hs, nil
+}
+
 // Activate pushes accumulated pre-activations h (len ≤ Rows) through the
 // PE's GST activation cells and latches the LDSUs. It returns the activated
 // outputs and books the recrystallization energy for cells that fired.

@@ -30,10 +30,18 @@ type WeightBank struct {
 	tuners     [][]Tuner
 	weights    [][]float64 // realized (quantized) weights, physical layout
 	crosstalk  []float64   // drop leakage vs. channel distance
+	bandRadius int         // largest distance with leakage ≥ crosstalkFloor
+	xleak      []float64   // per-pass leaked-input scratch (len cols)
 	rowMap     []int       // logical row → physical row
 	rotation   int         // current rotation offset of rowMap
 	masked     []bool      // physical rows retired from service
 }
+
+// crosstalkFloor is the leakage level below which a neighbour's contribution
+// is indistinguishable from zero at the detector: coefficients under it are
+// clipped from the effective crosstalk band at bank construction, bounding
+// every kernel's per-pass leak work to O(n·bandRadius).
+const crosstalkFloor = 1e-9
 
 // drifter is the tuner capability of reporting a time-drifted weight
 // (implemented by PCMTuner; volatile tuners do not drift, they vanish).
@@ -99,6 +107,17 @@ func NewWeightBank(rows, cols int, plan *optics.ChannelPlan, newTuner NewTunerFu
 		offset := units.Length(float64(k) * float64(plan.Spacing()))
 		b.crosstalk[k] = ref.CrosstalkAt(offset)
 	}
+	// Effective band radius: the largest channel distance whose leakage is
+	// still above the detector floor. The scan runs once here; every kernel
+	// pass and every crosstalk-profile consumer reuses the clipped radius
+	// instead of rescanning the profile.
+	for k := cols - 1; k >= 1; k-- {
+		if b.crosstalk[k] >= crosstalkFloor {
+			b.bandRadius = k
+			break
+		}
+	}
+	b.xleak = make([]float64, cols)
 	return b, nil
 }
 
@@ -338,14 +357,11 @@ func (b *WeightBank) Refresh(now units.Duration) ProgramResult {
 	return res
 }
 
-// MVM computes the bank's optical matrix-vector product y = W·x for a
-// normalized input vector x (len ≤ N), including inter-channel crosstalk:
-// each ring also drops a small amount of its neighbours' channels, so
-//
-//	y_j = Σ_n w_jn·x_n + Σ_n Σ_{m≠n} w_jm·leak(|m−n|)·x_n
-//
-// The result is written into dst, which is allocated if nil or short.
-func (b *WeightBank) MVM(dst, x []float64) []float64 {
+// mvmPrepare is the preamble shared by every MVM kernel: it sizes dst to
+// the bank's row count (allocating only when nil or short) and clamps the
+// input length to the bank width. Keeping it in one place guarantees the
+// sizing semantics cannot drift between kernels.
+func (b *WeightBank) mvmPrepare(dst, x []float64) ([]float64, int) {
 	if cap(dst) < b.rows {
 		dst = make([]float64, b.rows)
 	}
@@ -354,14 +370,128 @@ func (b *WeightBank) MVM(dst, x []float64) []float64 {
 	if n > b.cols {
 		n = b.cols
 	}
+	return dst, n
+}
+
+// rowWeights resolves logical row j through the wear-leveling rotation map:
+// it returns the serving physical row's weight slice, or ok = false when
+// that physical row is masked (retired), in which case the row's output is
+// zero. This is the single definition of the rotation/masking semantics
+// every MVM kernel must share.
+func (b *WeightBank) rowWeights(j int) (wj []float64, ok bool) {
+	pr := b.rowMap[j]
+	if b.masked[pr] {
+		return nil, false
+	}
+	return b.weights[pr], true
+}
+
+// MVM computes the bank's optical matrix-vector product y = W·x for a
+// normalized input vector x (len ≤ N), including inter-channel crosstalk:
+// each ring also drops a small amount of its neighbours' channels, so
+//
+//	y_j = Σ_n w_jn·x_n + Σ_n Σ_{m≠n} w_jm·leak(|m−n|)·x_n
+//
+// The crosstalk sum is separable: the kernel factors it into one per-pass
+// leaked-input vector xleak[m] = Σ_i leak(|m−i|)·x_i (O(n·bandRadius),
+// shared by every row), then each row is a plain O(N) accumulation — see
+// mvm_fast.go. Building with -tags=slowmvm swaps in the O(rows·n·N)
+// reference triple loop instead (mvm_slow.go). The result is written into
+// dst, which is allocated if nil or short. The per-pass scratch makes a
+// bank single-writer: callers follow the one-goroutine-per-PE ownership
+// contract of the tile-execution engine.
+func (b *WeightBank) MVM(dst, x []float64) []float64 {
+	dst, n := b.mvmPrepare(dst, x)
+	b.mvmKernel(dst, x[:n])
+	return dst
+}
+
+// MVMBatchInto streams a batch of input vectors through the weight-
+// stationary bank: sample s occupies xs[s*n : (s+1)*n] and its outputs land
+// in dst[s*J : (s+1)*J], both sample-major. Each sample runs the same
+// kernel as MVM, reusing the bank's leaked-input scratch across the whole
+// batch, so the steady-state path performs zero per-sample allocations. It
+// panics on inconsistent geometry (a wiring error in the caller). dst is
+// allocated when nil or short.
+func (b *WeightBank) MVMBatchInto(dst, xs []float64, batch, n int) []float64 {
+	if n < 0 || n > b.cols {
+		panic(fmt.Sprintf("mrr: batch sample width %d outside bank cols %d", n, b.cols))
+	}
+	if batch < 0 || len(xs) < batch*n {
+		panic(fmt.Sprintf("mrr: batch %d×%d needs %d inputs, have %d", batch, n, batch*n, len(xs)))
+	}
+	if cap(dst) < batch*b.rows {
+		dst = make([]float64, batch*b.rows)
+	}
+	dst = dst[:batch*b.rows]
+	for s := 0; s < batch; s++ {
+		b.mvmKernel(dst[s*b.rows:(s+1)*b.rows], xs[s*n:(s+1)*n])
+	}
+	return dst
+}
+
+// factoredMVM is the production kernel: crosstalk is folded into the
+// leaked-input vector once per pass, dropping per-row cost from O(n·N) to
+// O(N). x must already be clamped to the bank width; dst must have exactly
+// rows entries.
+func (b *WeightBank) factoredMVM(dst, x []float64) {
+	n := len(x)
+	xl := b.xleak
+	for m := range xl {
+		xl[m] = 0
+	}
+	// Scatter each input channel into its crosstalk band. Zero channels
+	// contribute nothing, so sparse probe vectors (the BIST basis vectors)
+	// cost O(nnz·bandRadius).
+	for i := 0; i < n; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for d := 1; d <= b.bandRadius; d++ {
+			leak := b.crosstalk[d]
+			if leak < crosstalkFloor {
+				continue
+			}
+			v := leak * xi
+			if m := i - d; m >= 0 {
+				xl[m] += v
+			}
+			if m := i + d; m < b.cols {
+				xl[m] += v
+			}
+		}
+	}
 	for j := 0; j < b.rows; j++ {
-		pr := b.rowMap[j]
-		if b.masked[pr] {
+		wj, ok := b.rowWeights(j)
+		if !ok {
 			dst[j] = 0
 			continue
 		}
 		var acc float64
-		wj := b.weights[pr]
+		for i := 0; i < n; i++ {
+			acc += wj[i] * x[i]
+		}
+		for m := 0; m < b.cols; m++ {
+			acc += wj[m] * xl[m]
+		}
+		dst[j] = acc
+	}
+}
+
+// referenceMVM is the original O(rows·n·N) triple-loop kernel, kept as the
+// semantic reference: the property suite asserts the factored kernel agrees
+// with it to 1e-12 relative error, and the benchmark harness records the
+// speedup between the two. x must already be clamped to the bank width.
+func (b *WeightBank) referenceMVM(dst, x []float64) {
+	n := len(x)
+	for j := 0; j < b.rows; j++ {
+		wj, ok := b.rowWeights(j)
+		if !ok {
+			dst[j] = 0
+			continue
+		}
+		var acc float64
 		for i := 0; i < n; i++ {
 			acc += wj[i] * x[i]
 		}
@@ -382,7 +512,7 @@ func (b *WeightBank) MVM(dst, x []float64) []float64 {
 					continue
 				}
 				leak := b.crosstalk[d]
-				if leak < 1e-9 {
+				if leak < crosstalkFloor {
 					continue
 				}
 				acc += wj[m] * leak * xi
@@ -390,29 +520,30 @@ func (b *WeightBank) MVM(dst, x []float64) []float64 {
 		}
 		dst[j] = acc
 	}
+}
+
+// ReferenceMVM computes the bank MVM with the reference triple-loop kernel
+// regardless of build tags — the comparison baseline for equivalence tests
+// and the BENCH_PR3 speedup gate.
+func (b *WeightBank) ReferenceMVM(dst, x []float64) []float64 {
+	dst, n := b.mvmPrepare(dst, x)
+	b.referenceMVM(dst, x[:n])
 	return dst
 }
 
 // IdealMVM computes y = W·x with the realized weights but without
 // crosstalk, for error-budget comparisons.
 func (b *WeightBank) IdealMVM(dst, x []float64) []float64 {
-	if cap(dst) < b.rows {
-		dst = make([]float64, b.rows)
-	}
-	dst = dst[:b.rows]
-	n := len(x)
-	if n > b.cols {
-		n = b.cols
-	}
+	dst, n := b.mvmPrepare(dst, x)
 	for j := 0; j < b.rows; j++ {
-		pr := b.rowMap[j]
-		if b.masked[pr] {
+		wj, ok := b.rowWeights(j)
+		if !ok {
 			dst[j] = 0
 			continue
 		}
 		var acc float64
 		for i := 0; i < n; i++ {
-			acc += b.weights[pr][i] * x[i]
+			acc += wj[i] * x[i]
 		}
 		dst[j] = acc
 	}
@@ -429,11 +560,21 @@ func (b *WeightBank) CrosstalkProfile() []float64 {
 	return append([]float64(nil), b.crosstalk...)
 }
 
-// WorstCrosstalk returns the largest single-neighbour leakage coefficient,
-// in dB. For a legal channel plan this is below −30 dB.
+// BandRadius returns the effective crosstalk band radius: the largest
+// channel distance whose leakage coefficient is at least the detector
+// floor (1e-9 linear). It is computed once at construction; the MVM
+// kernels, the self-test expectation model and the crosstalk reporters all
+// share this clipped radius rather than rescanning the profile. A radius
+// of zero means no neighbour leaks measurably.
+func (b *WeightBank) BandRadius() int { return b.bandRadius }
+
+// WorstCrosstalk returns the largest single-neighbour leakage coefficient
+// within the effective band, in dB. For a legal channel plan this is below
+// −30 dB; a bank whose whole profile sits under the detector floor reports
+// −Inf.
 func (b *WeightBank) WorstCrosstalk() float64 {
 	worst := 0.0
-	for _, c := range b.crosstalk[1:] {
+	for _, c := range b.crosstalk[1 : b.bandRadius+1] {
 		if c > worst {
 			worst = c
 		}

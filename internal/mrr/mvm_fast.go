@@ -1,0 +1,8 @@
+//go:build !slowmvm
+
+package mrr
+
+// mvmKernel is the single deterministic MVM definition used by both serial
+// and parallel execution: the factored banded-crosstalk kernel. Build with
+// -tags=slowmvm to swap in the reference triple loop instead.
+func (b *WeightBank) mvmKernel(dst, x []float64) { b.factoredMVM(dst, x) }

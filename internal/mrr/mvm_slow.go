@@ -1,0 +1,8 @@
+//go:build slowmvm
+
+package mrr
+
+// mvmKernel under the slowmvm tag routes every MVM through the reference
+// triple-loop kernel — a debugging escape hatch for bisecting any suspected
+// factored-kernel discrepancy with the whole stack otherwise unchanged.
+func (b *WeightBank) mvmKernel(dst, x []float64) { b.referenceMVM(dst, x) }

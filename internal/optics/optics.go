@@ -82,6 +82,29 @@ func DefaultChannelPlan(n int) (*ChannelPlan, error) {
 	return NewChannelPlan(n, device.ChannelSpacing)
 }
 
+// NewExtendedChannelPlan builds a plan wider than one comb window by
+// stacking abutting combs on the same minimum-spacing grid: channel i sits
+// at CBandStart + i·1.6 nm, with every 38th line starting a new comb source.
+// This is a modeling device for stress and benchmark banks wider than the
+// ~37 channels one C+L comb can feed — the ring filter and crosstalk models
+// depend only on the grid spacing, so wide banks remain physically
+// meaningful per channel — while the paper-facing power and cost models keep
+// the single-comb limit of DefaultChannelPlan.
+func NewExtendedChannelPlan(n int) (*ChannelPlan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("optics: channel count must be positive (got %d)", n)
+	}
+	spacing := device.ChannelSpacing
+	p := &ChannelPlan{spacing: spacing}
+	for i := 0; i < n; i++ {
+		p.channels = append(p.channels, Channel{
+			Index:      i,
+			Wavelength: device.CBandStart + units.Length(float64(i)*float64(spacing)),
+		})
+	}
+	return p, nil
+}
+
 // Len returns the number of channels.
 func (p *ChannelPlan) Len() int { return len(p.channels) }
 

@@ -67,6 +67,47 @@ func TestChannelPlanValidation(t *testing.T) {
 	}
 }
 
+// TestExtendedChannelPlan: the multi-comb plan must serve widths the single
+// comb cannot, stay on the minimum-spacing grid, and agree with the default
+// plan wherever the latter exists.
+func TestExtendedChannelPlan(t *testing.T) {
+	if _, err := NewExtendedChannelPlan(0); err == nil {
+		t.Error("zero channels: want error")
+	}
+	for _, n := range []int{16, 64, 256} {
+		p, err := NewExtendedChannelPlan(n)
+		if err != nil {
+			t.Fatalf("NewExtendedChannelPlan(%d): %v", n, err)
+		}
+		if p.Len() != n {
+			t.Fatalf("Len = %d, want %d", p.Len(), n)
+		}
+		if p.Spacing() != device.ChannelSpacing {
+			t.Errorf("spacing %v, want %v", p.Spacing(), device.ChannelSpacing)
+		}
+		for i := 1; i < p.Len(); i++ {
+			gap := p.Channel(i).Wavelength - p.Channel(i-1).Wavelength
+			if math.Abs(float64(gap-device.ChannelSpacing)) > 1e-15 {
+				t.Fatalf("n=%d channel %d gap %v, want %v", n, i, gap, device.ChannelSpacing)
+			}
+		}
+	}
+	def, err := DefaultChannelPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := NewExtendedChannelPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if def.Channel(i).Wavelength != ext.Channel(i).Wavelength {
+			t.Fatalf("channel %d: default %v, extended %v",
+				i, def.Channel(i).Wavelength, ext.Channel(i).Wavelength)
+		}
+	}
+}
+
 func TestChannelPanicsOutOfRange(t *testing.T) {
 	p, _ := DefaultChannelPlan(4)
 	defer func() {

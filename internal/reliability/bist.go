@@ -104,10 +104,11 @@ type bistSlot struct {
 }
 
 // RunBIST sweeps the whole network: for every layer (forward layout
-// re-programmed if stale) and every PE tile, it feeds each basis vector
-// through the tile's real MVM path `repeats` times, averages the readouts,
-// and compares them against the prediction from the quantized master weights
-// plus the crosstalk calibration. tolerance ≤ 0 selects DefaultTolerance;
+// re-programmed if stale) and every PE tile, it streams the full basis-probe
+// campaign — each basis vector `repeats` times, n-major/rep-minor — through
+// the tile's batched MVM path in one call, averages the readouts, and
+// compares them against the prediction from the quantized master weights
+// plus the band-radius-bounded crosstalk calibration. tolerance ≤ 0 selects DefaultTolerance;
 // repeats ≤ 0 selects 2. Tiles are swept in parallel under the
 // single-writer-per-PE contract; the report is deterministic for a fixed
 // network state regardless of worker count.
@@ -177,34 +178,46 @@ func RunBIST(net *core.Network, tolerance float64, repeats int) (*BISTReport, er
 			if err := pe.Program(block); err != nil {
 				return err
 			}
-			basis := make([]float64, bCols)
-			sum := make([]float64, bRows)
-			var meas []float64
+			// The whole probe campaign is one flat basis batch through the
+			// PE's batched MVM path: probe (n, rep) is sample n·repeats+rep,
+			// the exact n-major/rep-minor order of the historical per-probe
+			// loop, so the PE's noise stream, readouts and ledger are
+			// bit-identical to issuing the passes one at a time.
+			batch := bCols * repeats
+			probes := make([]float64, batch*bCols)
 			for n := 0; n < bCols; n++ {
-				for i := range basis {
-					basis[i] = 0
+				for rep := 0; rep < repeats; rep++ {
+					probes[(n*repeats+rep)*bCols+n] = 1
 				}
-				basis[n] = 1
+			}
+			meas, err := pe.MVMPassBatchInto(nil, probes, batch, bCols)
+			if err != nil {
+				return err
+			}
+			// Crosstalk from probe column n reaches only columns within the
+			// bank's effective band radius (constructor-clipped where the
+			// leak falls under the detector floor).
+			radius := bank.BandRadius()
+			sum := make([]float64, bRows)
+			for n := 0; n < bCols; n++ {
 				for j := range sum {
 					sum[j] = 0
 				}
 				for rep := 0; rep < repeats; rep++ {
-					var err error
-					meas, err = pe.MVMPassInto(meas, basis)
-					if err != nil {
-						return err
-					}
+					out := meas[(n*repeats+rep)*bRows:]
 					for j := 0; j < bRows; j++ {
-						sum[j] += meas[j]
+						sum[j] += out[j]
 					}
 				}
+				m0 := max(n-radius, 0)
+				m1 := min(n+radius, bCols-1)
 				for j := 0; j < bRows; j++ {
 					pr := bank.PhysicalRow(j)
 					if bank.RowMasked(pr) {
 						continue
 					}
 					expected := expectedW(j, n)
-					for m := 0; m < bCols; m++ {
+					for m := m0; m <= m1; m++ {
 						d := m - n
 						if d < 0 {
 							d = -d
