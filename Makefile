@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier2 tier2-reliability bench bench-all all
+.PHONY: tier1 tier1-fmt tier2 tier2-reliability bench bench-all all
 
 all: tier1
 
@@ -11,29 +11,36 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
+# Tier 1 formatting gate: the tree must be gofmt-clean and vet-clean.
+# gofmt -l prints offending files; any output fails the target.
+tier1-fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
 # Tier 2: static analysis + race-detector run over the whole repo.
 tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Tier 2 reliability: the fault campaigns and batch-serving equality tests
-# under the race detector, plus short fuzz runs over the PCM cell state
-# machines the wear model leans on.
+# Tier 2 reliability: the fault campaigns, batch-serving equality tests,
+# execution-graph equivalence/golden-regression tests under the race
+# detector, plus short fuzz runs over the PCM cell state machines the wear
+# model leans on.
 tier2-reliability:
-	$(GO) test -race -run 'Campaign|Wear|Fault|BIST|Scheduler|Drift|Batch' ./internal/reliability/ ./internal/core/ ./internal/mrr/ ./internal/pcm/
+	$(GO) test -race -run 'Campaign|Wear|Fault|BIST|Scheduler|Drift|Batch|Golden|Graph' ./internal/reliability/ ./internal/core/ ./internal/mrr/ ./internal/pcm/
 	$(GO) test -run '^$$' -fuzz '^FuzzActivationCell$$' -fuzztime 10s ./internal/pcm/
 	$(GO) test -run '^$$' -fuzz '^FuzzCellProgram$$' -fuzztime 10s ./internal/pcm/
 
 # Benchmark trajectory: the kernel/batch microbenchmarks and two
 # regenerating-table benchmarks, six repetitions with allocation reporting,
-# parsed into the machine-readable BENCH_PR3.json. cmd/benchjson exits
+# parsed into the machine-readable BENCH_PR4.json. cmd/benchjson exits
 # non-zero if the factored kernel does not hold ≥2× over the reference
 # triple loop on the 64×64 bank.
 BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankProgram|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond)$$
 
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=6 . > bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json < bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json < bench.out
 	@rm -f bench.out
 
 # The full benchmark suite (every table, figure and hot path), no trajectory

@@ -374,7 +374,7 @@ func BenchmarkHardwareCNNTrainStep(b *testing.B) {
 // --- factored-kernel and batched-path microbenchmarks ---
 //
 // These feed the benchmark-trajectory harness (`make bench`, `trident
-// bench`): cmd/benchjson parses their output into BENCH_PR3.json and gates
+// bench`): cmd/benchjson parses their output into BENCH_PR4.json and gates
 // on the factored kernel holding ≥2× over the reference triple loop on the
 // 64×64 bank.
 

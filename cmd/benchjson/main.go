@@ -1,11 +1,11 @@
 // Command benchjson turns `go test -bench` output into the machine-readable
-// benchmark-trajectory file (BENCH_PR3.json) and enforces the kernel speedup
+// benchmark-trajectory file (BENCH_PR4.json) and enforces the kernel speedup
 // gate: the factored crosstalk kernel must hold the required factor over the
 // reference triple loop on the 64×64 bank, or the pipe exits non-zero.
 //
 // Usage (as wired by `make bench`):
 //
-//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR3.json
+//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR4.json
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "BENCH_PR3.json", "trajectory file to write")
+	out := flag.String("out", "BENCH_PR4.json", "trajectory file to write")
 	fast := flag.String("fast", "BenchmarkBankMVM/64x64", "gate numerator benchmark")
 	ref := flag.String("ref", "BenchmarkBankMVMReference/64x64", "gate denominator benchmark")
 	min := flag.Float64("min", 2, "required ref/fast speedup (0 disables the gate)")

@@ -3,7 +3,7 @@ package main
 // The bench subcommand: the in-process twin of `make bench`. It runs the
 // factored-kernel, batched-path and bank-programming microbenchmarks plus
 // two regenerating-table benchmarks through testing.Benchmark, prints a
-// summary table, writes the same BENCH_PR3.json trajectory schema as
+// summary table, writes the same BENCH_PR4.json trajectory schema as
 // cmd/benchjson, and enforces the same ≥2× kernel gate — so a deployment
 // host without the test tree can still measure and gate the hot paths.
 
@@ -27,7 +27,7 @@ var benchBankSizes = []int{16, 64, 256}
 
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR3.json", "trajectory file to write")
+	out := fs.String("o", "BENCH_PR4.json", "trajectory file to write")
 	min := fs.Float64("min", 2, "required factored/reference speedup on the 64×64 bank (0 disables the gate)")
 	batch := fs.Int("batch", 32, "batch size for the batched-path benchmark")
 	if err := fs.Parse(args); err != nil {

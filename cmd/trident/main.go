@@ -5,9 +5,9 @@
 // Usage:
 //
 //	trident infer  [-model VGG-16] [-accel Trident] [-batch 32] [-layers]
-//	trident train  [-samples 600] [-hidden 16] [-epochs 10] [-noise] [-lifetime]
+//	trident train  [-model mlp|branched] [-samples 600] [-hidden 16] [-epochs 10] [-noise] [-lifetime]
 //	trident sweep  [-model ResNet-50]
-//	trident bench  [-o BENCH_PR3.json] [-min 2] [-batch 32]
+//	trident bench  [-o BENCH_PR4.json] [-min 2] [-batch 32]
 //	trident devices
 package main
 
@@ -64,12 +64,13 @@ func usage() {
 commands:
   infer    map a CNN onto an accelerator and report latency/energy
   train    run functional in-situ training on synthetic data
-           (-lifetime: compressed wear-out campaign with BIST + self-healing)
+           (-model branched: residual+concat graph on the photonic core;
+            -lifetime: compressed wear-out campaign with BIST + self-healing)
   sweep    sweep the PE budget for one model
   cache    analyze on-chip memory behaviour for one model
   export   train in-situ and save the network state; verify a reload round-trip
   trace    write a Chrome trace of the weight-stationary schedule
-  bench    run hot-path microbenchmarks; write the BENCH_PR3.json trajectory
+  bench    run hot-path microbenchmarks; write the BENCH_PR4.json trajectory
   devices  print the device parameter sheet`)
 	os.Exit(2)
 }
@@ -142,12 +143,31 @@ func cmdTrain(args []string) {
 	noise := fs.Bool("noise", false, "enable analog BPD noise")
 	seed := fs.Int64("seed", 42, "dataset seed")
 	lifetime := fs.Bool("lifetime", false, "run the lifetime wear-out campaign instead of plain training")
+	model := fs.String("model", "mlp", "architecture: mlp (dense stack) or branched (residual+concat mini-model)")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
 	}
 	if *lifetime {
 		cmdLifetime(*seed)
 		return
+	}
+	if *model == "branched" {
+		const hw = 8
+		data := dataset.MiniImages(*samples, *classes, 1, hw, hw, 0.05, *seed)
+		fmt.Printf("in-situ training: %d images, %d classes, branched graph (conv→conv→add→concat→GAP→dense), %d epochs\n",
+			*samples, *classes, *epochs)
+		res, err := train.RunBranched(data, *epochs, *lr, *noise)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  train accuracy   %.1f%%\n", res.TrainAccuracy*100)
+		fmt.Printf("  test accuracy    %.1f%%\n", res.TestAccuracy*100)
+		fmt.Printf("  final loss       %.4f\n", res.FinalLoss)
+		fmt.Printf("  energy           %v (%.1f%% GST tuning)\n", res.Energy, res.TuningShare*100)
+		return
+	}
+	if *model != "mlp" {
+		log.Fatalf("unknown -model %q (want mlp or branched)", *model)
 	}
 	data := dataset.Blobs(*samples, *classes, *dim, 0.1, *seed)
 	fmt.Printf("in-situ training: %d samples, %d classes, %d→%d→%d network, %d epochs\n",

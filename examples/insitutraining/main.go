@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,6 +17,16 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	model := flag.String("model", "mlp",
+		"architecture: mlp (dense stack) or branched (residual+concat mini-model on the execution graph)")
+	flag.Parse()
+	if *model == "branched" {
+		runBranched()
+		return
+	}
+	if *model != "mlp" {
+		log.Fatalf("unknown -model %q (want mlp or branched)", *model)
+	}
 	data := dataset.Blobs(600, 3, 6, 0.1, 42)
 
 	fmt.Println("== In-situ training on Trident hardware (noiseless analog) ==")
@@ -48,6 +59,28 @@ func main() {
 		mm.SixBit*100, (mm.FloatAccuracy-mm.SixBit)*100)
 	fmt.Println("\nTraining on the same hardware that serves inference removes this gap —")
 	fmt.Println("the weights the PCM cells learn are the weights the PCM cells use.")
+}
+
+// runBranched trains the branched mini-model — stem conv, body conv,
+// residual add, channel concat, GAP, linear head — end to end on the
+// photonic core: every conv kernel and the classifier live in PCM banks,
+// and the joins book their optical summation / wavelength-merge energy.
+func runBranched() {
+	data := dataset.MiniImages(160, 2, 1, 8, 8, 0.05, 42)
+
+	fmt.Println("== Branched model (conv→conv→add→concat→GAP→dense), noiseless analog ==")
+	res, err := train.RunBranched(data, 6, 0.08, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+
+	fmt.Println("\n== Same run with BPD shot/thermal noise enabled ==")
+	noisy, err := train.RunBranched(data, 6, 0.08, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(noisy)
 }
 
 func report(r *train.InSituResult) {

@@ -1,6 +1,6 @@
 // Package benchio is the benchmark-trajectory format: it parses `go test
 // -bench` output into aggregated per-benchmark results and writes the
-// machine-readable trajectory file (BENCH_PR3.json) that `make bench`, the
+// machine-readable trajectory file (BENCH_PR4.json) that `make bench`, the
 // cmd/benchjson gate and the `trident bench` subcommand all share, so the
 // kernel's speedup over its reference is recorded — and enforced — the same
 // way no matter which entry point produced the numbers.

@@ -17,8 +17,6 @@ package core
 import (
 	"fmt"
 	"math"
-
-	"trident/internal/tensor"
 )
 
 // MVMBatchInto runs forward-layout optical passes for a whole batch: sample
@@ -112,59 +110,6 @@ func (l *DenseLayer) ForwardBatchInto(dst, xs []float64, batch int) ([]float64, 
 	return dst, nil
 }
 
-// ForwardBatch runs a full batched inference through the network, returning
-// the logits sample-major in a fresh slice. See ForwardBatchInto.
-func (n *Network) ForwardBatch(xs []float64, batch int) ([]float64, error) {
-	return n.ForwardBatchInto(nil, xs, batch)
-}
-
-// ForwardBatchInto streams a batch through every layer in turn: sample s's
-// input occupies xs[s*In : (s+1)*In] and its logits land in
-// dst[s*Out : (s+1)*Out]. Intermediate activations ping through per-layer
-// scratch buffers, so steady-state serving allocates nothing. Outputs are
-// bit-identical to calling Forward once per sample in batch order, noise
-// and all.
-func (n *Network) ForwardBatchInto(dst, xs []float64, batch int) ([]float64, error) {
-	if batch < 0 || len(xs) < batch*n.layers[0].spec.In {
-		return nil, fmt.Errorf("core: batch %d×%d needs %d inputs, have %d",
-			batch, n.layers[0].spec.In, batch*n.layers[0].spec.In, len(xs))
-	}
-	cur := xs
-	last := len(n.layers) - 1
-	for k, l := range n.layers {
-		if k == last {
-			return l.ForwardBatchInto(dst, cur, batch)
-		}
-		y, err := l.ForwardBatchInto(l.batchY, cur, batch)
-		if err != nil {
-			return nil, err
-		}
-		l.batchY = y
-		cur = y
-	}
-	return nil, fmt.Errorf("core: network has no layers")
-}
-
-// PredictBatch returns the argmax class per sample, reusing dst when large
-// enough. The logits buffer is network-owned scratch, so repeated serving
-// calls allocate nothing.
-func (n *Network) PredictBatch(dst []int, xs []float64, batch int) ([]int, error) {
-	logits, err := n.ForwardBatchInto(n.batchLogits, xs, batch)
-	if err != nil {
-		return nil, err
-	}
-	n.batchLogits = logits
-	classes := n.layers[len(n.layers)-1].spec.Out
-	if cap(dst) < batch {
-		dst = make([]int, batch)
-	}
-	dst = dst[:batch]
-	for s := 0; s < batch; s++ {
-		dst[s] = argmax(logits[s*classes : (s+1)*classes])
-	}
-	return dst, nil
-}
-
 // argmax returns the index of the largest value (first wins on ties, like
 // the single-sample Predict loops).
 func argmax(v []float64) int {
@@ -175,65 +120,4 @@ func argmax(v []float64) int {
 		}
 	}
 	return bi
-}
-
-// ForwardBatch runs a batch of images through the CNN and returns the
-// classifier logits sample-major in a fresh slice.
-func (c *CNN) ForwardBatch(imgs []*tensor.Tensor) ([]float64, error) {
-	return c.ForwardBatchInto(nil, imgs)
-}
-
-// ForwardBatchInto streams every image through the convolution — im2col
-// patches through the weight-stationary kernel banks, GST activation, global
-// average pool — then runs the classifier head on the whole pooled batch.
-// Each kernel tile sees the images in batch order and each head tile sees
-// the pooled samples in batch order, so logits, noise streams and ledgers
-// are bit-identical to calling Forward once per image. Serving-only: the
-// backward-pass state (patches/pre/gap) is left holding the last image.
-func (c *CNN) ForwardBatchInto(dst []float64, imgs []*tensor.Tensor) ([]float64, error) {
-	batch := len(imgs)
-	outC := c.spec.OutC
-	c.gapBatch = growFloats(c.gapBatch, batch*outC)
-	for s, img := range imgs {
-		if img.Rank() != 3 || img.Dim(0) != c.spec.InC || img.Dim(1) != c.spec.InH || img.Dim(2) != c.spec.InW {
-			return nil, fmt.Errorf("core: CNN batch image %d shape %v, want [%d %d %d]",
-				s, img.Shape(), c.spec.InC, c.spec.InH, c.spec.InW)
-		}
-		c.patches = tensor.Im2Col(c.patches, img, c.spec, 0)
-		pixels := c.patches.Dim(1)
-		if c.pre == nil || c.pre.Dim(1) != pixels {
-			c.pre = tensor.New(c.spec.OutC, pixels)
-		}
-		if err := c.kernel.streamMVM(c.patches.Data(), pixels, c.pre.Data()); err != nil {
-			return nil, err
-		}
-		gap := c.gapBatch[s*outC : (s+1)*outC]
-		pre := c.pre.Data()
-		for oc := range gap {
-			var sum float64
-			for p := 0; p < pixels; p++ {
-				sum += c.act.Eval(pre[oc*pixels+p])
-			}
-			gap[oc] = sum / float64(pixels)
-		}
-	}
-	return c.head.ForwardBatchInto(dst, c.gapBatch, batch)
-}
-
-// PredictBatch returns the argmax class per image, reusing dst when large
-// enough.
-func (c *CNN) PredictBatch(dst []int, imgs []*tensor.Tensor) ([]int, error) {
-	logits, err := c.ForwardBatchInto(c.logitsBatch, imgs)
-	if err != nil {
-		return nil, err
-	}
-	c.logitsBatch = logits
-	if cap(dst) < len(imgs) {
-		dst = make([]int, len(imgs))
-	}
-	dst = dst[:len(imgs)]
-	for s := range imgs {
-		dst[s] = argmax(logits[s*c.classes : (s+1)*c.classes])
-	}
-	return dst, nil
 }

@@ -2,41 +2,26 @@ package core
 
 import (
 	"fmt"
-	"math"
 
-	"trident/internal/nn"
 	"trident/internal/tensor"
 )
 
 // CNN is a small convolutional classifier executed on Trident hardware: one
 // convolution layer whose kernel matrix lives in PCM-MRR weight banks, the
 // GST photonic activation, a global-average-pooling head, and a dense
-// classifier layer. The control unit lowers the convolution to im2col
-// patches and streams one patch per clock through the banks — exactly the
-// weight-stationary pixel streaming the dataflow cost model assumes, here
-// executed functionally.
+// classifier layer — a thin conv→GAP→dense chain over the shared execution
+// graph (see graph.go), with tensor-shaped wrappers around the graph's flat
+// sample paths.
 type CNN struct {
-	cfg     NetworkConfig
+	*Graph
 	spec    tensor.Conv2DSpec
 	kernel  *DenseLayer // OutC × (InC·KH·KW) kernel matrix on PEs
 	head    *DenseLayer // classes × OutC classifier on PEs
-	act     *nn.GSTActivation
 	classes int
+	conv    NodeID // the conv node, for white-box tests
 
-	// Saved forward state for the backward pass.
-	patches *tensor.Tensor // (InC·KH·KW) × pixels
-	pre     *tensor.Tensor // OutC × pixels pre-activations
-	gap     []float64      // pooled activated features
-
-	// Backward-pass scratch, reused across samples.
-	rawGap []float64
-	deltaH []float64 // OutC × pixels, pixel-minor
-	active []bool    // pixels with any non-zero gated gradient
-
-	// Batched-serving scratch (see batch.go): pooled features and head
-	// logits for a whole batch, sample-major.
-	gapBatch    []float64 // batch×OutC
-	logitsBatch []float64 // batch×classes
+	// Batched-serving scratch: images packed sample-major for the graph.
+	xsBatch []float64
 }
 
 // NewCNN builds the hardware CNN. The convolution must be ungrouped
@@ -52,143 +37,103 @@ func NewCNN(cfg NetworkConfig, spec tensor.Conv2DSpec, classes int) (*CNN, error
 	if classes < 2 {
 		return nil, fmt.Errorf("core: CNN needs ≥2 classes (got %d)", classes)
 	}
-	if cfg.LearningRate == 0 {
-		cfg.LearningRate = 0.05
-	}
-	kcols := spec.InC * spec.KH * spec.KW
-	kernel, err := newDenseLayer(cfg, LayerSpec{In: kcols, Out: spec.OutC}, 101)
+	g, err := NewGraph(cfg, spec.InC, spec.InH, spec.InW)
 	if err != nil {
-		return nil, fmt.Errorf("core: CNN kernel banks: %w", err)
+		return nil, err
 	}
-	head, err := newDenseLayer(cfg, LayerSpec{In: spec.OutC, Out: classes}, 202)
-	if err != nil {
-		return nil, fmt.Errorf("core: CNN head banks: %w", err)
+	conv := g.Conv(g.Input(), spec, 101)
+	gap := g.GlobalAvgPool(conv)
+	head := g.Dense(gap, LayerSpec{In: spec.OutC, Out: classes}, 202)
+	if err := g.SetOutput(head); err != nil {
+		return nil, fmt.Errorf("core: CNN banks: %w", err)
 	}
-	act := nn.NewGSTActivation("gst", cfg.PE.ActivationThreshold)
-	act.MaxOut = 1.0
 	return &CNN{
-		cfg:     cfg,
+		Graph:   g,
 		spec:    spec,
-		kernel:  kernel,
-		head:    head,
-		act:     act,
+		kernel:  g.layers[0],
+		head:    g.layers[1],
 		classes: classes,
+		conv:    conv,
 	}, nil
+}
+
+func (c *CNN) checkShape(img *tensor.Tensor) error {
+	if img.Rank() != 3 || img.Dim(0) != c.spec.InC || img.Dim(1) != c.spec.InH || img.Dim(2) != c.spec.InW {
+		return fmt.Errorf("core: CNN input shape %v, want [%d %d %d]",
+			img.Shape(), c.spec.InC, c.spec.InH, c.spec.InW)
+	}
+	return nil
 }
 
 // Forward runs one image (CHW) through the hardware and returns the
 // classifier logits.
 func (c *CNN) Forward(img *tensor.Tensor) ([]float64, error) {
-	if img.Rank() != 3 || img.Dim(0) != c.spec.InC || img.Dim(1) != c.spec.InH || img.Dim(2) != c.spec.InW {
-		return nil, fmt.Errorf("core: CNN input shape %v, want [%d %d %d]",
-			img.Shape(), c.spec.InC, c.spec.InH, c.spec.InW)
-	}
-	c.patches = tensor.Im2Col(c.patches, img, c.spec, 0)
-	pixels := c.patches.Dim(1)
-	if c.pre == nil || c.pre.Dim(1) != pixels {
-		c.pre = tensor.New(c.spec.OutC, pixels)
-	}
-	// Stream one patch per clock through the kernel banks, all tiles in
-	// parallel (tile-major decomposition; see streamMVM).
-	if err := c.kernel.streamMVM(c.patches.Data(), pixels, c.pre.Data()); err != nil {
+	if err := c.checkShape(img); err != nil {
 		return nil, err
 	}
-	// GST activation fires per pixel; the activated map feeds the global
-	// average pool.
-	gap := growFloats(c.gap, c.spec.OutC)
-	pre := c.pre.Data()
-	for oc := range gap {
-		var s float64
-		for p := 0; p < pixels; p++ {
-			s += c.act.Eval(pre[oc*pixels+p])
-		}
-		gap[oc] = s / float64(pixels)
-	}
-	c.gap = gap
-	return c.head.Forward(gap)
+	return c.Graph.Forward(img.Data())
 }
 
 // Predict returns the argmax class for an image.
 func (c *CNN) Predict(img *tensor.Tensor) (int, error) {
-	logits, err := c.Forward(img)
-	if err != nil {
+	if err := c.checkShape(img); err != nil {
 		return 0, err
 	}
-	best, bi := math.Inf(-1), 0
-	for i, v := range logits {
-		if v > best {
-			best, bi = v, i
-		}
-	}
-	return bi, nil
+	return c.Graph.Predict(img.Data())
 }
 
 // TrainSample runs one in-situ training step: forward, head update (dense
 // Table II passes), then the convolutional backward — per-pixel
 // gradient-vector and outer-product passes through the kernel banks.
 func (c *CNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
-	logits, err := c.Forward(img)
-	if err != nil {
+	if err := c.checkShape(img); err != nil {
 		return 0, err
 	}
-	probs := nn.Softmax(logits)
-	if label < 0 || label >= len(probs) {
-		return 0, fmt.Errorf("core: label %d out of range [0,%d)", label, len(probs))
-	}
-	loss := -math.Log(math.Max(probs[label], 1e-300))
-	deltaLogits := append([]float64(nil), probs...)
-	deltaLogits[label] -= 1
-
-	// Head backward: δgap = Wᵀ·δlogits (gradient-vector pass), δW_head =
-	// δlogits ⊗ gap (outer-product pass).
-	rawGap, err := c.head.TransposeMVMInto(c.rawGap, deltaLogits)
-	if err != nil {
-		return 0, err
-	}
-	c.rawGap = rawGap
-	headGrad := c.head.gradScratch()
-	if err := c.head.OuterProductInto(headGrad, deltaLogits, c.gap); err != nil {
-		return 0, err
-	}
-	c.head.ApplyUpdate(c.cfg.LearningRate, headGrad)
-
-	// Convolution backward. The GAP distributes δgap uniformly over
-	// pixels; the LDSU-latched derivative gates each pixel's contribution.
-	// The control unit computes the gated per-pixel δh map and the
-	// active-pixel mask digitally, then the outer-product passes — one
-	// rank-1 update per active pixel, accumulated in the PE caches —
-	// stream through the kernel banks with all tiles in parallel.
-	pixels := c.pre.Dim(1)
-	scale := 1 / float64(pixels)
-	pre := c.pre.Data()
-	c.deltaH = growFloats(c.deltaH, c.spec.OutC*pixels)
-	if cap(c.active) < pixels {
-		c.active = make([]bool, pixels)
-	}
-	active := c.active[:pixels]
-	for p := range active {
-		active[p] = false
-	}
-	for oc := 0; oc < c.spec.OutC; oc++ {
-		for p := 0; p < pixels; p++ {
-			d := rawGap[oc] * scale * c.act.Derivative(pre[oc*pixels+p])
-			c.deltaH[oc*pixels+p] = d
-			if d != 0 {
-				active[p] = true
-			}
-		}
-	}
-	kernGrad := c.kernel.gradScratch()
-	if err := c.kernel.streamOuterProduct(c.patches.Data(), c.deltaH, active, pixels, kernGrad); err != nil {
-		return 0, err
-	}
-	c.kernel.ApplyUpdate(c.cfg.LearningRate, kernGrad)
-	return loss, nil
+	return c.Graph.TrainSample(img.Data(), label)
 }
 
-// Ledger merges the energy ledgers of the kernel and head banks.
-func (c *CNN) Ledger() *Ledger {
-	return mergeTileLedgers([]*DenseLayer{c.kernel, c.head})
+// packBatch copies the images into the sample-major scratch slab the
+// graph's batch paths consume, validating each shape.
+func (c *CNN) packBatch(imgs []*tensor.Tensor) error {
+	size := c.spec.InC * c.spec.InH * c.spec.InW
+	c.xsBatch = growFloats(c.xsBatch, len(imgs)*size)
+	for s, img := range imgs {
+		if img.Rank() != 3 || img.Dim(0) != c.spec.InC || img.Dim(1) != c.spec.InH || img.Dim(2) != c.spec.InW {
+			return fmt.Errorf("core: CNN batch image %d shape %v, want [%d %d %d]",
+				s, img.Shape(), c.spec.InC, c.spec.InH, c.spec.InW)
+		}
+		copy(c.xsBatch[s*size:(s+1)*size], img.Data())
+	}
+	return nil
+}
+
+// ForwardBatch runs a batch of images through the CNN and returns the
+// classifier logits sample-major in a fresh slice.
+func (c *CNN) ForwardBatch(imgs []*tensor.Tensor) ([]float64, error) {
+	return c.ForwardBatchInto(nil, imgs)
+}
+
+// ForwardBatchInto streams every image through the convolution — im2col
+// patches through the weight-stationary kernel banks, GST activation, global
+// average pool — then runs the classifier head on the whole pooled batch.
+// Each kernel tile sees the images in batch order and each head tile sees
+// the pooled samples in batch order, so logits, noise streams and ledgers
+// are bit-identical to calling Forward once per image. Serving-only: the
+// saved forward state is left holding the last image.
+func (c *CNN) ForwardBatchInto(dst []float64, imgs []*tensor.Tensor) ([]float64, error) {
+	if err := c.packBatch(imgs); err != nil {
+		return nil, err
+	}
+	return c.Graph.ForwardBatchInto(dst, c.xsBatch, len(imgs))
+}
+
+// PredictBatch returns the argmax class per image, reusing dst when large
+// enough.
+func (c *CNN) PredictBatch(dst []int, imgs []*tensor.Tensor) ([]int, error) {
+	if err := c.packBatch(imgs); err != nil {
+		return nil, err
+	}
+	return c.Graph.PredictBatch(dst, c.xsBatch, len(imgs))
 }
 
 // KernelWeights exposes the kernel master matrix for inspection.

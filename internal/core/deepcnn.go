@@ -2,46 +2,30 @@ package core
 
 import (
 	"fmt"
-	"math"
 
-	"trident/internal/nn"
 	"trident/internal/tensor"
 )
 
 // DeepCNN is the multi-stage generalization of CNN: a stack of convolution
 // layers, each with its kernel matrix resident in PCM-MRR banks and the GST
 // activation applied per pixel, followed by global average pooling and a
-// dense classifier. The backward pass runs the full Table II repertoire at
-// every stage: per-pixel outer products for the kernel gradients and
+// dense classifier — a thin sequential chain over the shared execution
+// graph (see graph.go). The backward pass runs the full Table II repertoire
+// at every stage: per-pixel outer products for the kernel gradients and
 // per-pixel transpose passes (banks re-encoded with Kᵀ) for the gradient
 // flowing into the previous stage, with the im2col/col2im bookkeeping in
 // the digital control unit.
 type DeepCNN struct {
-	cfg     NetworkConfig
+	*Graph
 	stages  []*convStage
 	head    *DenseLayer
-	act     *nn.GSTActivation
 	classes int
-	gap     []float64
-
-	// Backward-pass scratch, reused across samples.
-	rawGap []float64
-	deltaY *tensor.Tensor
 }
 
-// convStage is one hardware convolution layer with its saved forward state
-// and its reusable backward-pass scratch.
+// convStage names one hardware convolution layer of the stack.
 type convStage struct {
-	spec    tensor.Conv2DSpec
-	kernel  *DenseLayer // OutC × (InC·KH·KW)
-	patches *tensor.Tensor
-	pre     *tensor.Tensor // OutC × pixels
-
-	out     *tensor.Tensor // activated output map, reused across samples
-	deltaH  []float64      // OutC × pixels gated gradient, pixel-minor
-	active  []bool         // pixels with any non-zero gated gradient
-	dIn     *tensor.Tensor // ∂L/∂(input map), reused across samples
-	dInPart [][]float64    // per-tile input-gradient buffers (transpose stream)
+	spec   tensor.Conv2DSpec
+	kernel *DenseLayer // OutC × (InC·KH·KW)
 }
 
 // NewDeepCNN builds the stack. Every spec must be ungrouped and each
@@ -53,10 +37,6 @@ func NewDeepCNN(cfg NetworkConfig, specs []tensor.Conv2DSpec, classes int) (*Dee
 	if classes < 2 {
 		return nil, fmt.Errorf("core: DeepCNN needs ≥2 classes (got %d)", classes)
 	}
-	if cfg.LearningRate == 0 {
-		cfg.LearningRate = 0.05
-	}
-	d := &DeepCNN{cfg: cfg, classes: classes}
 	for i, s := range specs {
 		if err := s.Validate(); err != nil {
 			return nil, fmt.Errorf("core: stage %d: %w", i, err)
@@ -71,287 +51,65 @@ func NewDeepCNN(cfg NetworkConfig, specs []tensor.Conv2DSpec, classes int) (*Dee
 					i, s.InC, s.InH, s.InW, i-1, prev.OutC, prev.OutH(), prev.OutW())
 			}
 		}
-		kcols := s.InC * s.KH * s.KW
-		kernel, err := newDenseLayer(cfg, LayerSpec{In: kcols, Out: s.OutC}, 301+int64(i))
-		if err != nil {
-			return nil, fmt.Errorf("core: stage %d banks: %w", i, err)
-		}
-		d.stages = append(d.stages, &convStage{spec: s, kernel: kernel})
+	}
+	first := specs[0]
+	g, err := NewGraph(cfg, first.InC, first.InH, first.InW)
+	if err != nil {
+		return nil, err
+	}
+	cur := g.Input()
+	for i, s := range specs {
+		cur = g.Conv(cur, s, 301+int64(i))
 	}
 	last := specs[len(specs)-1]
-	head, err := newDenseLayer(cfg, LayerSpec{In: last.OutC, Out: classes}, 401)
-	if err != nil {
-		return nil, fmt.Errorf("core: DeepCNN head banks: %w", err)
+	gap := g.GlobalAvgPool(cur)
+	out := g.Dense(gap, LayerSpec{In: last.OutC, Out: classes}, 401)
+	if err := g.SetOutput(out); err != nil {
+		return nil, fmt.Errorf("core: DeepCNN banks: %w", err)
 	}
-	d.head = head
-	d.act = nn.NewGSTActivation("gst", cfg.PE.ActivationThreshold)
-	d.act.MaxOut = 1.0
+	d := &DeepCNN{Graph: g, head: g.layers[len(g.layers)-1], classes: classes}
+	for i, s := range specs {
+		d.stages = append(d.stages, &convStage{spec: s, kernel: g.layers[i]})
+	}
 	return d, nil
 }
 
-// Forward runs one image through every hardware stage and returns logits.
-func (d *DeepCNN) Forward(img *tensor.Tensor) ([]float64, error) {
+func (d *DeepCNN) checkShape(img *tensor.Tensor) error {
 	first := d.stages[0].spec
 	if img.Rank() != 3 || img.Dim(0) != first.InC || img.Dim(1) != first.InH || img.Dim(2) != first.InW {
-		return nil, fmt.Errorf("core: DeepCNN input shape %v, want [%d %d %d]",
+		return fmt.Errorf("core: DeepCNN input shape %v, want [%d %d %d]",
 			img.Shape(), first.InC, first.InH, first.InW)
-	}
-	cur := img
-	for _, st := range d.stages {
-		out, err := d.forwardStage(st, cur)
-		if err != nil {
-			return nil, err
-		}
-		cur = out
-	}
-	// Global average pool over the final activated map.
-	lastSpec := d.stages[len(d.stages)-1].spec
-	pixels := lastSpec.OutH() * lastSpec.OutW()
-	gap := growFloats(d.gap, lastSpec.OutC)
-	data := cur.Data()
-	for oc := 0; oc < lastSpec.OutC; oc++ {
-		var s float64
-		for p := 0; p < pixels; p++ {
-			s += data[oc*pixels+p]
-		}
-		gap[oc] = s / float64(pixels)
-	}
-	d.gap = gap
-	return d.head.Forward(gap)
-}
-
-// forwardStage streams every im2col patch of the stage through its banks —
-// all tiles in parallel, tile-major (see streamMVM) — and returns the
-// activated output map.
-func (d *DeepCNN) forwardStage(st *convStage, in *tensor.Tensor) (*tensor.Tensor, error) {
-	s := st.spec
-	st.patches = tensor.Im2Col(st.patches, in, s, 0)
-	pixels := st.patches.Dim(1)
-	if st.pre == nil || st.pre.Dim(1) != pixels {
-		st.pre = tensor.New(s.OutC, pixels)
-	}
-	if st.out == nil {
-		st.out = tensor.New(s.OutC, s.OutH(), s.OutW())
-	}
-	if err := st.kernel.streamMVM(st.patches.Data(), pixels, st.pre.Data()); err != nil {
-		return nil, err
-	}
-	pre := st.pre.Data()
-	out := st.out.Data()
-	for i := 0; i < s.OutC*pixels; i++ {
-		out[i] = d.act.Eval(pre[i])
-	}
-	return st.out, nil
-}
-
-// Predict returns the argmax class.
-func (d *DeepCNN) Predict(img *tensor.Tensor) (int, error) {
-	logits, err := d.Forward(img)
-	if err != nil {
-		return 0, err
-	}
-	best, bi := math.Inf(-1), 0
-	for i, v := range logits {
-		if v > best {
-			best, bi = v, i
-		}
-	}
-	return bi, nil
-}
-
-// TrainSample runs one full in-situ step through every stage.
-func (d *DeepCNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
-	logits, err := d.Forward(img)
-	if err != nil {
-		return 0, err
-	}
-	probs := nn.Softmax(logits)
-	if label < 0 || label >= len(probs) {
-		return 0, fmt.Errorf("core: label %d out of range [0,%d)", label, len(probs))
-	}
-	loss := -math.Log(math.Max(probs[label], 1e-300))
-	deltaLogits := append([]float64(nil), probs...)
-	deltaLogits[label] -= 1
-
-	// Head backward (dense Table II passes).
-	rawGap, err := d.head.TransposeMVMInto(d.rawGap, deltaLogits)
-	if err != nil {
-		return 0, err
-	}
-	d.rawGap = rawGap
-	headGrad := d.head.gradScratch()
-	if err := d.head.OuterProductInto(headGrad, deltaLogits, d.gap); err != nil {
-		return 0, err
-	}
-	d.head.ApplyUpdate(d.cfg.LearningRate, headGrad)
-
-	// Gradient w.r.t. the last stage's activated map: GAP spreads δgap
-	// uniformly over pixels.
-	lastSpec := d.stages[len(d.stages)-1].spec
-	pixels := lastSpec.OutH() * lastSpec.OutW()
-	if d.deltaY == nil {
-		d.deltaY = tensor.New(lastSpec.OutC, lastSpec.OutH(), lastSpec.OutW())
-	}
-	deltaY := d.deltaY
-	dyd := deltaY.Data()
-	scale := 1 / float64(pixels)
-	for oc := 0; oc < lastSpec.OutC; oc++ {
-		for p := 0; p < pixels; p++ {
-			dyd[oc*pixels+p] = rawGap[oc] * scale
-		}
-	}
-
-	for si := len(d.stages) - 1; si >= 0; si-- {
-		deltaY, err = d.backwardStage(d.stages[si], deltaY, si > 0)
-		if err != nil {
-			return 0, err
-		}
-	}
-	return loss, nil
-}
-
-// backwardStage consumes ∂L/∂(activated output map), applies the LDSU
-// derivative gate, runs the hardware transpose passes (input gradient) and
-// outer-product passes (kernel gradient), updates the kernel, and returns
-// ∂L/∂(input map of this stage) when needInput is set.
-func (d *DeepCNN) backwardStage(st *convStage, deltaY *tensor.Tensor, needInput bool) (*tensor.Tensor, error) {
-	s := st.spec
-	pixels := s.OutH() * s.OutW()
-
-	// δh = δy ⊙ f'(pre) per pixel, and the active-pixel mask — digital
-	// control-unit work shared by both hardware phases below. A pixel
-	// whose entire gated gradient is zero never enters the banks.
-	st.deltaH = growFloats(st.deltaH, s.OutC*pixels)
-	if cap(st.active) < pixels {
-		st.active = make([]bool, pixels)
-	}
-	active := st.active[:pixels]
-	for p := range active {
-		active[p] = false
-	}
-	dy := deltaY.Data()
-	pre := st.pre.Data()
-	for oc := 0; oc < s.OutC; oc++ {
-		for p := 0; p < pixels; p++ {
-			v := dy[oc*pixels+p] * d.act.Derivative(pre[oc*pixels+p])
-			st.deltaH[oc*pixels+p] = v
-			if v != 0 {
-				active[p] = true
-			}
-		}
-	}
-
-	var deltaIn *tensor.Tensor
-	if needInput {
-		// Transpose passes first, while the banks hold Kᵀ once.
-		if st.dIn == nil {
-			st.dIn = tensor.New(s.InC, s.InH, s.InW)
-		}
-		st.dIn.Zero()
-		deltaIn = st.dIn
-		if err := streamTransposeCol2im(st, active, deltaIn); err != nil {
-			return nil, err
-		}
-	}
-
-	// Outer-product passes for the kernel gradient, all tiles in parallel.
-	kernGrad := st.kernel.gradScratch()
-	if err := st.kernel.streamOuterProduct(st.patches.Data(), st.deltaH, active, pixels, kernGrad); err != nil {
-		return nil, err
-	}
-	st.kernel.ApplyUpdate(d.cfg.LearningRate, kernGrad)
-	return deltaIn, nil
-}
-
-// streamTransposeCol2im runs the stage's per-pixel gradient-vector passes
-// (banks holding Kᵀ) with one transpose tile per worker: each tile walks
-// every active pixel in order — preserving its PE's serial noise and energy
-// sequence — computing its rows of the patch gradient and scattering them
-// via col2im into a per-tile input-gradient buffer. The buffers merge into
-// dst in fixed tile order afterwards, so the result is independent of how
-// many workers ran the passes.
-func streamTransposeCol2im(st *convStage, active []bool, dst *tensor.Tensor) error {
-	l := st.kernel
-	s := st.spec
-	pixels := s.OutH() * s.OutW()
-	if l.state != bankTranspose {
-		if err := l.programTranspose(); err != nil {
-			return err
-		}
-	}
-	rt := (l.spec.In + l.rows - 1) / l.rows
-	ct := (l.spec.Out + l.cols - 1) / l.cols
-	n := dst.Len()
-	if st.dInPart == nil || len(st.dInPart) < rt*ct || len(st.dInPart[0]) < n {
-		flat := make([]float64, rt*ct*n)
-		st.dInPart = make([][]float64, rt*ct)
-		for t := range st.dInPart {
-			st.dInPart[t] = flat[t*n : (t+1)*n]
-		}
-	}
-	if err := runTiles(rt, ct, func(r, c int) error {
-		pe := l.tiles[c][r]
-		j0 := r * l.rows
-		j1 := min(j0+l.rows, l.spec.In)
-		i0 := c * l.cols
-		i1 := min(i0+l.cols, l.spec.Out)
-		buf := st.dInPart[r*ct+c][:n]
-		for i := range buf {
-			buf[i] = 0
-		}
-		dh := pe.colBuf[:i1-i0]
-		for p := 0; p < pixels; p++ {
-			if !active[p] {
-				continue
-			}
-			for k := i0; k < i1; k++ {
-				dh[k-i0] = st.deltaH[k*pixels+p]
-			}
-			part, err := pe.MVMPassInto(l.part[r*ct+c], dh)
-			if err != nil {
-				return err
-			}
-			col2imAddRows(buf, part[:j1-j0], j0, s, p)
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	out := dst.Data()
-	for t := 0; t < rt*ct; t++ {
-		for i, v := range st.dInPart[t][:n] {
-			if v != 0 {
-				out[i] += v
-			}
-		}
 	}
 	return nil
 }
 
-// col2imAddRows scatters rows [j0, j0+len(rows)) of one pixel's patch
-// gradient back onto the flat input map.
-func col2imAddRows(dst []float64, rows []float64, j0 int, s tensor.Conv2DSpec, pixel int) {
-	outW := s.OutW()
-	oy := pixel / outW
-	ox := pixel % outW
-	for rr, v := range rows {
-		if v == 0 {
-			continue
-		}
-		r := j0 + rr
-		c := r / (s.KH * s.KW)
-		kh := (r / s.KW) % s.KH
-		kw := r % s.KW
-		iy := oy*s.StrideH - s.PadH + kh
-		ix := ox*s.StrideW - s.PadW + kw
-		if iy < 0 || iy >= s.InH || ix < 0 || ix >= s.InW {
-			continue
-		}
-		dst[c*s.InH*s.InW+iy*s.InW+ix] += v
+// Forward runs one image through every hardware stage and returns logits.
+func (d *DeepCNN) Forward(img *tensor.Tensor) ([]float64, error) {
+	if err := d.checkShape(img); err != nil {
+		return nil, err
 	}
+	return d.Graph.Forward(img.Data())
 }
 
-// Ledger merges every stage's and the head's PE ledgers.
+// Predict returns the argmax class.
+func (d *DeepCNN) Predict(img *tensor.Tensor) (int, error) {
+	if err := d.checkShape(img); err != nil {
+		return 0, err
+	}
+	return d.Graph.Predict(img.Data())
+}
+
+// TrainSample runs one full in-situ step through every stage.
+func (d *DeepCNN) TrainSample(img *tensor.Tensor, label int) (float64, error) {
+	if err := d.checkShape(img); err != nil {
+		return 0, err
+	}
+	return d.Graph.TrainSample(img.Data(), label)
+}
+
+// Ledger merges every stage's and the head's PE ledgers, head first — the
+// driver's historical merge order, preserved for bit-identical energy
+// totals.
 func (d *DeepCNN) Ledger() *Ledger {
 	layers := []*DenseLayer{d.head}
 	for _, st := range d.stages {

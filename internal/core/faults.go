@@ -200,65 +200,10 @@ func (p *PE) InjectRandomFaults(count int, kind FaultKind, seed int64) ([][2]int
 	return out, nil
 }
 
-// InjectRandomFaults pins approximately `fraction` of every tile bank's
-// cells across the whole network, seeded deterministically. It returns the
-// total number of pinned cells.
-func (n *Network) InjectRandomFaults(fraction float64, kind FaultKind, seed int64) (int, error) {
-	if fraction < 0 || fraction > 1 {
-		return 0, fmt.Errorf("core: fault fraction %v outside [0,1]", fraction)
-	}
-	total := 0
-	for li, l := range n.layers {
-		for r := range l.tiles {
-			for c, pe := range l.tiles[r] {
-				count := int(fraction * float64(pe.Rows()*pe.Cols()))
-				if count == 0 && fraction > 0 {
-					count = 1
-				}
-				if _, err := pe.InjectRandomFaults(count, kind,
-					seed+int64(li)*1000+int64(r)*100+int64(c)); err != nil {
-					return total, err
-				}
-				total += count
-			}
-		}
-	}
-	return total, nil
-}
-
-// FaultCount returns the number of stuck cells across the network.
-func (n *Network) FaultCount() int {
-	total := 0
-	for _, l := range n.layers {
-		for _, row := range l.tiles {
-			for _, pe := range row {
-				total += pe.FaultCount()
-			}
-		}
-	}
-	return total
-}
-
 // NetworkFaultEvent is a PE fault event tagged with its position in the
-// network's tile grid.
+// graph's tile grid (layer indices follow graph construction order). The
+// graph-level fault walkers live in graph.go.
 type NetworkFaultEvent struct {
 	Layer, TileRow, TileCol int
 	FaultEvent
-}
-
-// FaultEvents returns every fault event across the network, merged in fixed
-// (layer, tileRow, tileCol, occurrence) order so the list is deterministic
-// regardless of how many workers executed the passes that triggered them.
-func (n *Network) FaultEvents() []NetworkFaultEvent {
-	var out []NetworkFaultEvent
-	for li, l := range n.layers {
-		for r := range l.tiles {
-			for c, pe := range l.tiles[r] {
-				for _, ev := range pe.FaultEvents() {
-					out = append(out, NetworkFaultEvent{Layer: li, TileRow: r, TileCol: c, FaultEvent: ev})
-				}
-			}
-		}
-	}
-	return out
 }

@@ -1,0 +1,917 @@
+package core
+
+// The shared execution graph. Both stacks — the digital reference
+// (internal/nn) and this hardware-functional core — describe a model as a
+// DAG of input/layer/concat/add nodes; here every layer node is a
+// hardware-mapped stage whose weights live in tiled PCM-MRR banks, and the
+// graph walk drives the Table II passes (forward MVM, gradient-vector
+// transpose, outer product) through the PR 1 worker pool exactly once,
+// instead of per-driver. The sequential drivers (Network, CNN, DeepCNN)
+// are thin constructors over this graph; branched models add residual-add
+// and channel-concat join nodes that model the optical summation and
+// wavelength-merge cost.
+//
+// Determinism contract: the topological order is the construction order,
+// every node's hardware passes run in that fixed order, and gradient
+// accumulation at fan-out points copies the first contribution and adds
+// later ones in node order — so losses, outputs, noise streams and ledgers
+// of a sequential chain are bit-identical to the pre-graph drivers, serial
+// or parallel, per-sample or batched.
+
+import (
+	"fmt"
+	"math"
+
+	"trident/internal/device"
+	"trident/internal/nn"
+	"trident/internal/tensor"
+	"trident/internal/units"
+)
+
+// NodeID names a node in an execution graph.
+type NodeID int
+
+type nodeKind int
+
+const (
+	nodeInput nodeKind = iota
+	nodeDense
+	nodeConv
+	nodeGAP
+	nodeAdd
+	nodeConcat
+)
+
+// graphNode is one stage of the execution graph, with its hardware layer
+// (dense and conv nodes), saved forward state and reusable backward
+// scratch. Image-shaped values are CHW with c > 0; flat vectors have c = 0.
+type graphNode struct {
+	kind nodeKind
+	in   []NodeID
+	size int
+	c    int
+	h    int
+	w    int
+
+	layer *DenseLayer       // dense weights / conv kernel matrix on PEs
+	spec  tensor.Conv2DSpec // conv nodes only
+	act   *nn.GSTActivation // conv per-pixel activation
+
+	// Forward state, reused across samples.
+	val     []float64
+	patches *tensor.Tensor // conv: (InC·KH·KW) × pixels
+	pre     *tensor.Tensor // conv: OutC × pixels pre-activations
+
+	// Backward scratch.
+	grad    []float64
+	gradSet bool
+	deltaH  []float64
+	active  []bool         // conv: pixels with any non-zero gated gradient
+	dIn     *tensor.Tensor // conv: ∂L/∂(input map)
+	dInPart [][]float64    // conv: per-tile input-gradient buffers
+
+	// Batched-serving scratch, sample-major.
+	batchVal []float64
+}
+
+// Graph is a hardware-mapped execution DAG: node 0 is the input, layer
+// nodes execute on tiled PEs, and join nodes merge branches optically.
+// Build it with Dense/Conv/GlobalAvgPool/Add/Concat, seal it with
+// SetOutput, then run Forward/TrainSample or the batched serving paths.
+type Graph struct {
+	cfg       NetworkConfig
+	nodes     []*graphNode
+	output    NodeID
+	outputSet bool
+	layers    []*DenseLayer // every hardware layer, in construction order
+	buildErr  error
+	joins     *Ledger // optical join-node energy (adds + concats)
+
+	// Batched-serving scratch (see PredictBatch), reused across calls.
+	batchLogits []float64
+}
+
+// NewGraph starts a graph whose input is a flat vector ([n]) or a CHW
+// image ([c h w]). The config is shared by every layer node added later.
+func NewGraph(cfg NetworkConfig, inputShape ...int) (*Graph, error) {
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.LearningRate < 0 {
+		return nil, fmt.Errorf("core: learning rate %v must be positive", cfg.LearningRate)
+	}
+	if cfg.Momentum < 0 || cfg.Momentum >= 1 {
+		return nil, fmt.Errorf("core: momentum %v outside [0,1)", cfg.Momentum)
+	}
+	in := &graphNode{kind: nodeInput}
+	switch len(inputShape) {
+	case 1:
+		if inputShape[0] <= 0 {
+			return nil, fmt.Errorf("core: graph input size %d must be positive", inputShape[0])
+		}
+		in.size = inputShape[0]
+	case 3:
+		c, h, w := inputShape[0], inputShape[1], inputShape[2]
+		if c <= 0 || h <= 0 || w <= 0 {
+			return nil, fmt.Errorf("core: graph input shape %v must be positive", inputShape)
+		}
+		in.c, in.h, in.w = c, h, w
+		in.size = c * h * w
+	default:
+		return nil, fmt.Errorf("core: graph input shape must be [n] or [c h w], got %v", inputShape)
+	}
+	return &Graph{cfg: cfg, nodes: []*graphNode{in}, joins: NewLedger()}, nil
+}
+
+// Input returns the input node's ID.
+func (g *Graph) Input() NodeID { return 0 }
+
+// fail records the first build error and returns the invalid node ID;
+// subsequent builder calls become no-ops and SetOutput surfaces the error.
+func (g *Graph) fail(format string, args ...any) NodeID {
+	if g.buildErr == nil {
+		g.buildErr = fmt.Errorf(format, args...)
+	}
+	return NodeID(-1)
+}
+
+func (g *Graph) failErr(err error) NodeID {
+	if g.buildErr == nil {
+		g.buildErr = err
+	}
+	return NodeID(-1)
+}
+
+// producer resolves a builder argument, recording an error for IDs that
+// don't name an existing node.
+func (g *Graph) producer(id NodeID) (*graphNode, bool) {
+	if g.buildErr != nil {
+		return nil, false
+	}
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		g.fail("core: graph node %d not defined", id)
+		return nil, false
+	}
+	return g.nodes[id], true
+}
+
+func (g *Graph) push(n *graphNode) NodeID {
+	g.nodes = append(g.nodes, n)
+	return NodeID(len(g.nodes) - 1)
+}
+
+// Dense appends a dense layer node fed by `in`. Weights are Kaiming
+// uniform from the deterministic seed and are programmed into the PCM
+// banks immediately.
+func (g *Graph) Dense(in NodeID, spec LayerSpec, seed int64) NodeID {
+	prod, ok := g.producer(in)
+	if !ok {
+		return -1
+	}
+	if spec.In <= 0 || spec.Out <= 0 {
+		return g.fail("core: dense node dims %d→%d must be positive", spec.In, spec.Out)
+	}
+	if prod.size != spec.In {
+		return g.fail("core: dense node input %d does not match producer output %d", spec.In, prod.size)
+	}
+	l, err := newDenseLayer(g.cfg, spec, seed)
+	if err != nil {
+		return g.failErr(err)
+	}
+	g.layers = append(g.layers, l)
+	return g.push(&graphNode{kind: nodeDense, in: []NodeID{in}, size: spec.Out, layer: l})
+}
+
+// Conv appends a convolution node fed by `in`: the kernel matrix
+// (OutC × InC·KH·KW) lives in PCM-MRR banks, the control unit lowers each
+// image to im2col patches streamed one per clock, and the GST activation
+// fires per output pixel.
+func (g *Graph) Conv(in NodeID, spec tensor.Conv2DSpec, seed int64) NodeID {
+	prod, ok := g.producer(in)
+	if !ok {
+		return -1
+	}
+	if err := spec.Validate(); err != nil {
+		return g.failErr(err)
+	}
+	if spec.Groups != 1 {
+		return g.fail("core: conv node supports groups=1 (got %d)", spec.Groups)
+	}
+	if prod.c == 0 {
+		return g.fail("core: conv node needs an image-shaped producer")
+	}
+	if prod.c != spec.InC || prod.h != spec.InH || prod.w != spec.InW {
+		return g.fail("core: conv node input [%d %d %d] does not match producer [%d %d %d]",
+			spec.InC, spec.InH, spec.InW, prod.c, prod.h, prod.w)
+	}
+	l, err := newDenseLayer(g.cfg, LayerSpec{In: spec.InC * spec.KH * spec.KW, Out: spec.OutC}, seed)
+	if err != nil {
+		return g.failErr(err)
+	}
+	act := nn.NewGSTActivation("gst", g.cfg.PE.ActivationThreshold)
+	act.MaxOut = 1.0 // the physical cell saturates at full transmission
+	g.layers = append(g.layers, l)
+	return g.push(&graphNode{
+		kind: nodeConv, in: []NodeID{in},
+		size: spec.OutC * spec.OutH() * spec.OutW(),
+		c:    spec.OutC, h: spec.OutH(), w: spec.OutW(),
+		layer: l, spec: spec, act: act,
+	})
+}
+
+// GlobalAvgPool appends a global-average-pooling node collapsing an
+// image-shaped producer to one value per channel (digital control-unit
+// work, like the im2col bookkeeping).
+func (g *Graph) GlobalAvgPool(in NodeID) NodeID {
+	prod, ok := g.producer(in)
+	if !ok {
+		return -1
+	}
+	if prod.c == 0 {
+		return g.fail("core: global average pool needs an image-shaped producer")
+	}
+	return g.push(&graphNode{kind: nodeGAP, in: []NodeID{in}, size: prod.c})
+}
+
+// Add appends a residual-add join: the two branch signals sum optically
+// and one balanced-photodetector/TIA event per element converts the
+// combined power back to charge (booked under CatResidualJoin).
+func (g *Graph) Add(a, b NodeID) NodeID {
+	pa, ok := g.producer(a)
+	if !ok {
+		return -1
+	}
+	pb, ok := g.producer(b)
+	if !ok {
+		return -1
+	}
+	if pa.size != pb.size || pa.c != pb.c || pa.h != pb.h || pa.w != pb.w {
+		return g.fail("core: add node branches have mismatched shapes (%d vs %d elements)", pa.size, pb.size)
+	}
+	return g.push(&graphNode{kind: nodeAdd, in: []NodeID{a, b}, size: pa.size, c: pa.c, h: pa.h, w: pa.w})
+}
+
+// Concat appends a channel-concat join over ≥2 image-shaped branches with
+// matching spatial dims: the branch combs merge onto one wavelength plan,
+// costing an E/O re-encode per element (booked under CatWavelengthMerge).
+func (g *Graph) Concat(ins ...NodeID) NodeID {
+	if len(ins) < 2 {
+		return g.fail("core: concat node needs ≥2 inputs (got %d)", len(ins))
+	}
+	var first *graphNode
+	channels := 0
+	for _, id := range ins {
+		p, ok := g.producer(id)
+		if !ok {
+			return -1
+		}
+		if p.c == 0 {
+			return g.fail("core: concat node needs image-shaped producers")
+		}
+		if first == nil {
+			first = p
+		} else if p.h != first.h || p.w != first.w {
+			return g.fail("core: concat node spatial dims [%d %d] do not match [%d %d]",
+				p.h, p.w, first.h, first.w)
+		}
+		channels += p.c
+	}
+	return g.push(&graphNode{
+		kind: nodeConcat, in: append([]NodeID(nil), ins...),
+		size: channels * first.h * first.w,
+		c:    channels, h: first.h, w: first.w,
+	})
+}
+
+// SetOutput seals the graph, surfacing any error recorded while building.
+func (g *Graph) SetOutput(id NodeID) error {
+	if g.buildErr != nil {
+		return g.buildErr
+	}
+	if int(id) <= 0 || int(id) >= len(g.nodes) {
+		return fmt.Errorf("core: graph output node %d not defined", id)
+	}
+	g.output = id
+	g.outputSet = true
+	return nil
+}
+
+// bookJoin books one optical join pass: n per-element events drawing the
+// given per-element power for one clock period, on the graph-owned join
+// ledger (tile ledgers stay per-PE).
+func (g *Graph) bookJoin(cat EnergyCategory, n int, per units.Power) {
+	period := device.ClockRate.Period()
+	g.joins.Add(cat, units.Energy(float64(per.OverTime(period))*float64(n)))
+	g.joins.Advance(period)
+}
+
+// residualJoinPower is the per-element detection cost of an add node: one
+// balanced-photodetector/TIA front-end event (the same front end a bank
+// row uses, PowerBPDTIA being the per-PE figure across WeightBankRows
+// detector rows).
+func residualJoinPower() units.Power {
+	return units.Power(device.PowerBPDTIA.Watts() / float64(device.WeightBankRows))
+}
+
+// wavelengthMergePower is the per-element re-encode cost of a concat node:
+// one E/O modulation event per merged element (PowerEOLaser being the
+// per-PE figure across WeightBankCols wavelength channels).
+func wavelengthMergePower() units.Power {
+	return units.Power(device.PowerEOLaser.Watts() / float64(device.WeightBankCols))
+}
+
+// Forward runs one sample through every node in topological (construction)
+// order and returns the output node's value (graph-owned scratch except
+// for dense outputs; treat as read-only until the next pass).
+func (g *Graph) Forward(x []float64) ([]float64, error) {
+	if !g.outputSet {
+		return nil, fmt.Errorf("core: graph output not set")
+	}
+	if len(x) != g.nodes[0].size {
+		return nil, fmt.Errorf("core: graph input %d, want %d", len(x), g.nodes[0].size)
+	}
+	g.nodes[0].val = x
+	for i := 1; i < len(g.nodes); i++ {
+		if err := g.forwardNode(g.nodes[i]); err != nil {
+			return nil, err
+		}
+	}
+	return g.nodes[g.output].val, nil
+}
+
+func (g *Graph) forwardNode(n *graphNode) error {
+	switch n.kind {
+	case nodeDense:
+		y, err := n.layer.Forward(g.nodes[n.in[0]].val)
+		if err != nil {
+			return err
+		}
+		n.val = y
+	case nodeConv:
+		return g.forwardConv(n)
+	case nodeGAP:
+		prod := g.nodes[n.in[0]]
+		pixels := prod.h * prod.w
+		n.val = growFloats(n.val, n.size)
+		data := prod.val
+		for oc := 0; oc < n.size; oc++ {
+			var s float64
+			for p := 0; p < pixels; p++ {
+				s += data[oc*pixels+p]
+			}
+			n.val[oc] = s / float64(pixels)
+		}
+	case nodeAdd:
+		a, b := g.nodes[n.in[0]].val, g.nodes[n.in[1]].val
+		n.val = growFloats(n.val, n.size)
+		for i := range n.val {
+			n.val[i] = a[i] + b[i]
+		}
+		g.bookJoin(CatResidualJoin, n.size, residualJoinPower())
+	case nodeConcat:
+		n.val = growFloats(n.val, n.size)
+		off := 0
+		for _, id := range n.in {
+			p := g.nodes[id]
+			copy(n.val[off:off+p.size], p.val)
+			off += p.size
+		}
+		g.bookJoin(CatWavelengthMerge, n.size, wavelengthMergePower())
+	}
+	return nil
+}
+
+// forwardConv streams the producer image's im2col patches through the
+// kernel banks (all tiles in parallel, tile-major) and materializes the
+// activated output map.
+func (g *Graph) forwardConv(n *graphNode) error {
+	prod := g.nodes[n.in[0]]
+	img := tensor.FromSlice(prod.val, prod.c, prod.h, prod.w)
+	s := n.spec
+	n.patches = tensor.Im2Col(n.patches, img, s, 0)
+	pixels := n.patches.Dim(1)
+	if n.pre == nil || n.pre.Dim(1) != pixels {
+		n.pre = tensor.New(s.OutC, pixels)
+	}
+	if err := n.layer.streamMVM(n.patches.Data(), pixels, n.pre.Data()); err != nil {
+		return err
+	}
+	n.val = growFloats(n.val, n.size)
+	pre := n.pre.Data()
+	for i := range n.val {
+		n.val[i] = n.act.Eval(pre[i])
+	}
+	return nil
+}
+
+// Predict returns the argmax class (first wins on ties).
+func (g *Graph) Predict(x []float64) (int, error) {
+	y, err := g.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	return argmax(y), nil
+}
+
+// TrainSample runs one full in-situ training step — forward pass, backward
+// gradient-vector passes, outer-product weight-gradient passes, and the
+// equation (1) update — entirely through the hardware model. It returns
+// the cross-entropy loss.
+func (g *Graph) TrainSample(x []float64, label int) (float64, error) {
+	logits, err := g.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	probs := nn.Softmax(logits)
+	if label < 0 || label >= len(probs) {
+		return 0, fmt.Errorf("core: label %d out of range [0,%d)", label, len(probs))
+	}
+	loss := -math.Log(math.Max(probs[label], 1e-300))
+	delta := append([]float64(nil), probs...)
+	delta[label] -= 1
+	if err := g.backward(delta); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// backward walks the graph in reverse construction order, gating each
+// layer node's incoming gradient by its LDSU-latched derivatives, running
+// the hardware transpose and outer-product passes, and applying the
+// weight update. Join and pool nodes route gradients digitally.
+func (g *Graph) backward(delta []float64) error {
+	for _, n := range g.nodes {
+		n.gradSet = false
+	}
+	g.accumulate(g.output, delta)
+	for i := len(g.nodes) - 1; i >= 1; i-- {
+		n := g.nodes[i]
+		if !n.gradSet {
+			continue
+		}
+		if err := g.backwardNode(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accumulate adds a gradient contribution to a node: the first is copied,
+// later ones (branch fan-out) add element-wise in fixed node order.
+func (g *Graph) accumulate(id NodeID, vals []float64) {
+	n := g.nodes[id]
+	if n.kind == nodeInput {
+		return
+	}
+	n.grad = growFloats(n.grad, n.size)
+	if !n.gradSet {
+		copy(n.grad, vals)
+		n.gradSet = true
+		return
+	}
+	for i, v := range vals {
+		n.grad[i] += v
+	}
+}
+
+func (g *Graph) backwardNode(n *graphNode) error {
+	switch n.kind {
+	case nodeDense:
+		return g.backwardDense(n)
+	case nodeConv:
+		return g.backwardConv(n)
+	case nodeGAP:
+		prod := g.nodes[n.in[0]]
+		pixels := prod.h * prod.w
+		n.deltaH = growFloats(n.deltaH, prod.size)
+		scale := 1 / float64(pixels)
+		for oc := 0; oc < n.size; oc++ {
+			t := n.grad[oc] * scale
+			for p := 0; p < pixels; p++ {
+				n.deltaH[oc*pixels+p] = t
+			}
+		}
+		g.accumulate(n.in[0], n.deltaH)
+	case nodeAdd:
+		g.accumulate(n.in[0], n.grad[:n.size])
+		g.accumulate(n.in[1], n.grad[:n.size])
+	case nodeConcat:
+		off := 0
+		for _, id := range n.in {
+			sz := g.nodes[id].size
+			g.accumulate(id, n.grad[off:off+sz])
+			off += sz
+		}
+	}
+	return nil
+}
+
+// backwardDense gates δy by the latched derivatives, runs the transpose
+// pass for the producer's gradient (skipped at the graph input — there is
+// nothing upstream to train), then the outer-product pass and update.
+func (g *Graph) backwardDense(n *graphNode) error {
+	l := n.layer
+	dh := growFloats(n.deltaH, l.spec.Out)
+	n.deltaH = dh
+	for i := range dh {
+		dh[i] = n.grad[i] * l.derivs[i]
+	}
+	prod := g.nodes[n.in[0]]
+	if prod.kind != nodeInput {
+		raw, err := l.TransposeMVMInto(l.tBuf, dh)
+		if err != nil {
+			return err
+		}
+		l.tBuf = raw
+		g.accumulate(n.in[0], raw)
+	}
+	grad := l.gradScratch()
+	if err := l.OuterProductInto(grad, dh, prod.val); err != nil {
+		return err
+	}
+	l.ApplyUpdate(g.cfg.LearningRate, grad)
+	return nil
+}
+
+// backwardConv gates the per-pixel gradient map by the GST derivative and
+// builds the active-pixel mask (digital control-unit work shared by both
+// hardware phases), runs the transpose/col2im passes for the producer's
+// gradient while the banks hold Kᵀ once, then the per-pixel outer-product
+// passes for the kernel gradient and the update.
+func (g *Graph) backwardConv(n *graphNode) error {
+	s := n.spec
+	l := n.layer
+	pixels := s.OutH() * s.OutW()
+	n.deltaH = growFloats(n.deltaH, s.OutC*pixels)
+	if cap(n.active) < pixels {
+		n.active = make([]bool, pixels)
+	}
+	active := n.active[:pixels]
+	for p := range active {
+		active[p] = false
+	}
+	pre := n.pre.Data()
+	for oc := 0; oc < s.OutC; oc++ {
+		for p := 0; p < pixels; p++ {
+			v := n.grad[oc*pixels+p] * n.act.Derivative(pre[oc*pixels+p])
+			n.deltaH[oc*pixels+p] = v
+			if v != 0 {
+				active[p] = true
+			}
+		}
+	}
+	prod := g.nodes[n.in[0]]
+	if prod.kind != nodeInput {
+		if n.dIn == nil {
+			n.dIn = tensor.New(s.InC, s.InH, s.InW)
+		}
+		n.dIn.Zero()
+		if err := streamTransposeCol2im(l, s, n.deltaH, active, &n.dInPart, n.dIn); err != nil {
+			return err
+		}
+		g.accumulate(n.in[0], n.dIn.Data())
+	}
+	kernGrad := l.gradScratch()
+	if err := l.streamOuterProduct(n.patches.Data(), n.deltaH, active, pixels, kernGrad); err != nil {
+		return err
+	}
+	l.ApplyUpdate(g.cfg.LearningRate, kernGrad)
+	return nil
+}
+
+// streamTransposeCol2im runs a conv node's per-pixel gradient-vector
+// passes (banks holding Kᵀ) with one transpose tile per worker: each tile
+// walks every active pixel in order — preserving its PE's serial noise and
+// energy sequence — computing its rows of the patch gradient and
+// scattering them via col2im into a per-tile input-gradient buffer. The
+// buffers merge into dst in fixed tile order afterwards, so the result is
+// independent of how many workers ran the passes.
+func streamTransposeCol2im(l *DenseLayer, s tensor.Conv2DSpec, deltaH []float64, active []bool, partBuf *[][]float64, dst *tensor.Tensor) error {
+	pixels := s.OutH() * s.OutW()
+	if l.state != bankTranspose {
+		if err := l.programTranspose(); err != nil {
+			return err
+		}
+	}
+	rt := (l.spec.In + l.rows - 1) / l.rows
+	ct := (l.spec.Out + l.cols - 1) / l.cols
+	n := dst.Len()
+	dInPart := *partBuf
+	if dInPart == nil || len(dInPart) < rt*ct || len(dInPart[0]) < n {
+		flat := make([]float64, rt*ct*n)
+		dInPart = make([][]float64, rt*ct)
+		for t := range dInPart {
+			dInPart[t] = flat[t*n : (t+1)*n]
+		}
+		*partBuf = dInPart
+	}
+	if err := runTiles(rt, ct, func(r, c int) error {
+		pe := l.tiles[c][r]
+		j0 := r * l.rows
+		j1 := min(j0+l.rows, l.spec.In)
+		i0 := c * l.cols
+		i1 := min(i0+l.cols, l.spec.Out)
+		buf := dInPart[r*ct+c][:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		dh := pe.colBuf[:i1-i0]
+		for p := 0; p < pixels; p++ {
+			if !active[p] {
+				continue
+			}
+			for k := i0; k < i1; k++ {
+				dh[k-i0] = deltaH[k*pixels+p]
+			}
+			part, err := pe.MVMPassInto(l.part[r*ct+c], dh)
+			if err != nil {
+				return err
+			}
+			col2imAddRows(buf, part[:j1-j0], j0, s, p)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	out := dst.Data()
+	for t := 0; t < rt*ct; t++ {
+		for i, v := range dInPart[t][:n] {
+			if v != 0 {
+				out[i] += v
+			}
+		}
+	}
+	return nil
+}
+
+// col2imAddRows scatters rows [j0, j0+len(rows)) of one pixel's patch
+// gradient back onto the flat input map.
+func col2imAddRows(dst []float64, rows []float64, j0 int, s tensor.Conv2DSpec, pixel int) {
+	outW := s.OutW()
+	oy := pixel / outW
+	ox := pixel % outW
+	for rr, v := range rows {
+		if v == 0 {
+			continue
+		}
+		r := j0 + rr
+		c := r / (s.KH * s.KW)
+		kh := (r / s.KW) % s.KH
+		kw := r % s.KW
+		iy := oy*s.StrideH - s.PadH + kh
+		ix := ox*s.StrideW - s.PadW + kw
+		if iy < 0 || iy >= s.InH || ix < 0 || ix >= s.InW {
+			continue
+		}
+		dst[c*s.InH*s.InW+iy*s.InW+ix] += v
+	}
+}
+
+// ForwardBatch runs a full batched inference through the graph, returning
+// the output sample-major in a fresh slice. See ForwardBatchInto.
+func (g *Graph) ForwardBatch(xs []float64, batch int) ([]float64, error) {
+	return g.ForwardBatchInto(nil, xs, batch)
+}
+
+// ForwardBatchInto streams a batch through every node in topological
+// order: sample s's input occupies xs[s*In : (s+1)*In] and its output
+// lands in dst[s*Out : (s+1)*Out]. Each node processes the whole batch
+// before the next node starts, each tile seeing its samples in batch
+// order, so outputs, noise streams and ledgers are bit-identical to
+// calling Forward once per sample. Serving-only: no training state is
+// saved, so a TrainSample must not rely on a preceding batched forward.
+func (g *Graph) ForwardBatchInto(dst, xs []float64, batch int) ([]float64, error) {
+	if !g.outputSet {
+		return nil, fmt.Errorf("core: graph output not set")
+	}
+	in := g.nodes[0].size
+	if batch < 0 || len(xs) < batch*in {
+		return nil, fmt.Errorf("core: batch %d×%d needs %d inputs, have %d",
+			batch, in, batch*in, len(xs))
+	}
+	g.nodes[0].batchVal = xs
+	for i := 1; i < len(g.nodes); i++ {
+		if err := g.forwardNodeBatch(g.nodes[i], batch); err != nil {
+			return nil, err
+		}
+	}
+	out := g.nodes[g.output]
+	dst = growFloats(dst, batch*out.size)
+	copy(dst, out.batchVal[:batch*out.size])
+	return dst, nil
+}
+
+func (g *Graph) forwardNodeBatch(n *graphNode, batch int) error {
+	prod := g.nodes[n.in[0]]
+	switch n.kind {
+	case nodeDense:
+		y, err := n.layer.ForwardBatchInto(n.batchVal, prod.batchVal, batch)
+		if err != nil {
+			return err
+		}
+		n.batchVal = y
+	case nodeConv:
+		n.batchVal = growFloats(n.batchVal, batch*n.size)
+		s := n.spec
+		for smp := 0; smp < batch; smp++ {
+			img := tensor.FromSlice(prod.batchVal[smp*prod.size:(smp+1)*prod.size], prod.c, prod.h, prod.w)
+			n.patches = tensor.Im2Col(n.patches, img, s, 0)
+			pixels := n.patches.Dim(1)
+			if n.pre == nil || n.pre.Dim(1) != pixels {
+				n.pre = tensor.New(s.OutC, pixels)
+			}
+			if err := n.layer.streamMVM(n.patches.Data(), pixels, n.pre.Data()); err != nil {
+				return err
+			}
+			pre := n.pre.Data()
+			out := n.batchVal[smp*n.size : (smp+1)*n.size]
+			for i := range out {
+				out[i] = n.act.Eval(pre[i])
+			}
+		}
+	case nodeGAP:
+		pixels := prod.h * prod.w
+		n.batchVal = growFloats(n.batchVal, batch*n.size)
+		for smp := 0; smp < batch; smp++ {
+			data := prod.batchVal[smp*prod.size : (smp+1)*prod.size]
+			gap := n.batchVal[smp*n.size : (smp+1)*n.size]
+			for oc := 0; oc < n.size; oc++ {
+				var s float64
+				for p := 0; p < pixels; p++ {
+					s += data[oc*pixels+p]
+				}
+				gap[oc] = s / float64(pixels)
+			}
+		}
+	case nodeAdd:
+		other := g.nodes[n.in[1]]
+		n.batchVal = growFloats(n.batchVal, batch*n.size)
+		for smp := 0; smp < batch; smp++ {
+			a := prod.batchVal[smp*n.size : (smp+1)*n.size]
+			b := other.batchVal[smp*n.size : (smp+1)*n.size]
+			out := n.batchVal[smp*n.size : (smp+1)*n.size]
+			for i := range out {
+				out[i] = a[i] + b[i]
+			}
+			g.bookJoin(CatResidualJoin, n.size, residualJoinPower())
+		}
+	case nodeConcat:
+		n.batchVal = growFloats(n.batchVal, batch*n.size)
+		for smp := 0; smp < batch; smp++ {
+			out := n.batchVal[smp*n.size : (smp+1)*n.size]
+			off := 0
+			for _, id := range n.in {
+				p := g.nodes[id]
+				copy(out[off:off+p.size], p.batchVal[smp*p.size:(smp+1)*p.size])
+				off += p.size
+			}
+			g.bookJoin(CatWavelengthMerge, n.size, wavelengthMergePower())
+		}
+	}
+	return nil
+}
+
+// PredictBatch returns the argmax class per sample, reusing dst when large
+// enough. The logits buffer is graph-owned scratch, so repeated serving
+// calls allocate nothing.
+func (g *Graph) PredictBatch(dst []int, xs []float64, batch int) ([]int, error) {
+	logits, err := g.ForwardBatchInto(g.batchLogits, xs, batch)
+	if err != nil {
+		return nil, err
+	}
+	g.batchLogits = logits
+	classes := g.nodes[g.output].size
+	if cap(dst) < batch {
+		dst = make([]int, batch)
+	}
+	dst = dst[:batch]
+	for s := 0; s < batch; s++ {
+		dst[s] = argmax(logits[s*classes : (s+1)*classes])
+	}
+	return dst, nil
+}
+
+// Layers returns every hardware layer in construction order (dense layers
+// and conv kernels alike).
+func (g *Graph) Layers() []*DenseLayer { return g.layers }
+
+// Ledger returns a merged energy ledger: every PE tile of every layer,
+// plus the optical join-node bookings.
+func (g *Graph) Ledger() *Ledger {
+	out := mergeTileLedgers(g.layers)
+	out.Merge(g.joins)
+	if j := g.joins.Elapsed(); j > out.Elapsed() {
+		out.Advance(j - out.Elapsed())
+	}
+	return out
+}
+
+// PECount returns the number of PE tiles in the graph.
+func (g *Graph) PECount() int {
+	total := 0
+	for _, l := range g.layers {
+		for _, row := range l.tiles {
+			total += len(row)
+		}
+	}
+	return total
+}
+
+// ForEachPE walks every PE tile in fixed (layer, tileRow, tileCol) order —
+// the deterministic iteration the reliability engine uses to seed per-cell
+// wear budgets and collect health state. Layer indices follow construction
+// order.
+func (g *Graph) ForEachPE(fn func(layer, tileRow, tileCol int, pe *PE)) {
+	for li, l := range g.layers {
+		for r := range l.tiles {
+			for c, pe := range l.tiles[r] {
+				fn(li, r, c, pe)
+			}
+		}
+	}
+}
+
+// ApplyDrift ages every bank's readout by the given hold duration (see
+// PE.ApplyDrift). Tiles age concurrently; each PE's state has a single
+// writer, so the result is independent of scheduling.
+func (g *Graph) ApplyDrift(hold units.Duration) {
+	for _, l := range g.layers {
+		tiles := l.tiles
+		_ = runTiles(len(tiles), len(tiles[0]), func(r, c int) error {
+			tiles[r][c].ApplyDrift(hold)
+			return nil
+		})
+	}
+}
+
+// RotateWearLeveling advances every bank's logical→physical row rotation by
+// k and invalidates the layers, so the next pass redistributes the weight
+// rows across physical rings. Write traffic that concentrates on hot
+// logical rows is thereby spread over all fabricated cells — classic
+// wear-leveling, at the cost of one full reprogramming pass.
+func (g *Graph) RotateWearLeveling(k int) {
+	for _, l := range g.layers {
+		for _, row := range l.tiles {
+			for _, pe := range row {
+				pe.bank.RotateRows(k)
+			}
+		}
+		l.Invalidate()
+	}
+}
+
+// InjectRandomFaults pins approximately `fraction` of every tile bank's
+// cells across the whole graph, seeded deterministically. It returns the
+// total number of pinned cells.
+func (g *Graph) InjectRandomFaults(fraction float64, kind FaultKind, seed int64) (int, error) {
+	if fraction < 0 || fraction > 1 {
+		return 0, fmt.Errorf("core: fault fraction %v outside [0,1]", fraction)
+	}
+	total := 0
+	for li, l := range g.layers {
+		for r := range l.tiles {
+			for c, pe := range l.tiles[r] {
+				count := int(fraction * float64(pe.Rows()*pe.Cols()))
+				if count == 0 && fraction > 0 {
+					count = 1
+				}
+				if _, err := pe.InjectRandomFaults(count, kind,
+					seed+int64(li)*1000+int64(r)*100+int64(c)); err != nil {
+					return total, err
+				}
+				total += count
+			}
+		}
+	}
+	return total, nil
+}
+
+// FaultCount returns the number of stuck cells across the graph.
+func (g *Graph) FaultCount() int {
+	total := 0
+	for _, l := range g.layers {
+		for _, row := range l.tiles {
+			for _, pe := range row {
+				total += pe.FaultCount()
+			}
+		}
+	}
+	return total
+}
+
+// FaultEvents returns every fault event across the graph, merged in fixed
+// (layer, tileRow, tileCol, occurrence) order so the list is deterministic
+// regardless of how many workers executed the passes that triggered them.
+func (g *Graph) FaultEvents() []NetworkFaultEvent {
+	var out []NetworkFaultEvent
+	for li, l := range g.layers {
+		for r := range l.tiles {
+			for c, pe := range l.tiles[r] {
+				for _, ev := range pe.FaultEvents() {
+					out = append(out, NetworkFaultEvent{Layer: li, TileRow: r, TileCol: c, FaultEvent: ev})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -27,6 +27,14 @@ const (
 	CatLDSU            EnergyCategory = "ldsu"
 	CatEOLaser         EnergyCategory = "eo-laser"
 	CatCache           EnergyCategory = "cache"
+	// CatResidualJoin books the balanced-detection cost of a residual add
+	// node: the two branch signals combine optically and one BPD/TIA
+	// front-end event per element converts the sum back to charge.
+	CatResidualJoin EnergyCategory = "residual-join"
+	// CatWavelengthMerge books the E/O re-encode cost of a channel-concat
+	// node: merged channel groups are re-modulated onto one wavelength comb
+	// before the next bank, one modulator event per element.
+	CatWavelengthMerge EnergyCategory = "wavelength-merge"
 )
 
 // Ledger accumulates energy by category and elapsed simulated time.

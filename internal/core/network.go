@@ -2,11 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"trident/internal/device"
 	"trident/internal/nn"
-	"trident/internal/units"
 )
 
 // LayerSpec describes one dense layer mapped onto Trident PEs.
@@ -59,7 +57,6 @@ type DenseLayer struct {
 	gradBuf [][]float64 // outer-product gradient scratch (see gradScratch)
 	stream  []float64   // per-tile sample-stream slabs (conv + batch paths)
 	batchH  []float64   // batched pre-activation accumulator (batch×Out)
-	batchY  []float64   // batched activated-output scratch (batch×Out)
 }
 
 // bankState tracks which operand layout the tile banks currently hold.
@@ -73,14 +70,12 @@ const (
 )
 
 // Network is a stack of DenseLayers executed on Trident hardware, capable
-// of inference and in-situ backpropagation training. It is the functional
-// counterpart of the analytic models in internal/accel: small enough to
-// simulate gate-accurately, but exercising exactly the Table II modes.
+// of inference and in-situ backpropagation training: a thin sequential
+// constructor over the shared execution graph (see graph.go), which
+// supplies Forward/Predict/TrainSample, the batched serving paths and the
+// reliability-facing management methods.
 type Network struct {
-	cfg    NetworkConfig
-	layers []*DenseLayer
-	// Batched-serving scratch (see batch.go), reused across calls.
-	batchLogits []float64
+	*Graph
 }
 
 // NewNetwork builds a hardware network for the given layer stack. Initial
@@ -90,31 +85,27 @@ func NewNetwork(cfg NetworkConfig, specs ...LayerSpec) (*Network, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: network needs at least one layer")
 	}
-	if cfg.LearningRate == 0 {
-		cfg.LearningRate = 0.05
-	}
-	if cfg.LearningRate < 0 {
-		return nil, fmt.Errorf("core: learning rate %v must be positive", cfg.LearningRate)
-	}
-	if cfg.Momentum < 0 || cfg.Momentum >= 1 {
-		return nil, fmt.Errorf("core: momentum %v outside [0,1)", cfg.Momentum)
-	}
-	n := &Network{cfg: cfg}
 	for li, spec := range specs {
 		if spec.In <= 0 || spec.Out <= 0 {
 			return nil, fmt.Errorf("core: layer %d dims %d→%d must be positive", li, spec.In, spec.Out)
-		}
-		l, err := newDenseLayer(cfg, spec, int64(li))
-		if err != nil {
-			return nil, fmt.Errorf("core: layer %d: %w", li, err)
 		}
 		if li > 0 && specs[li-1].Out != spec.In {
 			return nil, fmt.Errorf("core: layer %d input %d does not match previous output %d",
 				li, spec.In, specs[li-1].Out)
 		}
-		n.layers = append(n.layers, l)
 	}
-	return n, nil
+	g, err := NewGraph(cfg, specs[0].In)
+	if err != nil {
+		return nil, err
+	}
+	cur := g.Input()
+	for li, spec := range specs {
+		cur = g.Dense(cur, spec, int64(li))
+	}
+	if err := g.SetOutput(cur); err != nil {
+		return nil, err
+	}
+	return &Network{Graph: g}, nil
 }
 
 func newDenseLayer(cfg NetworkConfig, spec LayerSpec, seed int64) (*DenseLayer, error) {
@@ -232,14 +223,10 @@ func (l *DenseLayer) programTranspose() error {
 	return nil
 }
 
-// MVM runs one forward-layout optical matrix-vector pass through the tile
-// grid without touching the layer's saved training state: the primitive
-// shared by Forward and by the convolutional layer's per-pixel streaming.
-func (l *DenseLayer) MVM(x []float64) ([]float64, error) {
-	return l.MVMInto(nil, x)
-}
-
-// MVMInto is MVM writing into a caller-owned buffer. All tiles run their
+// MVMInto runs one forward-layout optical matrix-vector pass through the
+// tile grid into a caller-owned buffer, without touching the layer's saved
+// training state: the primitive shared by Forward and by the
+// convolutional streaming paths. All tiles run their
 // optical passes concurrently — every bank filters its wavelengths in the
 // same clock — with per-tile partial sums merged afterwards in fixed
 // (rowTile, colTile) order, so the result is independent of scheduling.
@@ -317,13 +304,8 @@ func (l *DenseLayer) Forward(x []float64) ([]float64, error) {
 	return y, nil
 }
 
-// TransposeMVM computes Wᵀ·δ on hardware (the gradient-vector pass before
-// the Hadamard product).
-func (l *DenseLayer) TransposeMVM(delta []float64) ([]float64, error) {
-	return l.TransposeMVMInto(nil, delta)
-}
-
-// TransposeMVMInto is TransposeMVM writing into a caller-owned buffer, with
+// TransposeMVMInto computes Wᵀ·δ on hardware (the gradient-vector pass
+// before the Hadamard product), writing into a caller-owned buffer, with
 // the tile passes fanned out like MVMInto (transposed grid).
 func (l *DenseLayer) TransposeMVMInto(dst, delta []float64) ([]float64, error) {
 	if len(delta) != l.spec.Out {
@@ -361,22 +343,10 @@ func (l *DenseLayer) TransposeMVMInto(dst, delta []float64) ([]float64, error) {
 	return out, nil
 }
 
-// OuterProduct computes δW = δh·yᵀ on hardware: each tile programs the
-// broadcast y slice and feeds its δh slice (Table II, third column).
-func (l *DenseLayer) OuterProduct(deltaH, y []float64) ([][]float64, error) {
-	grad := make([][]float64, l.spec.Out)
-	for j := range grad {
-		grad[j] = make([]float64, l.spec.In)
-	}
-	if err := l.OuterProductInto(grad, deltaH, y); err != nil {
-		return nil, err
-	}
-	return grad, nil
-}
-
-// OuterProductInto is OuterProduct writing into caller-owned gradient rows.
-// Every tile programs its broadcast slice and runs its pass concurrently;
-// tiles write disjoint blocks of grad, so no merge step is needed.
+// OuterProductInto computes δW = δh·yᵀ on hardware into caller-owned
+// gradient rows: each tile programs its broadcast y slice, feeds its δh
+// slice (Table II, third column) and runs its pass concurrently; tiles
+// write disjoint blocks of grad, so no merge step is needed.
 func (l *DenseLayer) OuterProductInto(grad [][]float64, deltaH, y []float64) error {
 	if len(deltaH) != l.spec.Out || len(y) != l.spec.In {
 		return fmt.Errorf("core: outer product dims %d×%d, want %d×%d",
@@ -467,144 +437,3 @@ func (l *DenseLayer) Invalidate() { l.state = bankStale }
 
 // Derivs returns the latched derivative vector of the last forward pass.
 func (l *DenseLayer) Derivs() []float64 { return l.derivs }
-
-// Forward runs a full inference through the network.
-func (n *Network) Forward(x []float64) ([]float64, error) {
-	var err error
-	for _, l := range n.layers {
-		x, err = l.Forward(x)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return x, nil
-}
-
-// Predict returns the argmax class.
-func (n *Network) Predict(x []float64) (int, error) {
-	y, err := n.Forward(x)
-	if err != nil {
-		return 0, err
-	}
-	best, bi := math.Inf(-1), 0
-	for i, v := range y {
-		if v > best {
-			best, bi = v, i
-		}
-	}
-	return bi, nil
-}
-
-// TrainSample runs one full in-situ training step — forward pass, backward
-// gradient-vector passes, outer-product weight-gradient passes, and the
-// equation (1) update — entirely through the hardware model. It returns
-// the cross-entropy loss.
-func (n *Network) TrainSample(x []float64, label int) (float64, error) {
-	logits, err := n.Forward(x)
-	if err != nil {
-		return 0, err
-	}
-	probs := nn.Softmax(logits)
-	if label < 0 || label >= len(probs) {
-		return 0, fmt.Errorf("core: label %d out of range [0,%d)", label, len(probs))
-	}
-	loss := -math.Log(math.Max(probs[label], 1e-300))
-	delta := append([]float64(nil), probs...)
-	delta[label] -= 1
-
-	for k := len(n.layers) - 1; k >= 0; k-- {
-		l := n.layers[k]
-		// δh_k = (W_{k+1}ᵀ·δh_{k+1}) ⊙ f'(h_k); at the top, δh = loss grad
-		// (the classifier layer is linear, f' = 1).
-		var input []float64
-		if k == 0 {
-			input = n.layers[0].lastX
-		} else {
-			input = n.layers[k-1].lastY
-		}
-		// Gradient-vector pass first (banks go W → Wᵀ), then the
-		// outer-product pass (banks → y broadcast); the forward layout is
-		// restored lazily on the next inference.
-		var nextDelta []float64
-		if k > 0 {
-			raw, err := l.TransposeMVMInto(l.tBuf, delta)
-			if err != nil {
-				return 0, err
-			}
-			l.tBuf = raw
-			prev := n.layers[k-1]
-			nextDelta = make([]float64, len(raw))
-			for i := range raw {
-				nextDelta[i] = raw[i] * prev.derivs[i]
-			}
-		}
-		grad := l.gradScratch()
-		if err := l.OuterProductInto(grad, delta, input); err != nil {
-			return 0, err
-		}
-		l.ApplyUpdate(n.cfg.LearningRate, grad)
-		delta = nextDelta
-	}
-	return loss, nil
-}
-
-// Layers returns the layer stack.
-func (n *Network) Layers() []*DenseLayer { return n.layers }
-
-// Ledger returns a merged energy ledger across every PE tile.
-func (n *Network) Ledger() *Ledger {
-	return mergeTileLedgers(n.layers)
-}
-
-// PECount returns the number of PE tiles in the network.
-func (n *Network) PECount() int {
-	total := 0
-	for _, l := range n.layers {
-		for _, row := range l.tiles {
-			total += len(row)
-		}
-	}
-	return total
-}
-
-// ForEachPE walks every PE tile in fixed (layer, tileRow, tileCol) order —
-// the deterministic iteration the reliability engine uses to seed per-cell
-// wear budgets and collect health state.
-func (n *Network) ForEachPE(fn func(layer, tileRow, tileCol int, pe *PE)) {
-	for li, l := range n.layers {
-		for r := range l.tiles {
-			for c, pe := range l.tiles[r] {
-				fn(li, r, c, pe)
-			}
-		}
-	}
-}
-
-// ApplyDrift ages every bank's readout by the given hold duration (see
-// PE.ApplyDrift). Tiles age concurrently; each PE's state has a single
-// writer, so the result is independent of scheduling.
-func (n *Network) ApplyDrift(hold units.Duration) {
-	for _, l := range n.layers {
-		tiles := l.tiles
-		_ = runTiles(len(tiles), len(tiles[0]), func(r, c int) error {
-			tiles[r][c].ApplyDrift(hold)
-			return nil
-		})
-	}
-}
-
-// RotateWearLeveling advances every bank's logical→physical row rotation by
-// k and invalidates the layers, so the next pass redistributes the weight
-// rows across physical rings. Write traffic that concentrates on hot
-// logical rows is thereby spread over all fabricated cells — classic
-// wear-leveling, at the cost of one full reprogramming pass.
-func (n *Network) RotateWearLeveling(k int) {
-	for _, l := range n.layers {
-		for _, row := range l.tiles {
-			for _, pe := range row {
-				pe.bank.RotateRows(k)
-			}
-		}
-		l.Invalidate()
-	}
-}

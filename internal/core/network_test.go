@@ -224,7 +224,7 @@ func TestTransposeMVM(t *testing.T) {
 	l := hw.Layers()[0]
 	w := l.Weights()
 	delta := []float64{0.5, -0.25, 0.75, 0.1, -0.6, 0.3}
-	got, err := l.TransposeMVM(delta)
+	got, err := l.TransposeMVMInto(nil, delta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestTransposeMVM(t *testing.T) {
 			t.Errorf("Wᵀδ[%d] = %v, want ≈%v", i, got[i], want)
 		}
 	}
-	if _, err := l.TransposeMVM(make([]float64, 3)); err == nil {
+	if _, err := l.TransposeMVMInto(nil, make([]float64, 3)); err == nil {
 		t.Error("wrong delta length: want error")
 	}
 }
@@ -251,8 +251,11 @@ func TestOuterProductLayer(t *testing.T) {
 	for i := range y {
 		y[i] = 0.1*float64(i) - 0.4
 	}
-	grad, err := l.OuterProduct(deltaH, y)
-	if err != nil {
+	grad := make([][]float64, len(deltaH))
+	for j := range grad {
+		grad[j] = make([]float64, len(y))
+	}
+	if err := l.OuterProductInto(grad, deltaH, y); err != nil {
 		t.Fatal(err)
 	}
 	for j := range deltaH {
@@ -263,7 +266,7 @@ func TestOuterProductLayer(t *testing.T) {
 			}
 		}
 	}
-	if _, err := l.OuterProduct(deltaH, make([]float64, 3)); err == nil {
+	if err := l.OuterProductInto(grad, deltaH, make([]float64, 3)); err == nil {
 		t.Error("wrong y length: want error")
 	}
 }

@@ -59,6 +59,11 @@ type PEConfig struct {
 	// the E/O drive so that the 430 pJ physical threshold corresponds to
 	// this numeric value.
 	ActivationThreshold float64
+	// Ideal swaps the PCM weight bank for an exact-arithmetic bank (no
+	// quantization, no crosstalk, free writes). Used by the equivalence
+	// tests that pin the hardware execution path against the digital
+	// reference; combine with DisableNoise for a fully deterministic PE.
+	Ideal bool
 }
 
 // PE is one Trident processing element: a J×N PCM-MRR weight bank, one
@@ -112,7 +117,11 @@ func NewPE(cfg PEConfig) (*PE, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: PE channel plan: %w", err)
 	}
-	bank, err := mrr.NewPCMWeightBank(cfg.Rows, cfg.Cols, plan)
+	newBank := mrr.NewPCMWeightBank
+	if cfg.Ideal {
+		newBank = mrr.NewIdealWeightBank
+	}
+	bank, err := newBank(cfg.Rows, cfg.Cols, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: PE weight bank: %w", err)
 	}

@@ -137,6 +137,24 @@ func NewThermalWeightBank(rows, cols int, plan *optics.ChannelPlan) (*WeightBank
 	})
 }
 
+// NewIdealWeightBank builds a bank with ideal tuners and no inter-channel
+// crosstalk: the exact-arithmetic device used to pin the hardware execution
+// path against the digital reference. Geometry and row-map behavior are
+// identical to the physical banks; only the analog error terms are removed.
+func NewIdealWeightBank(rows, cols int, plan *optics.ChannelPlan) (*WeightBank, error) {
+	b, err := NewWeightBank(rows, cols, plan, func(*Ring, int, int) (Tuner, error) {
+		return NewIdealTuner(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k := range b.crosstalk {
+		b.crosstalk[k] = 0
+	}
+	b.bandRadius = 0
+	return b, nil
+}
+
 // Rows returns J.
 func (b *WeightBank) Rows() int { return b.rows }
 
@@ -524,7 +542,7 @@ func (b *WeightBank) referenceMVM(dst, x []float64) {
 
 // ReferenceMVM computes the bank MVM with the reference triple-loop kernel
 // regardless of build tags — the comparison baseline for equivalence tests
-// and the BENCH_PR3 speedup gate.
+// and the BENCH_PR4 speedup gate.
 func (b *WeightBank) ReferenceMVM(dst, x []float64) []float64 {
 	dst, n := b.mvmPrepare(dst, x)
 	b.referenceMVM(dst, x[:n])

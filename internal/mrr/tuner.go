@@ -274,9 +274,62 @@ func (t *PCMTuner) EnergyConsumed() units.Energy { return t.cell.EnergyConsumed(
 // Writes implements Tuner.
 func (t *PCMTuner) Writes() uint64 { return t.cell.Writes() }
 
+// IdealTuner realizes weights exactly (no quantization grid, no programming
+// time, no energy, no endurance): the noiseless mathematical device used to
+// pin the hardware-functional stack against the digital reference. It still
+// clamps to the physical weight range [-1, 1] and still counts writes with
+// the same compare-first idiom as the physical tuners, because the bank's
+// realized-weight bookkeeping keys on write-count movement.
+type IdealTuner struct {
+	weight float64
+	writes uint64
+}
+
+// NewIdealTuner returns an ideal tuner at weight 0.
+func NewIdealTuner() *IdealTuner { return &IdealTuner{} }
+
+// Method implements Tuner.
+func (t *IdealTuner) Method() string { return "ideal" }
+
+// Bits implements Tuner: the continuum, reported as the float64 mantissa.
+func (t *IdealTuner) Bits() int { return 53 }
+
+// Volatile implements Tuner.
+func (t *IdealTuner) Volatile() bool { return false }
+
+// Set implements Tuner.
+func (t *IdealTuner) Set(w float64, now units.Duration) (float64, units.Duration, error) {
+	q := clampWeight(w)
+	if q == t.weight {
+		return q, now, nil
+	}
+	t.weight = q
+	t.writes++
+	return q, now, nil
+}
+
+// Weight implements Tuner.
+func (t *IdealTuner) Weight() float64 { return t.weight }
+
+// ProgramTime implements Tuner.
+func (t *IdealTuner) ProgramTime() units.Duration { return 0 }
+
+// ProgramEnergy implements Tuner.
+func (t *IdealTuner) ProgramEnergy() units.Energy { return 0 }
+
+// HoldPower implements Tuner.
+func (t *IdealTuner) HoldPower() units.Power { return 0 }
+
+// EnergyConsumed implements Tuner.
+func (t *IdealTuner) EnergyConsumed() units.Energy { return 0 }
+
+// Writes implements Tuner.
+func (t *IdealTuner) Writes() uint64 { return t.writes }
+
 // Compile-time interface checks.
 var (
 	_ Tuner = (*ThermalTuner)(nil)
 	_ Tuner = (*ElectroTuner)(nil)
 	_ Tuner = (*PCMTuner)(nil)
+	_ Tuner = (*IdealTuner)(nil)
 )

@@ -112,7 +112,7 @@ type bistSlot struct {
 // repeats ≤ 0 selects 2. Tiles are swept in parallel under the
 // single-writer-per-PE contract; the report is deterministic for a fixed
 // network state regardless of worker count.
-func RunBIST(net *core.Network, tolerance float64, repeats int) (*BISTReport, error) {
+func RunBIST(net *core.Graph, tolerance float64, repeats int) (*BISTReport, error) {
 	if net == nil {
 		return nil, fmt.Errorf("reliability: nil network")
 	}

@@ -174,7 +174,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := AttachWear(net, cfg.Wear); err != nil {
+	if _, err := AttachWear(net.Graph, cfg.Wear); err != nil {
 		return nil, err
 	}
 	heal := func(epochs int) error {
@@ -185,7 +185,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		}
 		return nil
 	}
-	sched, err := NewScheduler(net, cfg.Policy, baseline, evalAcc, heal)
+	sched, err := NewScheduler(net.Graph, cfg.Policy, baseline, evalAcc, heal)
 	if err != nil {
 		return nil, err
 	}

@@ -94,7 +94,7 @@ func newTestNetwork(t *testing.T) *core.Network {
 func TestAttachWearDeterministic(t *testing.T) {
 	budgets := func(seed int64) []float64 {
 		net := newTestNetwork(t)
-		n, err := AttachWear(net, WearConfig{Seed: seed, MeanEndurance: 50000})
+		n, err := AttachWear(net.Graph, WearConfig{Seed: seed, MeanEndurance: 50000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +139,7 @@ func TestAttachWearDeterministic(t *testing.T) {
 
 func TestBISTCleanNetworkHasNoSuspects(t *testing.T) {
 	net := newTestNetwork(t)
-	rep, err := RunBIST(net, 0, 0)
+	rep, err := RunBIST(net.Graph, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestBISTLocalizesInjectedFaults(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rep, err := RunBIST(net, 0, 0)
+	rep, err := RunBIST(net.Graph, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestBISTLocalizesInjectedFaults(t *testing.T) {
 func TestSchedulerRefreshesDrift(t *testing.T) {
 	net := newTestNetwork(t)
 	eval := func() (float64, error) { return 1, nil }
-	sched, err := NewScheduler(net, Policy{
+	sched, err := NewScheduler(net.Graph, Policy{
 		TimePerStep: units.Duration(24 * 3600), // one simulated day per step
 	}, 1, eval, nil)
 	if err != nil {
@@ -239,7 +239,7 @@ func TestSchedulerWearLevelingPreservesAccuracy(t *testing.T) {
 	net := newTestNetwork(t)
 	// Park the edge cells first so the baseline output already includes the
 	// self-test's park-pass crosstalk; the rotation check is then exact.
-	if _, err := RunBIST(net, 0, 0); err != nil {
+	if _, err := RunBIST(net.Graph, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	x := []float64{0.3, -0.2, 0.5, 0.1, -0.4, 0.25}
@@ -249,7 +249,7 @@ func TestSchedulerWearLevelingPreservesAccuracy(t *testing.T) {
 	}
 	beforeCopy := append([]float64(nil), before...)
 	eval := func() (float64, error) { return 1, nil }
-	sched, err := NewScheduler(net, Policy{WearLevelEvery: 1}, 1, eval, nil)
+	sched, err := NewScheduler(net.Graph, Policy{WearLevelEvery: 1}, 1, eval, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestSchedulerMasksDeadRows(t *testing.T) {
 		}
 	}
 	eval := func() (float64, error) { return 1, nil }
-	sched, err := NewScheduler(net, Policy{}, 1, eval, nil)
+	sched, err := NewScheduler(net.Graph, Policy{}, 1, eval, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

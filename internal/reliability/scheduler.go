@@ -96,7 +96,7 @@ type CheckResult struct {
 // probe and the healing routine are injected: the scheduler decides *when*
 // to remediate, the campaign owns the data.
 type Scheduler struct {
-	net      *core.Network
+	net      *core.Graph
 	policy   Policy
 	baseline float64
 	eval     func() (float64, error)
@@ -113,7 +113,7 @@ type Scheduler struct {
 // validation accuracy remediation tries to hold; eval measures current
 // validation accuracy; heal runs bounded in-situ training epochs (nil
 // disables healing).
-func NewScheduler(net *core.Network, policy Policy, baseline float64,
+func NewScheduler(net *core.Graph, policy Policy, baseline float64,
 	eval func() (float64, error), heal func(epochs int) error) (*Scheduler, error) {
 	if net == nil {
 		return nil, fmt.Errorf("reliability: nil network")

@@ -70,7 +70,7 @@ func sampleWeibull(rng *rand.Rand, scale, shape float64) float64 {
 // grid in fixed order so the same seed always produces the same budgets.
 // Budgets count total lifetime writes, so cycles already consumed (initial
 // programming) draw against them. It returns the number of cells touched.
-func AttachWear(net *core.Network, cfg WearConfig) (int, error) {
+func AttachWear(net *core.Graph, cfg WearConfig) (int, error) {
 	if net == nil {
 		return 0, fmt.Errorf("reliability: nil network")
 	}

@@ -176,6 +176,68 @@ func RunInSitu(data *dataset.Set, hidden, epochs int, lr float64, noisy bool) (*
 	}, nil
 }
 
+// RunBranched trains the branched hardware miniature — residual add plus
+// channel concat on the shared execution graph — in-situ on image data and
+// evaluates it. Inputs must be C×H×W tensors with square spatial extent.
+func RunBranched(data *dataset.Set, epochs int, lr float64, noisy bool) (*InSituResult, error) {
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("train: empty dataset")
+	}
+	trainSet, testSet := data.Split(0.8)
+	img := trainSet.Inputs[0]
+	if img.Rank() != 3 || img.Dim(1) != img.Dim(2) {
+		return nil, fmt.Errorf("train: branched model needs square C×H×W inputs, got shape %v", img.Shape())
+	}
+	g, err := models.HardwareMiniBranched(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: !noisy, NoiseSeed: 11},
+		LearningRate: lr,
+	}, img.Dim(0), img.Dim(1), data.Classes)
+	if err != nil {
+		return nil, err
+	}
+	var loss float64
+	for e := 0; e < epochs; e++ {
+		for i := range trainSet.Inputs {
+			loss, err = g.TrainSample(trainSet.Inputs[i].Data(), trainSet.Labels[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	acc := func(s *dataset.Set) (float64, error) {
+		if s.Len() == 0 {
+			return 0, nil
+		}
+		correct := 0
+		for i := range s.Inputs {
+			cls, err := g.Predict(s.Inputs[i].Data())
+			if err != nil {
+				return 0, err
+			}
+			if cls == s.Labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(s.Len()), nil
+	}
+	trainAcc, err := acc(trainSet)
+	if err != nil {
+		return nil, err
+	}
+	testAcc, err := acc(testSet)
+	if err != nil {
+		return nil, err
+	}
+	led := g.Ledger()
+	return &InSituResult{
+		TrainAccuracy: trainAcc,
+		TestAccuracy:  testAcc,
+		FinalLoss:     loss,
+		Energy:        led.TotalEnergy(),
+		TuningShare:   led.Energy(core.CatGSTTuning).Joules() / led.TotalEnergy().Joules(),
+	}, nil
+}
+
 // MismatchResult compares offline-trained-then-mapped accuracy against the
 // full-precision reference — the Section I motivation: "the resulting
 // mismatch between trained and implemented weights leads to sub-optimal
