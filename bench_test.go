@@ -371,12 +371,13 @@ func BenchmarkHardwareCNNTrainStep(b *testing.B) {
 	}
 }
 
-// --- factored-kernel and batched-path microbenchmarks ---
+// --- bank-kernel and batched-path microbenchmarks ---
 //
 // These feed the benchmark-trajectory harness (`make bench`, `trident
-// bench`): cmd/benchjson parses their output into BENCH_PR4.json and gates
-// on the factored kernel holding ≥2× over the reference triple loop on the
-// 64×64 bank.
+// bench`): cmd/benchjson parses their output into BENCH_PR5.json and
+// enforces two gates — the factored kernel ≥2× over the reference triple
+// loop on the 64×64 bank, and the compiled batch kernel ≥1.5× over the
+// factored kernel on the 256×256 batched MVM.
 
 // bankSizes are the square bank geometries the kernel benchmarks sweep: the
 // paper's 16×16 PE bank plus 64- and 256-column stress widths on the
@@ -417,7 +418,8 @@ func benchInput(size int, seed int64) []float64 {
 	return x
 }
 
-// BenchmarkBankMVM times the production (factored) bank kernel.
+// BenchmarkBankMVM times the production bank path (the compiled-snapshot
+// GEMV on the default build).
 func BenchmarkBankMVM(b *testing.B) {
 	for _, size := range bankSizes {
 		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
@@ -428,6 +430,44 @@ func BenchmarkBankMVM(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = bank.MVM(dst, x)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+}
+
+// BenchmarkBankMVMCompiled times the compiled-snapshot GEMV kernel
+// explicitly (independent of build tags), so the trajectory records it even
+// under -tags=slowmvm.
+func BenchmarkBankMVMCompiled(b *testing.B) {
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			x := benchInput(size, 9)
+			dst := make([]float64, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bank.CompiledMVM(dst, x)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+}
+
+// BenchmarkBankMVMFactored times the PR 3 factored kernel — the numerator
+// of the ≥2× factored-vs-reference gate and the baseline the compiled
+// kernel is measured against.
+func BenchmarkBankMVMFactored(b *testing.B) {
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			x := benchInput(size, 9)
+			dst := make([]float64, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bank.FactoredMVM(dst, x)
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
 		})
@@ -452,8 +492,10 @@ func BenchmarkBankMVMReference(b *testing.B) {
 	}
 }
 
-// BenchmarkBankMVMBatch streams 32-sample batches through the bank,
-// reporting per-sample throughput.
+// BenchmarkBankMVMBatch streams 32-sample batches through the production
+// bank path (the register-blocked compiled kernel on the default build),
+// reporting per-sample throughput — the numerator of the ≥1.5×
+// compiled-vs-factored batch gate on the 256×256 geometry.
 func BenchmarkBankMVMBatch(b *testing.B) {
 	const batch = 32
 	for _, size := range bankSizes {
@@ -465,6 +507,25 @@ func BenchmarkBankMVMBatch(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = bank.MVMBatchInto(dst, xs, batch, size)
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+}
+
+// BenchmarkBankMVMBatchFactored is the batched path pinned to the PR 3
+// factored kernel — the denominator of the compiled-vs-factored batch gate.
+func BenchmarkBankMVMBatchFactored(b *testing.B) {
+	const batch = 32
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			xs := benchInput(batch*size, 9)
+			dst := make([]float64, batch*size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bank.FactoredMVMBatchInto(dst, xs, batch, size)
 			}
 			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "MVMs/sec")
 		})

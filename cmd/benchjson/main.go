@@ -1,11 +1,16 @@
 // Command benchjson turns `go test -bench` output into the machine-readable
-// benchmark-trajectory file (BENCH_PR4.json) and enforces the kernel speedup
-// gate: the factored crosstalk kernel must hold the required factor over the
-// reference triple loop on the 64×64 bank, or the pipe exits non-zero.
+// benchmark-trajectory file (BENCH_PR5.json) and enforces the kernel speedup
+// gates: by default the factored crosstalk kernel must hold ≥2× over the
+// reference triple loop on the 64×64 bank, and the compiled batch kernel
+// must hold ≥1.5× over the factored kernel on the 256×256 batched MVM — or
+// the pipe exits non-zero.
 //
 // Usage (as wired by `make bench`):
 //
-//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR4.json
+//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR5.json
+//
+// Custom gates replace the defaults with repeated -gate FAST,REF,MIN flags;
+// -nogates disables gating entirely (the trajectory is still written).
 package main
 
 import (
@@ -15,17 +20,55 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"trident/internal/benchio"
 )
 
+// gateSpec is one -gate flag value: numerator, denominator, required factor.
+type gateSpec struct {
+	fast, ref string
+	min       float64
+}
+
+// defaultGates are the PR 5 trajectory requirements.
+var defaultGates = []gateSpec{
+	{"BenchmarkBankMVMFactored/64x64", "BenchmarkBankMVMReference/64x64", 2},
+	{"BenchmarkBankMVMBatch/256x256", "BenchmarkBankMVMBatchFactored/256x256", 1.5},
+}
+
+// gateFlags collects repeated -gate values.
+type gateFlags []gateSpec
+
+func (g *gateFlags) String() string {
+	parts := make([]string, len(*g))
+	for i, s := range *g {
+		parts[i] = fmt.Sprintf("%s,%s,%g", s.fast, s.ref, s.min)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (g *gateFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("want FAST,REF,MIN, got %q", v)
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("bad required factor %q", parts[2])
+	}
+	*g = append(*g, gateSpec{fast: parts[0], ref: parts[1], min: min})
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "BENCH_PR4.json", "trajectory file to write")
-	fast := flag.String("fast", "BenchmarkBankMVM/64x64", "gate numerator benchmark")
-	ref := flag.String("ref", "BenchmarkBankMVMReference/64x64", "gate denominator benchmark")
-	min := flag.Float64("min", 2, "required ref/fast speedup (0 disables the gate)")
+	out := flag.String("out", "BENCH_PR5.json", "trajectory file to write")
+	var gates gateFlags
+	flag.Var(&gates, "gate", "speedup gate FAST,REF,MIN (repeatable; replaces the default gates)")
+	nogates := flag.Bool("nogates", false, "write the trajectory without enforcing any speedup gate")
 	flag.Parse()
 
 	// Tee the raw stream through so the human-readable benchmark lines stay
@@ -38,20 +81,25 @@ func main() {
 		log.Fatal("no benchmark lines on stdin")
 	}
 	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version(), Results: results}
-	if *min > 0 {
-		if err := rep.ApplyGate(*fast, *ref, *min); err != nil {
-			log.Fatal(err)
+	if !*nogates {
+		if len(gates) == 0 {
+			gates = defaultGates
+		}
+		for _, g := range gates {
+			if err := rep.ApplyGate(g.fast, g.ref, g.min); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	if err := benchio.WriteFile(*out, rep); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
-	if rep.Gate != nil {
+	for _, g := range rep.Gates {
 		fmt.Printf("benchjson: %s vs %s: %.1f× speedup (gate ≥%.1f×)\n",
-			*fast, *ref, rep.Gate.Speedup, rep.Gate.Required)
-		if !rep.Gate.Passed {
-			log.Fatalf("speedup gate FAILED: %.2f× < %.2f×", rep.Gate.Speedup, rep.Gate.Required)
-		}
+			g.Fast, g.Ref, g.Speedup, g.Required)
+	}
+	if !rep.GatesPassed() {
+		log.Fatal("speedup gate FAILED")
 	}
 }

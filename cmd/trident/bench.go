@@ -1,18 +1,23 @@
 package main
 
 // The bench subcommand: the in-process twin of `make bench`. It runs the
-// factored-kernel, batched-path and bank-programming microbenchmarks plus
-// two regenerating-table benchmarks through testing.Benchmark, prints a
-// summary table, writes the same BENCH_PR4.json trajectory schema as
-// cmd/benchjson, and enforces the same ≥2× kernel gate — so a deployment
-// host without the test tree can still measure and gate the hot paths.
+// compiled-, factored- and reference-kernel, batched-path and
+// bank-programming microbenchmarks plus two regenerating-table benchmarks
+// through testing.Benchmark, prints a summary table, writes the same
+// BENCH_PR5.json trajectory schema as cmd/benchjson, and enforces the same
+// two speedup gates (factored ≥2× reference on 64×64; compiled batch ≥1.5×
+// factored batch on 256×256) — so a deployment host without the test tree
+// can still measure and gate the hot paths. -cpuprofile / -memprofile
+// capture pprof profiles of the benchmark run for `go tool pprof`.
 
 import (
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"trident/internal/benchio"
@@ -27,11 +32,25 @@ var benchBankSizes = []int{16, 64, 256}
 
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR4.json", "trajectory file to write")
+	out := fs.String("o", "BENCH_PR5.json", "trajectory file to write")
 	min := fs.Float64("min", 2, "required factored/reference speedup on the 64×64 bank (0 disables the gate)")
-	batch := fs.Int("batch", 32, "batch size for the batched-path benchmark")
+	minBatch := fs.Float64("min-batch", 1.5, "required compiled/factored batch speedup on the 256×256 bank (0 disables the gate)")
+	batch := fs.Int("batch", 32, "batch size for the batched-path benchmarks")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the benchmark run to this file")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version()}
 	add := func(name string, fn func(b *testing.B)) {
@@ -58,6 +77,20 @@ func cmdBench(args []string) {
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
 		})
+		add(fmt.Sprintf("BenchmarkBankMVMCompiled/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = bank.CompiledMVM(dst, x)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+		add(fmt.Sprintf("BenchmarkBankMVMFactored/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = bank.FactoredMVM(dst, x)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
 		add(fmt.Sprintf("BenchmarkBankMVMReference/%dx%d", size, size), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -71,6 +104,13 @@ func cmdBench(args []string) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				bdst = bank.MVMBatchInto(bdst, xs, *batch, size)
+			}
+			b.ReportMetric(float64(b.N)*float64(*batch)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+		add(fmt.Sprintf("BenchmarkBankMVMBatchFactored/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bdst = bank.FactoredMVMBatchInto(bdst, xs, *batch, size)
 			}
 			b.ReportMetric(float64(b.N)*float64(*batch)/b.Elapsed().Seconds(), "MVMs/sec")
 		})
@@ -107,8 +147,31 @@ func cmdBench(args []string) {
 		}
 	})
 
+	// Profiles cover only the benchmark work above; stop/write them before
+	// gating so a failed gate (log.Fatal skips defers) still leaves usable
+	// profile files behind.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // materialise final allocation statistics
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
 	if *min > 0 {
-		if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkBankMVMReference/64x64", *min); err != nil {
+		if err := rep.ApplyGate("BenchmarkBankMVMFactored/64x64", "BenchmarkBankMVMReference/64x64", *min); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *minBatch > 0 {
+		if err := rep.ApplyGate("BenchmarkBankMVMBatch/256x256", "BenchmarkBankMVMBatchFactored/256x256", *minBatch); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -126,12 +189,11 @@ func cmdBench(args []string) {
 	}
 	fmt.Print(t.String())
 	fmt.Printf("wrote %s\n", *out)
-	if rep.Gate != nil {
-		fmt.Printf("factored vs reference kernel on 64×64: %.1f× (gate ≥%.1f×)\n",
-			rep.Gate.Speedup, rep.Gate.Required)
-		if !rep.Gate.Passed {
-			log.Fatalf("speedup gate FAILED: %.2f× < %.2f×", rep.Gate.Speedup, rep.Gate.Required)
-		}
+	for _, g := range rep.Gates {
+		fmt.Printf("%s vs %s: %.1f× speedup (gate ≥%.1f×)\n", g.Fast, g.Ref, g.Speedup, g.Required)
+	}
+	if !rep.GatesPassed() {
+		log.Fatal("speedup gate FAILED")
 	}
 }
 

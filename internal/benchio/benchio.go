@@ -1,9 +1,12 @@
 // Package benchio is the benchmark-trajectory format: it parses `go test
 // -bench` output into aggregated per-benchmark results and writes the
-// machine-readable trajectory file (BENCH_PR4.json) that `make bench`, the
-// cmd/benchjson gate and the `trident bench` subcommand all share, so the
-// kernel's speedup over its reference is recorded — and enforced — the same
-// way no matter which entry point produced the numbers.
+// machine-readable trajectory file (BENCH_PR5.json) that `make bench`, the
+// cmd/benchjson gate and the `trident bench` subcommand all share, so each
+// kernel's speedup over its baseline is recorded — and enforced — the same
+// way no matter which entry point produced the numbers. A trajectory can
+// carry several gates (schema trident-bench/2): the PR 5 file gates both
+// the factored kernel against the reference triple loop and the compiled
+// batch kernel against the factored one.
 package benchio
 
 import (
@@ -34,7 +37,7 @@ type Result struct {
 	MVMsPerSec float64 `json:"mvms_per_sec,omitempty"`
 }
 
-// Gate records the enforced speedup requirement of a trajectory file.
+// Gate records one enforced speedup requirement of a trajectory file.
 type Gate struct {
 	Fast     string  `json:"fast"`
 	Ref      string  `json:"ref"`
@@ -48,11 +51,13 @@ type Report struct {
 	Schema    string   `json:"schema"`
 	GoVersion string   `json:"go_version"`
 	Results   []Result `json:"results"`
-	Gate      *Gate    `json:"gate,omitempty"`
+	Gates     []Gate   `json:"gates,omitempty"`
 }
 
-// Schema is the current trajectory-file schema identifier.
-const Schema = "trident-bench/1"
+// Schema is the current trajectory-file schema identifier. /2 replaced the
+// single `gate` field with the `gates` list so one trajectory can enforce
+// several kernel relationships at once.
+const Schema = "trident-bench/2"
 
 // procSuffix strips the trailing -GOMAXPROCS from a benchmark name, so the
 // same benchmark aggregates under one key on any host.
@@ -151,10 +156,10 @@ func (rep *Report) Find(name string) *Result {
 	return nil
 }
 
-// ApplyGate computes ref/fast speedup from the two named results and records
-// the pass/fail verdict against the required factor. It errors when either
-// benchmark is missing from the report — an absent gate benchmark must fail
-// the build, not silently pass it.
+// ApplyGate computes ref/fast speedup from the two named results and appends
+// the pass/fail verdict against the required factor to the report's gate
+// list. It errors when either benchmark is missing from the report — an
+// absent gate benchmark must fail the build, not silently pass it.
 func (rep *Report) ApplyGate(fast, ref string, required float64) error {
 	f := rep.Find(fast)
 	if f == nil {
@@ -168,9 +173,20 @@ func (rep *Report) ApplyGate(fast, ref string, required float64) error {
 		return fmt.Errorf("benchio: gate benchmark %q has no timing", fast)
 	}
 	speedup := g.NsPerOp / f.NsPerOp
-	rep.Gate = &Gate{Fast: fast, Ref: ref, Required: required,
-		Speedup: speedup, Passed: speedup >= required}
+	rep.Gates = append(rep.Gates, Gate{Fast: fast, Ref: ref, Required: required,
+		Speedup: speedup, Passed: speedup >= required})
 	return nil
+}
+
+// GatesPassed reports whether every recorded gate passed. A report with no
+// gates passes vacuously — disabling the gates is an explicit caller choice.
+func (rep *Report) GatesPassed() bool {
+	for _, g := range rep.Gates {
+		if !g.Passed {
+			return false
+		}
+	}
+	return true
 }
 
 // WriteFile writes the report as indented JSON.

@@ -57,11 +57,14 @@ func TestApplyGate(t *testing.T) {
 	if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkBankMVMReference/64x64", 2); err != nil {
 		t.Fatal(err)
 	}
-	if !rep.Gate.Passed {
-		t.Errorf("gate failed: speedup %v", rep.Gate.Speedup)
+	if len(rep.Gates) != 1 || !rep.Gates[0].Passed {
+		t.Errorf("gate failed: %+v", rep.Gates)
 	}
-	if want := 457775.0 / 12800.0; rep.Gate.Speedup != want {
-		t.Errorf("speedup %v, want %v", rep.Gate.Speedup, want)
+	if want := 457775.0 / 12800.0; rep.Gates[0].Speedup != want {
+		t.Errorf("speedup %v, want %v", rep.Gates[0].Speedup, want)
+	}
+	if !rep.GatesPassed() {
+		t.Error("GatesPassed = false with one passing gate")
 	}
 	if err := rep.ApplyGate("BenchmarkMissing", "BenchmarkBankMVM/64x64", 2); err == nil {
 		t.Error("missing fast benchmark: want error")
@@ -69,12 +72,22 @@ func TestApplyGate(t *testing.T) {
 	if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkMissing", 2); err == nil {
 		t.Error("missing ref benchmark: want error")
 	}
-	// An impossible requirement must record a failing gate.
+	if len(rep.Gates) != 1 {
+		t.Errorf("failed ApplyGate calls must not append gates: %+v", rep.Gates)
+	}
+	// An impossible requirement must record a failing second gate without
+	// disturbing the first.
 	if err := rep.ApplyGate("BenchmarkBankMVMReference/64x64", "BenchmarkBankMVM/64x64", 2); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Gate.Passed {
-		t.Error("inverted gate passed; want fail")
+	if len(rep.Gates) != 2 || rep.Gates[1].Passed {
+		t.Errorf("inverted gate: %+v", rep.Gates)
+	}
+	if !rep.Gates[0].Passed {
+		t.Error("first gate verdict changed by second ApplyGate")
+	}
+	if rep.GatesPassed() {
+		t.Error("GatesPassed = true with a failing gate")
 	}
 }
 
@@ -85,6 +98,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	rep := &Report{Schema: Schema, GoVersion: "go1.22", Results: results}
 	if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkBankMVMReference/64x64", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ApplyGate("BenchmarkBankMVM/64x64", "BenchmarkBankProgram/16x16", 1.5); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
@@ -98,7 +114,8 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if back.Schema != Schema || len(back.Results) != len(rep.Results) {
 		t.Fatalf("round trip mismatch: %+v", back)
 	}
-	if back.Gate == nil || back.Gate.Speedup != rep.Gate.Speedup {
-		t.Errorf("gate did not survive round trip: %+v", back.Gate)
+	if len(back.Gates) != 2 || back.Gates[0].Speedup != rep.Gates[0].Speedup ||
+		back.Gates[1].Speedup != rep.Gates[1].Speedup {
+		t.Errorf("gates did not survive round trip: %+v", back.Gates)
 	}
 }

@@ -40,19 +40,32 @@ func (l *DenseLayer) MVMBatchInto(dst, xs []float64, batch int) ([]float64, erro
 	rows := l.rows
 	l.stream = growFloats(l.stream, rt*ct*rows*batch)
 	slab := l.stream
+	if ct > 1 {
+		// Column tiles see a strided slice of each sample; gather them into
+		// per-tile sample-major slabs so the whole batch can stream through
+		// the bank's register-blocked kernel in one call. The O(batch·In)
+		// copy is negligible next to the O(batch·Out·In) optical passes.
+		l.streamX = growFloats(l.streamX, rt*ct*l.cols*batch)
+	}
+	inSlab := l.streamX
 	if err := runTiles(rt, ct, func(r, c int) error {
 		pe := l.tiles[r][c]
 		i0 := c * l.cols
 		i1 := min(i0+l.cols, in)
+		n := i1 - i0
 		tileOut := slab[(r*ct+c)*rows*batch:][: rows*batch : rows*batch]
-		for s := 0; s < batch; s++ {
-			// Sample s's tile slice is contiguous in the sample-major
-			// layout — no gather copy needed.
-			if _, err := pe.MVMPassInto(tileOut[s*rows:(s+1)*rows], xs[s*in+i0:s*in+i1]); err != nil {
-				return err
+		xt := xs[:batch*in]
+		if ct > 1 {
+			buf := inSlab[(r*ct+c)*l.cols*batch:][: n*batch : n*batch]
+			for s := 0; s < batch; s++ {
+				copy(buf[s*n:(s+1)*n], xs[s*in+i0:s*in+i1])
 			}
+			xt = buf
 		}
-		return nil
+		// With a single column tile, i0 = 0 and n = In: xs itself is the
+		// tile's sample-major input stream.
+		_, err := pe.MVMPassBatchInto(tileOut, xt, batch, n)
+		return err
 	}); err != nil {
 		return nil, err
 	}

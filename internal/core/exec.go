@@ -185,10 +185,12 @@ func (l *DenseLayer) gradScratch() [][]float64 {
 // stream: patches is the (In × pixels) patch matrix (pixel-minor layout, as
 // produced by tensor.Im2Col) and pre receives the (Out × pixels)
 // pre-activations. The stream is decomposed tile-major: each worker owns one
-// (rowTile, colTile) bank and walks every pixel through it in order, so each
-// PE sees exactly the per-pixel call sequence of the serial schedule —
-// preserving its noise draws and energy bookings bit-exactly — while
-// distinct tiles run concurrently. Column-tile partial sums land in
+// (rowTile, colTile) bank, gathers its slice of every patch column into a
+// pixel-major slab, and streams the whole pixel stream through the bank's
+// register-blocked batch kernel — each PE still sees exactly the per-pixel
+// call sequence of the serial schedule (the batch kernel is bit-identical
+// per sample), preserving its noise draws and energy bookings bit-exactly,
+// while distinct tiles run concurrently. Column-tile partial sums land in
 // per-tile slabs and are merged afterwards in fixed (r, c) order.
 func (l *DenseLayer) streamMVM(patches []float64, pixels int, pre []float64) error {
 	if l.state != bankForward {
@@ -200,21 +202,26 @@ func (l *DenseLayer) streamMVM(patches []float64, pixels int, pre []float64) err
 	rows := l.rows
 	l.stream = growFloats(l.stream, rt*ct*rows*pixels)
 	slab := l.stream
+	// The im2col matrix is pixel-minor; the batched bank kernel wants each
+	// tile's inputs pixel-major. The transpose gather is the same O(In·pixels)
+	// copy work the per-pixel colBuf extraction used to do.
+	l.streamX = growFloats(l.streamX, rt*ct*l.cols*pixels)
+	inSlab := l.streamX
 	if err := runTiles(rt, ct, func(r, c int) error {
 		pe := l.tiles[r][c]
 		i0 := c * l.cols
 		i1 := min(i0+l.cols, l.spec.In)
-		col := pe.colBuf[:i1-i0]
+		n := i1 - i0
 		out := slab[(r*ct+c)*rows*pixels:][: rows*pixels : rows*pixels]
-		for p := 0; p < pixels; p++ {
-			for k := i0; k < i1; k++ {
-				col[k-i0] = patches[k*pixels+p]
-			}
-			if _, err := pe.MVMPassInto(out[p*rows:(p+1)*rows], col); err != nil {
-				return err
+		buf := inSlab[(r*ct+c)*l.cols*pixels:][: n*pixels : n*pixels]
+		for k := i0; k < i1; k++ {
+			kr := patches[k*pixels : (k+1)*pixels]
+			for p := 0; p < pixels; p++ {
+				buf[p*n+(k-i0)] = kr[p]
 			}
 		}
-		return nil
+		_, err := pe.MVMPassBatchInto(out, buf, pixels, n)
+		return err
 	}); err != nil {
 		return err
 	}

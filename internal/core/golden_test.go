@@ -1,12 +1,13 @@
 package core
 
-// The bit-identity regression harness. The graph refactor re-expresses the
-// sequential drivers (Network, CNN, DeepCNN) over the shared execution
-// graph, and the contract is that nothing observable moves: losses,
-// outputs, final weights, noise-bearing ledgers and fault event streams
-// must match the pre-refactor implementation byte for byte, serial and
-// parallel, per-sample and batched. The fixtures under testdata/ were
-// generated from the pre-refactor tree with
+// The bit-identity regression harness. The drivers (Network, CNN, DeepCNN)
+// run fixed schedules over the shared execution graph, and the contract is
+// that nothing observable moves: losses, outputs, final weights,
+// noise-bearing ledgers and fault event streams must match the recorded
+// fixtures byte for byte, serial and parallel, per-sample and batched. The
+// fixtures under testdata/ were regenerated for the compiled-bank kernel
+// (whose per-element summation order legitimately differs from the factored
+// kernel's two-sweep accumulation) with
 //
 //	go test ./internal/core/ -run TestGoldenDriverBitIdentity -update-golden
 //
@@ -29,7 +30,7 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fixtures from the current implementation")
 
-const goldenPath = "testdata/golden_pr4.json"
+const goldenPath = "testdata/golden_pr5.json"
 
 // goldenTrace is one driver schedule's full observable output, keyed by
 // stream name, each value the exact float64 bit patterns in hex.

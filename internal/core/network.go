@@ -56,6 +56,7 @@ type DenseLayer struct {
 	tBuf    []float64   // transpose-pass accumulator scratch
 	gradBuf [][]float64 // outer-product gradient scratch (see gradScratch)
 	stream  []float64   // per-tile sample-stream slabs (conv + batch paths)
+	streamX []float64   // per-tile sample-major input gathers (conv + batch)
 	batchH  []float64   // batched pre-activation accumulator (batch×Out)
 }
 

@@ -273,11 +273,12 @@ func (p *PE) MVMPassInto(dst, x []float64) ([]float64, error) {
 // MVMPassBatchInto streams a batch of input vectors through the weight-
 // stationary bank in one call: sample s occupies xs[s*n : (s+1)*n] and its
 // noisy pre-activations land in dst[s*Rows : (s+1)*Rows], both sample-major.
-// Each sample runs exactly the single-sample MVMPass sequence — bank kernel,
-// per-row noise draw, one clock of pipeline energy — so the outputs, the
-// PE's noise stream and its ledger are bit-identical to calling MVMPassInto
-// once per sample. The bank's leaked-input scratch is reused across the
-// whole batch; the steady-state path allocates nothing.
+// The whole batch runs through the bank's register-blocked compiled kernel
+// first (the bank draws no randomness, and its batch output is bit-identical
+// to per-sample MVM calls), then noise and pipeline energy are applied per
+// sample in batch order — so the outputs, the PE's noise stream and its
+// ledger are bit-identical to calling MVMPassInto once per sample. The
+// steady-state path allocates nothing.
 func (p *PE) MVMPassBatchInto(dst, xs []float64, batch, n int) ([]float64, error) {
 	if n > p.cfg.Cols {
 		return nil, fmt.Errorf("core: batch sample width %d exceeds bank cols %d", n, p.cfg.Cols)
@@ -286,11 +287,11 @@ func (p *PE) MVMPassBatchInto(dst, xs []float64, batch, n int) ([]float64, error
 		return nil, fmt.Errorf("core: batch %d×%d needs %d inputs, have %d", batch, n, batch*n, len(xs))
 	}
 	dst = growFloats(dst, batch*p.cfg.Rows)
+	dst = p.bank.MVMBatchInto(dst, xs, batch, n)
 	for s := 0; s < batch; s++ {
-		p.scratch = p.bank.MVM(p.scratch, xs[s*n:(s+1)*n])
 		out := dst[s*p.cfg.Rows : (s+1)*p.cfg.Rows]
 		for j := range out {
-			out[j] = p.noisy(p.scratch[j], n)
+			out[j] = p.noisy(out[j], n)
 		}
 		p.step(n)
 	}
@@ -313,11 +314,15 @@ func (p *PE) InferBatch(ys, hs, xs []float64, batch, n int) (y, h []float64, err
 	}
 	rows := p.cfg.Rows
 	ys = growFloats(ys, batch*rows)
-	hs = growFloats(hs, batch*rows)
+	// All MVM passes run first through the batched bank kernel, then the
+	// activations walk the samples in order. The reorder is invisible:
+	// activation cells draw no randomness and the bank touches no activation
+	// state, so every component still sees its per-sample call sequence.
+	hs, err = p.MVMPassBatchInto(hs, xs, batch, n)
+	if err != nil {
+		return nil, nil, err
+	}
 	for s := 0; s < batch; s++ {
-		if _, err := p.MVMPassInto(hs[s*rows:(s+1)*rows], xs[s*n:(s+1)*n]); err != nil {
-			return nil, nil, err
-		}
 		if _, err := p.ActivateInto(ys[s*rows:(s+1)*rows], hs[s*rows:(s+1)*rows]); err != nil {
 			return nil, nil, err
 		}

@@ -31,10 +31,18 @@ type WeightBank struct {
 	weights    [][]float64 // realized (quantized) weights, physical layout
 	crosstalk  []float64   // drop leakage vs. channel distance
 	bandRadius int         // largest distance with leakage ≥ crosstalkFloor
+	band       []float64   // crosstalk[0..bandRadius] clipped at the floor
 	xleak      []float64   // per-pass leaked-input scratch (len cols)
 	rowMap     []int       // logical row → physical row
 	rotation   int         // current rotation offset of rowMap
 	masked     []bool      // physical rows retired from service
+
+	// Compiled weight-stationary snapshot (see compiled.go). epoch counts
+	// weight-state mutations; the flat effective-weight matrix weff is
+	// rebuilt lazily on the first MVM after compiledAt falls behind.
+	epoch      uint64
+	compiledAt uint64
+	weff       []float64 // rows×cols row-major effective weights
 }
 
 // crosstalkFloor is the leakage level below which a neighbour's contribution
@@ -117,8 +125,22 @@ func NewWeightBank(rows, cols int, plan *optics.ChannelPlan, newTuner NewTunerFu
 			break
 		}
 	}
+	b.rebuildBand()
 	b.xleak = make([]float64, cols)
 	return b, nil
+}
+
+// rebuildBand hoists the clipped crosstalk band out of the kernels: band[d]
+// for d in [1, bandRadius] is the leakage at distance d, with any sub-floor
+// coefficient inside the radius zeroed so no kernel needs a per-iteration
+// floor branch. band[0] (the intended signal) is always zero.
+func (b *WeightBank) rebuildBand() {
+	b.band = make([]float64, b.bandRadius+1)
+	for d := 1; d <= b.bandRadius; d++ {
+		if c := b.crosstalk[d]; c >= crosstalkFloor {
+			b.band[d] = c
+		}
+	}
 }
 
 // NewPCMWeightBank builds a bank with GST tuners on every ring — a Trident
@@ -152,8 +174,21 @@ func NewIdealWeightBank(rows, cols int, plan *optics.ChannelPlan) (*WeightBank, 
 		b.crosstalk[k] = 0
 	}
 	b.bandRadius = 0
+	b.rebuildBand()
+	b.invalidate()
 	return b, nil
 }
+
+// invalidate bumps the weight-state epoch, marking the compiled snapshot
+// stale. Every mutation of what an MVM can observe — programmed weights,
+// drifted readouts, fault overrides, masking, the wear-leveling rotation —
+// must route through it; compiled_test.go asserts each public mutator does.
+func (b *WeightBank) invalidate() { b.epoch++ }
+
+// Epoch returns the bank's weight-state epoch: a counter bumped by every
+// mutation that can change MVM output. The compiled snapshot is keyed on it,
+// and tests use it to prove no mutator forgets to invalidate.
+func (b *WeightBank) Epoch() uint64 { return b.epoch }
 
 // Rows returns J.
 func (b *WeightBank) Rows() int { return b.rows }
@@ -200,6 +235,7 @@ func (b *WeightBank) RotateRows(k int) int {
 	for j := range b.rowMap {
 		b.rowMap[j] = (j + b.rotation) % b.rows
 	}
+	b.invalidate()
 	return b.rotation
 }
 
@@ -214,6 +250,7 @@ func (b *WeightBank) MaskPhysicalRow(row int) {
 		panic(fmt.Sprintf("mrr: mask row %d outside %d-row bank", row, b.rows))
 	}
 	b.masked[row] = true
+	b.invalidate()
 }
 
 // RowMasked reports whether the physical row is retired.
@@ -239,6 +276,7 @@ func (b *WeightBank) OverrideWeight(row, col int, w float64) {
 		panic(fmt.Sprintf("mrr: override (%d,%d) outside %d×%d bank", row, col, b.rows, b.cols))
 	}
 	b.weights[b.rowMap[row]][col] = clampWeight(w)
+	b.invalidate()
 }
 
 // OverridePhysicalWeight is OverrideWeight addressing the fabricated ring at
@@ -249,6 +287,7 @@ func (b *WeightBank) OverridePhysicalWeight(row, col int, w float64) {
 		panic(fmt.Sprintf("mrr: override (%d,%d) outside %d×%d bank", row, col, b.rows, b.cols))
 	}
 	b.weights[row][col] = clampWeight(w)
+	b.invalidate()
 }
 
 // ProgramResult summarizes one bank programming operation.
@@ -279,6 +318,7 @@ func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, 
 	if len(w) > b.rows {
 		return ProgramResult{}, fmt.Errorf("mrr: %d weight rows exceed bank rows %d", len(w), b.rows)
 	}
+	b.invalidate()
 	var res ProgramResult
 	res.Elapsed = 0
 	for j := range w {
@@ -325,6 +365,7 @@ func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, 
 // The programmed tuner state is not modified — a subsequent Refresh or
 // reprogram restores the nominal weights.
 func (b *WeightBank) ApplyDrift(hold units.Duration) {
+	b.invalidate()
 	for pr := range b.tuners {
 		if b.masked[pr] {
 			continue
@@ -343,6 +384,7 @@ func (b *WeightBank) ApplyDrift(hold units.Duration) {
 // full write energy; cells with no endurance left are reported in Worn and
 // keep their displaced state. Masked rows are skipped.
 func (b *WeightBank) Refresh(now units.Duration) ProgramResult {
+	b.invalidate()
 	var res ProgramResult
 	for pr := range b.tuners {
 		if b.masked[pr] {
@@ -410,28 +452,27 @@ func (b *WeightBank) rowWeights(j int) (wj []float64, ok bool) {
 //
 //	y_j = Σ_n w_jn·x_n + Σ_n Σ_{m≠n} w_jm·leak(|m−n|)·x_n
 //
-// The crosstalk sum is separable: the kernel factors it into one per-pass
-// leaked-input vector xleak[m] = Σ_i leak(|m−i|)·x_i (O(n·bandRadius),
-// shared by every row), then each row is a plain O(N) accumulation — see
-// mvm_fast.go. Building with -tags=slowmvm swaps in the O(rows·n·N)
-// reference triple loop instead (mvm_slow.go). The result is written into
-// dst, which is allocated if nil or short. The per-pass scratch makes a
-// bank single-writer: callers follow the one-goroutine-per-PE ownership
-// contract of the tile-execution engine.
+// The bank is weight-stationary, so the whole transfer function — weights,
+// crosstalk band, wear-leveling rotation and dead-row masking — is constant
+// between weight-state mutations. The production kernel exploits that: it
+// compiles a flat effective-weight matrix Weff once per epoch (see
+// compiled.go) and serves every pass as a single contiguous GEMV with zero
+// per-row indirection. Building with -tags=slowmvm swaps in the O(rows·n·N)
+// reference triple loop instead (mvm_slow.go); factoredMVM, the PR 3
+// once-per-pass leaked-input kernel, remains as a second semantic reference.
+// The result is written into dst, which is allocated if nil or short. The
+// lazily-recompiled snapshot makes a bank single-writer: callers follow the
+// one-goroutine-per-PE ownership contract of the tile-execution engine.
 func (b *WeightBank) MVM(dst, x []float64) []float64 {
 	dst, n := b.mvmPrepare(dst, x)
 	b.mvmKernel(dst, x[:n])
 	return dst
 }
 
-// MVMBatchInto streams a batch of input vectors through the weight-
-// stationary bank: sample s occupies xs[s*n : (s+1)*n] and its outputs land
-// in dst[s*J : (s+1)*J], both sample-major. Each sample runs the same
-// kernel as MVM, reusing the bank's leaked-input scratch across the whole
-// batch, so the steady-state path performs zero per-sample allocations. It
-// panics on inconsistent geometry (a wiring error in the caller). dst is
-// allocated when nil or short.
-func (b *WeightBank) MVMBatchInto(dst, xs []float64, batch, n int) []float64 {
+// batchPrepare validates batched-MVM geometry (panicking on a wiring error
+// in the caller, like MVMBatchInto always has) and sizes dst to batch×rows,
+// allocating only when nil or short.
+func (b *WeightBank) batchPrepare(dst, xs []float64, batch, n int) []float64 {
 	if n < 0 || n > b.cols {
 		panic(fmt.Sprintf("mrr: batch sample width %d outside bank cols %d", n, b.cols))
 	}
@@ -441,14 +482,36 @@ func (b *WeightBank) MVMBatchInto(dst, xs []float64, batch, n int) []float64 {
 	if cap(dst) < batch*b.rows {
 		dst = make([]float64, batch*b.rows)
 	}
-	dst = dst[:batch*b.rows]
+	return dst[:batch*b.rows]
+}
+
+// MVMBatchInto streams a batch of input vectors through the weight-
+// stationary bank: sample s occupies xs[s*n : (s+1)*n] and its outputs land
+// in dst[s*J : (s+1)*J], both sample-major. The production build runs the
+// register-blocked compiled kernel (compiled.go), which amortizes each
+// effective-weight row across four samples at a time while staying
+// bit-identical to per-sample MVM calls; the steady-state path performs zero
+// per-sample allocations. It panics on inconsistent geometry (a wiring error
+// in the caller). dst is allocated when nil or short.
+func (b *WeightBank) MVMBatchInto(dst, xs []float64, batch, n int) []float64 {
+	dst = b.batchPrepare(dst, xs, batch, n)
+	b.mvmBatchKernel(dst, xs, batch, n)
+	return dst
+}
+
+// FactoredMVMBatchInto is MVMBatchInto pinned to the PR 3 factored kernel
+// regardless of build tags — the per-sample baseline the compiled batch
+// kernel's speedup gate measures against.
+func (b *WeightBank) FactoredMVMBatchInto(dst, xs []float64, batch, n int) []float64 {
+	dst = b.batchPrepare(dst, xs, batch, n)
 	for s := 0; s < batch; s++ {
-		b.mvmKernel(dst[s*b.rows:(s+1)*b.rows], xs[s*n:(s+1)*n])
+		b.factoredMVM(dst[s*b.rows:(s+1)*b.rows], xs[s*n:(s+1)*n])
 	}
 	return dst
 }
 
-// factoredMVM is the production kernel: crosstalk is folded into the
+// factoredMVM is the PR 3 kernel, kept as a semantic reference and as the
+// compiled kernel's speedup baseline: crosstalk is folded into the
 // leaked-input vector once per pass, dropping per-row cost from O(n·N) to
 // O(N). x must already be clamped to the bank width; dst must have exactly
 // rows entries.
@@ -460,18 +523,16 @@ func (b *WeightBank) factoredMVM(dst, x []float64) {
 	}
 	// Scatter each input channel into its crosstalk band. Zero channels
 	// contribute nothing, so sparse probe vectors (the BIST basis vectors)
-	// cost O(nnz·bandRadius).
+	// cost O(nnz·bandRadius). The band slice is pre-clipped at construction
+	// (sub-floor coefficients zeroed), so no per-iteration floor branch.
+	band := b.band
 	for i := 0; i < n; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		for d := 1; d <= b.bandRadius; d++ {
-			leak := b.crosstalk[d]
-			if leak < crosstalkFloor {
-				continue
-			}
-			v := leak * xi
+		for d := 1; d < len(band); d++ {
+			v := band[d] * xi
 			if m := i - d; m >= 0 {
 				xl[m] += v
 			}
@@ -515,7 +576,9 @@ func (b *WeightBank) referenceMVM(dst, x []float64) {
 		}
 		// Crosstalk: channel i leaks into the ring at column m with
 		// attenuation crosstalk[|m−i|]. The leaked power carries the
-		// neighbouring ring's weight.
+		// neighbouring ring's weight. Distances beyond the band radius sit
+		// under the detector floor by construction, so the walk is bounded
+		// to the pre-clipped band instead of re-checking the floor per ring.
 		for i := 0; i < n; i++ {
 			xi := x[i]
 			if xi == 0 {
@@ -526,14 +589,10 @@ func (b *WeightBank) referenceMVM(dst, x []float64) {
 				if d < 0 {
 					d = -d
 				}
-				if d == 0 {
+				if d == 0 || d > b.bandRadius {
 					continue
 				}
-				leak := b.crosstalk[d]
-				if leak < crosstalkFloor {
-					continue
-				}
-				acc += wj[m] * leak * xi
+				acc += wj[m] * b.band[d] * xi
 			}
 		}
 		dst[j] = acc
@@ -542,10 +601,29 @@ func (b *WeightBank) referenceMVM(dst, x []float64) {
 
 // ReferenceMVM computes the bank MVM with the reference triple-loop kernel
 // regardless of build tags — the comparison baseline for equivalence tests
-// and the BENCH_PR4 speedup gate.
+// and the benchmark trajectory's speedup gates.
 func (b *WeightBank) ReferenceMVM(dst, x []float64) []float64 {
 	dst, n := b.mvmPrepare(dst, x)
 	b.referenceMVM(dst, x[:n])
+	return dst
+}
+
+// FactoredMVM computes the bank MVM with the PR 3 factored kernel
+// regardless of build tags — the intermediate baseline between the
+// reference triple loop and the compiled snapshot in the benchmark
+// trajectory.
+func (b *WeightBank) FactoredMVM(dst, x []float64) []float64 {
+	dst, n := b.mvmPrepare(dst, x)
+	b.factoredMVM(dst, x[:n])
+	return dst
+}
+
+// CompiledMVM computes the bank MVM with the compiled-snapshot GEMV kernel
+// regardless of build tags, recompiling first if the weight state changed
+// (see compiled.go).
+func (b *WeightBank) CompiledMVM(dst, x []float64) []float64 {
+	dst, n := b.mvmPrepare(dst, x)
+	b.compiledMVM(dst, x[:n])
 	return dst
 }
 

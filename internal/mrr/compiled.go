@@ -1,0 +1,151 @@
+package mrr
+
+// The compiled weight-stationary snapshot. A PCM bank's optical transfer
+// function is constant between programming events — the whole premise of
+// non-volatile photonic weights — yet the factored kernel re-derived it on
+// every pass: leaked-input scatter, rowMap resolution and mask checks per
+// row, two sweeps over each weight row per sample. This file pays those
+// costs once per weight-state epoch instead.
+//
+// compile() folds everything a pass observes into one flat row-major
+// effective-weight matrix:
+//
+//	Weff[j][i] = w_ji + Σ_{d=1..R} leak(d)·(w_j,i−d + w_j,i+d)
+//
+// with out-of-range neighbour indices dropped, the wear-leveling rotation
+// resolved (logical row j reads physical row rowMap[j]) and masked rows
+// emitted as all-zero. The identity behind it: the factored kernel computes
+// y_j = Σ_i w_ji·x_i + Σ_m w_jm·xleak[m] with
+// xleak[m] = Σ_i leak(|m−i|)·x_i; re-associating the double sum per input
+// channel gives y_j = Σ_i x_i·Weff[j][i] — exact for any input length n ≤ N,
+// because channels i ≥ n contribute nothing to either form.
+//
+// An MVM then is one contiguous GEMV with zero per-row indirection, and the
+// batched path amortizes each Weff row across four samples with a
+// register-blocked micro-kernel. Both keep the single-sample accumulation
+// order (one independent accumulator per output element, i ascending), so
+// batch output is bit-identical to per-sample output — the determinism
+// contract every batch-vs-single test pins.
+//
+// Invalidation is epoch-based: every public weight-state mutator calls
+// invalidate() (bank.go), and the next MVM recompiles in O(J·N·R). Nothing
+// else may write weff.
+
+// ensureCompiled rebuilds the snapshot when the weight-state epoch moved.
+func (b *WeightBank) ensureCompiled() {
+	if b.weff != nil && b.compiledAt == b.epoch {
+		return
+	}
+	b.compile()
+}
+
+// compile materializes the effective-weight matrix for the current epoch.
+func (b *WeightBank) compile() {
+	cols := b.cols
+	if b.weff == nil {
+		b.weff = make([]float64, b.rows*cols)
+	}
+	band := b.band
+	for j := 0; j < b.rows; j++ {
+		row := b.weff[j*cols : (j+1)*cols]
+		wj, ok := b.rowWeights(j)
+		if !ok {
+			for i := range row {
+				row[i] = 0
+			}
+			continue
+		}
+		for i := 0; i < cols; i++ {
+			acc := wj[i]
+			for d := 1; d < len(band); d++ {
+				leak := band[d]
+				if m := i - d; m >= 0 {
+					acc += leak * wj[m]
+				}
+				if m := i + d; m < cols {
+					acc += leak * wj[m]
+				}
+			}
+			row[i] = acc
+		}
+	}
+	b.compiledAt = b.epoch
+}
+
+// compiledMVM is the production single-sample kernel: one naive ascending
+// dot per row over the compiled matrix. It must stay a plain
+// single-accumulator loop — the batch kernel's bit-identity to the
+// single-sample path depends on both using the same per-element
+// accumulation order. x must already be clamped to the bank width; dst must
+// have exactly rows entries.
+func (b *WeightBank) compiledMVM(dst, x []float64) {
+	b.ensureCompiled()
+	n := len(x)
+	cols := b.cols
+	for j := 0; j < b.rows; j++ {
+		row := b.weff[j*cols : j*cols+n]
+		var acc float64
+		for i, xi := range x {
+			acc += row[i] * xi
+		}
+		dst[j] = acc
+	}
+}
+
+// compiledMVMBatch is the register-blocked batch kernel: 2 output rows ×
+// 4 samples per micro-kernel step, eight independent accumulators living in
+// registers, so each effective-weight row streamed from memory is used
+// eight times instead of once. Every accumulator is still a plain ascending
+// dot of one (row, sample) pair, so each output element is bit-identical to
+// the single-sample compiledMVM. Geometry is validated by the caller
+// (batchPrepare); dst is sample-major batch×rows, xs sample-major batch×n.
+func (b *WeightBank) compiledMVMBatch(dst, xs []float64, batch, n int) {
+	b.ensureCompiled()
+	rows, cols := b.rows, b.cols
+	s := 0
+	for ; s+4 <= batch; s += 4 {
+		x0 := xs[(s+0)*n : (s+1)*n]
+		x1 := xs[(s+1)*n : (s+2)*n]
+		x2 := xs[(s+2)*n : (s+3)*n]
+		x3 := xs[(s+3)*n : (s+4)*n]
+		d0 := dst[(s+0)*rows : (s+1)*rows]
+		d1 := dst[(s+1)*rows : (s+2)*rows]
+		d2 := dst[(s+2)*rows : (s+3)*rows]
+		d3 := dst[(s+3)*rows : (s+4)*rows]
+		j := 0
+		for ; j+2 <= rows; j += 2 {
+			ra := b.weff[(j+0)*cols : (j+0)*cols+n]
+			rb := b.weff[(j+1)*cols : (j+1)*cols+n]
+			var a0, a1, a2, a3, b0, b1, b2, b3 float64
+			for i := 0; i < n; i++ {
+				wa, wb := ra[i], rb[i]
+				v0, v1, v2, v3 := x0[i], x1[i], x2[i], x3[i]
+				a0 += wa * v0
+				a1 += wa * v1
+				a2 += wa * v2
+				a3 += wa * v3
+				b0 += wb * v0
+				b1 += wb * v1
+				b2 += wb * v2
+				b3 += wb * v3
+			}
+			d0[j], d1[j], d2[j], d3[j] = a0, a1, a2, a3
+			d0[j+1], d1[j+1], d2[j+1], d3[j+1] = b0, b1, b2, b3
+		}
+		for ; j < rows; j++ {
+			row := b.weff[j*cols : j*cols+n]
+			var a0, a1, a2, a3 float64
+			for i := 0; i < n; i++ {
+				w := row[i]
+				a0 += w * x0[i]
+				a1 += w * x1[i]
+				a2 += w * x2[i]
+				a3 += w * x3[i]
+			}
+			d0[j], d1[j], d2[j], d3[j] = a0, a1, a2, a3
+		}
+	}
+	for ; s < batch; s++ {
+		b.compiledMVM(dst[s*rows:(s+1)*rows], xs[s*n:(s+1)*n])
+	}
+}

@@ -3,6 +3,14 @@
 package mrr
 
 // mvmKernel is the single deterministic MVM definition used by both serial
-// and parallel execution: the factored banded-crosstalk kernel. Build with
-// -tags=slowmvm to swap in the reference triple loop instead.
-func (b *WeightBank) mvmKernel(dst, x []float64) { b.factoredMVM(dst, x) }
+// and parallel execution: the compiled-snapshot GEMV over the effective-
+// weight matrix (compiled.go). Build with -tags=slowmvm to swap in the
+// reference triple loop instead.
+func (b *WeightBank) mvmKernel(dst, x []float64) { b.compiledMVM(dst, x) }
+
+// mvmBatchKernel routes batched passes to the register-blocked compiled
+// kernel, which amortizes each effective-weight row across four samples
+// while staying bit-identical to per-sample mvmKernel calls.
+func (b *WeightBank) mvmBatchKernel(dst, xs []float64, batch, n int) {
+	b.compiledMVMBatch(dst, xs, batch, n)
+}

@@ -4,5 +4,12 @@ package mrr
 
 // mvmKernel under the slowmvm tag routes every MVM through the reference
 // triple-loop kernel — a debugging escape hatch for bisecting any suspected
-// factored-kernel discrepancy with the whole stack otherwise unchanged.
+// fast-kernel discrepancy with the whole stack otherwise unchanged.
 func (b *WeightBank) mvmKernel(dst, x []float64) { b.referenceMVM(dst, x) }
+
+// mvmBatchKernel under the slowmvm tag is a plain per-sample reference loop.
+func (b *WeightBank) mvmBatchKernel(dst, xs []float64, batch, n int) {
+	for s := 0; s < batch; s++ {
+		b.mvmKernel(dst[s*b.rows:(s+1)*b.rows], xs[s*n:(s+1)*n])
+	}
+}

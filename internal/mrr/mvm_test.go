@@ -89,10 +89,11 @@ func TestFactoredKernelMatchesReference(t *testing.T) {
 	}
 }
 
-// TestMVMUsesFactoredKernel pins the default build to the factored kernel:
-// MVM output must be bit-identical to factoredMVM (under -tags=slowmvm this
-// instead asserts the reference wiring, keeping the tag build testable).
-func TestMVMUsesFactoredKernel(t *testing.T) {
+// TestMVMUsesDefaultKernel pins MVM to the build's kernel wiring: MVM output
+// must be bit-identical to mvmKernel — the compiled-snapshot GEMV on the
+// default build, the reference triple loop under -tags=slowmvm — keeping
+// both tag builds testable.
+func TestMVMUsesDefaultKernel(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	b := randomBank(t, rng, 4, 8, false)
 	x := randomInput(rng, 8, 0)

@@ -2,6 +2,7 @@ package reliability
 
 import (
 	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -306,4 +307,58 @@ func TestSchedulerMasksDeadRows(t *testing.T) {
 	if !pe.Bank().RowMasked(deadRow) {
 		t.Fatal("the dead physical row was not the one masked")
 	}
+}
+
+// TestRemediationRecompilesBanks pins the scheduler against the compiled
+// weight-stationary snapshot: every remediation action — drift aging and
+// refresh during Check, the wear-leveling rotation, healing reprograms and
+// dead-row masking — mutates bank weight state behind the compiled matrix,
+// so each must bump the bank epoch and force a recompile on the next serving
+// pass. After a full year of checks plus a masked dead row, every bank's
+// production kernel must still track the reference triple loop.
+func TestRemediationRecompilesBanks(t *testing.T) {
+	net := newTestNetwork(t)
+	pe := net.Layers()[0].Tiles()[0][0]
+	const deadRow = 2
+	for c := 0; c < pe.Cols(); c++ {
+		if err := pe.InjectFault(deadRow, c, core.StuckCrystalline); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval := func() (float64, error) { return 1, nil }
+	sched, err := NewScheduler(net.Graph, Policy{
+		TimePerStep:    units.Duration(24 * 3600), // one simulated day per step
+		WearLevelEvery: 1,
+	}, 1, eval, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Check(365)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refreshed == 0 || !res.Rotated {
+		t.Fatalf("remediation did not exercise refresh (%d) and rotation (%v)", res.Refreshed, res.Rotated)
+	}
+	if _, err := sched.maskDeadRows(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	net.ForEachPE(func(layer, tr, tc int, pe *core.PE) {
+		bank := pe.Bank()
+		x := make([]float64, bank.Cols())
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		got := bank.MVM(nil, x)
+		want := bank.ReferenceMVM(nil, x)
+		for j := range want {
+			diff := math.Abs(got[j] - want[j])
+			scale := math.Max(math.Abs(want[j]), 1)
+			if diff/scale > 1e-9 {
+				t.Fatalf("layer %d tile (%d,%d) row %d: compiled %v vs reference %v after remediation",
+					layer, tr, tc, j, got[j], want[j])
+			}
+		}
+	})
 }
