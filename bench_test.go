@@ -374,10 +374,13 @@ func BenchmarkHardwareCNNTrainStep(b *testing.B) {
 // --- bank-kernel and batched-path microbenchmarks ---
 //
 // These feed the benchmark-trajectory harness (`make bench`, `trident
-// bench`): cmd/benchjson parses their output into BENCH_PR5.json and
-// enforces two gates — the factored kernel ≥2× over the reference triple
-// loop on the 64×64 bank, and the compiled batch kernel ≥1.5× over the
-// factored kernel on the 256×256 batched MVM.
+// bench`): cmd/benchjson parses their output into BENCH_PR6.json and
+// enforces four gates — the factored kernel ≥2× over the reference triple
+// loop on the 64×64 bank, the compiled batch kernel ≥1.5× over the
+// factored kernel on the 256×256 batched MVM, the incremental dirty-row
+// recompile ≥5× over a full snapshot rebuild on the 256×256 bank, and the
+// worker-pool-parallel batch GEMM ≥1.5× over the single-threaded batch on
+// the 256×256 bank (waived below 2 CPUs).
 
 // bankSizes are the square bank geometries the kernel benchmarks sweep: the
 // paper's 16×16 PE bank plus 64- and 256-column stress widths on the
@@ -526,6 +529,77 @@ func BenchmarkBankMVMBatchFactored(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = bank.FactoredMVMBatchInto(dst, xs, batch, size)
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+}
+
+// BenchmarkBankRecompileFull times a whole-snapshot rebuild: RotateRows(0)
+// is a pure whole-bank invalidation (the row map is unchanged, so every
+// iteration recompiles an identical bank), and EnsureCompiled pays the full
+// O(J·N·r) compile. The denominator of the ≥5× incremental-recompile gate;
+// ReportAllocs pins the steady-state zero-allocation contract on the reused
+// weff buffer.
+func BenchmarkBankRecompileFull(b *testing.B) {
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			bank.EnsureCompiled()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bank.RotateRows(0)
+				bank.EnsureCompiled()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "recompiles/sec")
+		})
+	}
+}
+
+// BenchmarkBankRecompileIncremental times the dirty-row path: one cell
+// override (alternating values so the mutation is never a no-op) dirties a
+// single row, and EnsureCompiled recompiles just that row in place — the
+// reliability scheduler's refresh-a-few-rows regime. The numerator of the
+// ≥5× gate against BenchmarkBankRecompileFull on the 256×256 geometry.
+func BenchmarkBankRecompileIncremental(b *testing.B) {
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			bank.EnsureCompiled()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := 0.4321
+				if i%2 == 1 {
+					v = -v
+				}
+				bank.OverrideWeight(size/2, size/2, v)
+				bank.EnsureCompiled()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "recompiles/sec")
+		})
+	}
+}
+
+// BenchmarkBankMVMBatchParallel is BenchmarkBankMVMBatch with the tile
+// engine's worker pool installed as the bank's ParallelFor hook — the
+// configuration every PE-owned bank runs in production. The numerator of
+// the ≥1.5× parallel-batch gate on the 256×256 geometry at GOMAXPROCS
+// workers (the gate is recorded but waived on single-CPU hosts, where no
+// parallel speedup is physically available).
+func BenchmarkBankMVMBatchParallel(b *testing.B) {
+	const batch = 32
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			bank.SetParallelFor(core.RunIndexed)
+			xs := benchInput(batch*size, 9)
+			dst := make([]float64, batch*size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bank.MVMBatchInto(dst, xs, batch, size)
 			}
 			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "MVMs/sec")
 		})

@@ -1,16 +1,21 @@
 // Command benchjson turns `go test -bench` output into the machine-readable
-// benchmark-trajectory file (BENCH_PR5.json) and enforces the kernel speedup
-// gates: by default the factored crosstalk kernel must hold ≥2× over the
-// reference triple loop on the 64×64 bank, and the compiled batch kernel
-// must hold ≥1.5× over the factored kernel on the 256×256 batched MVM — or
-// the pipe exits non-zero.
+// benchmark-trajectory file (BENCH_PR6.json) and enforces the kernel speedup
+// gates. By default the factored crosstalk kernel must hold ≥2× over the
+// reference triple loop on the 64×64 bank, the compiled batch kernel ≥1.5×
+// over the factored kernel on the 256×256 batched MVM, the incremental
+// dirty-row recompile ≥5× over a full snapshot rebuild on the 256×256 bank,
+// and the worker-pool-parallel batch GEMM ≥1.5× over the single-threaded
+// batch on the 256×256 bank — or the pipe exits non-zero. The parallel gate
+// only binds on hosts with at least 2 logical CPUs; below that the measured
+// ratio is recorded but the gate is waived (see benchio.ApplyParallelGate).
 //
 // Usage (as wired by `make bench`):
 //
-//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR5.json
+//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR6.json
 //
-// Custom gates replace the defaults with repeated -gate FAST,REF,MIN flags;
-// -nogates disables gating entirely (the trajectory is still written).
+// Custom gates replace the defaults with repeated -gate FAST,REF,MIN and
+// -pgate FAST,REF,MIN,MINPROCS flags; -nogates disables gating entirely (the
+// trajectory is still written).
 package main
 
 import (
@@ -26,48 +31,80 @@ import (
 	"trident/internal/benchio"
 )
 
-// gateSpec is one -gate flag value: numerator, denominator, required factor.
+// gateSpec is one -gate/-pgate flag value: numerator, denominator, required
+// factor, and (for parallelism gates) the smallest host CPU count at which
+// the gate binds rather than being waived.
 type gateSpec struct {
 	fast, ref string
 	min       float64
+	minProcs  int
 }
 
-// defaultGates are the PR 5 trajectory requirements.
+// defaultGates are the PR 6 trajectory requirements.
 var defaultGates = []gateSpec{
-	{"BenchmarkBankMVMFactored/64x64", "BenchmarkBankMVMReference/64x64", 2},
-	{"BenchmarkBankMVMBatch/256x256", "BenchmarkBankMVMBatchFactored/256x256", 1.5},
+	{fast: "BenchmarkBankMVMFactored/64x64", ref: "BenchmarkBankMVMReference/64x64", min: 2},
+	{fast: "BenchmarkBankMVMBatch/256x256", ref: "BenchmarkBankMVMBatchFactored/256x256", min: 1.5},
+	{fast: "BenchmarkBankRecompileIncremental/256x256", ref: "BenchmarkBankRecompileFull/256x256", min: 5},
+	{fast: "BenchmarkBankMVMBatchParallel/256x256", ref: "BenchmarkBankMVMBatch/256x256", min: 1.5, minProcs: 2},
 }
 
-// gateFlags collects repeated -gate values.
-type gateFlags []gateSpec
+// gateFlags collects repeated -gate/-pgate values.
+type gateFlags struct {
+	specs    *[]gateSpec
+	parallel bool
+}
 
-func (g *gateFlags) String() string {
-	parts := make([]string, len(*g))
-	for i, s := range *g {
-		parts[i] = fmt.Sprintf("%s,%s,%g", s.fast, s.ref, s.min)
+func (g gateFlags) String() string {
+	if g.specs == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(*g.specs))
+	for _, s := range *g.specs {
+		if s.minProcs > 0 {
+			parts = append(parts, fmt.Sprintf("%s,%s,%g,%d", s.fast, s.ref, s.min, s.minProcs))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s,%s,%g", s.fast, s.ref, s.min))
+		}
 	}
 	return strings.Join(parts, " ")
 }
 
-func (g *gateFlags) Set(v string) error {
+func (g gateFlags) Set(v string) error {
 	parts := strings.Split(v, ",")
-	if len(parts) != 3 {
+	want := 3
+	if g.parallel {
+		want = 4
+	}
+	if len(parts) != want {
+		if g.parallel {
+			return fmt.Errorf("want FAST,REF,MIN,MINPROCS, got %q", v)
+		}
 		return fmt.Errorf("want FAST,REF,MIN, got %q", v)
 	}
 	min, err := strconv.ParseFloat(parts[2], 64)
 	if err != nil || min <= 0 {
 		return fmt.Errorf("bad required factor %q", parts[2])
 	}
-	*g = append(*g, gateSpec{fast: parts[0], ref: parts[1], min: min})
+	spec := gateSpec{fast: parts[0], ref: parts[1], min: min}
+	if g.parallel {
+		procs, err := strconv.Atoi(parts[3])
+		if err != nil || procs < 1 {
+			return fmt.Errorf("bad min processor count %q", parts[3])
+		}
+		spec.minProcs = procs
+	}
+	*g.specs = append(*g.specs, spec)
 	return nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "BENCH_PR5.json", "trajectory file to write")
-	var gates gateFlags
-	flag.Var(&gates, "gate", "speedup gate FAST,REF,MIN (repeatable; replaces the default gates)")
+	out := flag.String("out", "BENCH_PR6.json", "trajectory file to write")
+	var gates []gateSpec
+	flag.Var(gateFlags{specs: &gates}, "gate", "speedup gate FAST,REF,MIN (repeatable; replaces the default gates)")
+	flag.Var(gateFlags{specs: &gates, parallel: true}, "pgate",
+		"parallelism gate FAST,REF,MIN,MINPROCS — waived on hosts with fewer than MINPROCS CPUs (repeatable; replaces the default gates)")
 	nogates := flag.Bool("nogates", false, "write the trajectory without enforcing any speedup gate")
 	flag.Parse()
 
@@ -80,13 +117,20 @@ func main() {
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines on stdin")
 	}
-	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version(), Results: results}
+	procs := runtime.GOMAXPROCS(0)
+	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version(),
+		MaxProcs: procs, Results: results}
 	if !*nogates {
 		if len(gates) == 0 {
 			gates = defaultGates
 		}
 		for _, g := range gates {
-			if err := rep.ApplyGate(g.fast, g.ref, g.min); err != nil {
+			if g.minProcs > 0 {
+				err = rep.ApplyParallelGate(g.fast, g.ref, g.min, procs, g.minProcs)
+			} else {
+				err = rep.ApplyGate(g.fast, g.ref, g.min)
+			}
+			if err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -96,8 +140,12 @@ func main() {
 	}
 	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
 	for _, g := range rep.Gates {
-		fmt.Printf("benchjson: %s vs %s: %.1f× speedup (gate ≥%.1f×)\n",
-			g.Fast, g.Ref, g.Speedup, g.Required)
+		status := ""
+		if g.Waived {
+			status = fmt.Sprintf(" [waived: %d CPU < %d]", procs, g.MinProcs)
+		}
+		fmt.Printf("benchjson: %s vs %s: %.1f× speedup (gate ≥%.1f×)%s\n",
+			g.Fast, g.Ref, g.Speedup, g.Required, status)
 	}
 	if !rep.GatesPassed() {
 		log.Fatal("speedup gate FAILED")

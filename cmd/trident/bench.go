@@ -1,14 +1,17 @@
 package main
 
 // The bench subcommand: the in-process twin of `make bench`. It runs the
-// compiled-, factored- and reference-kernel, batched-path and
+// compiled-, factored- and reference-kernel, batched-path, recompilation and
 // bank-programming microbenchmarks plus two regenerating-table benchmarks
 // through testing.Benchmark, prints a summary table, writes the same
-// BENCH_PR5.json trajectory schema as cmd/benchjson, and enforces the same
-// two speedup gates (factored ≥2× reference on 64×64; compiled batch ≥1.5×
-// factored batch on 256×256) — so a deployment host without the test tree
-// can still measure and gate the hot paths. -cpuprofile / -memprofile
-// capture pprof profiles of the benchmark run for `go tool pprof`.
+// BENCH_PR6.json trajectory schema as cmd/benchjson, and enforces the same
+// speedup gates (factored ≥2× reference on 64×64; compiled batch ≥1.5×
+// factored batch on 256×256; incremental recompile ≥5× full recompile on
+// 256×256; pool-parallel batch ≥1.5× single-threaded batch on 256×256, the
+// last waived on hosts with a single CPU) — so a deployment host without
+// the test tree can still measure and gate the hot paths. -cpuprofile /
+// -memprofile capture pprof profiles of the benchmark run for
+// `go tool pprof`.
 
 import (
 	"flag"
@@ -21,6 +24,7 @@ import (
 	"testing"
 
 	"trident/internal/benchio"
+	"trident/internal/core"
 	"trident/internal/experiments"
 	"trident/internal/mrr"
 	"trident/internal/optics"
@@ -32,9 +36,11 @@ var benchBankSizes = []int{16, 64, 256}
 
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR5.json", "trajectory file to write")
+	out := fs.String("o", "BENCH_PR6.json", "trajectory file to write")
 	min := fs.Float64("min", 2, "required factored/reference speedup on the 64×64 bank (0 disables the gate)")
 	minBatch := fs.Float64("min-batch", 1.5, "required compiled/factored batch speedup on the 256×256 bank (0 disables the gate)")
+	minRecompile := fs.Float64("min-recompile", 5, "required incremental/full recompile speedup on the 256×256 bank (0 disables the gate)")
+	minParallel := fs.Float64("min-parallel", 1.5, "required parallel/single-threaded batch speedup on the 256×256 bank, waived below 2 CPUs (0 disables the gate)")
 	batch := fs.Int("batch", 32, "batch size for the batched-path benchmarks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the benchmark run to this file")
@@ -52,7 +58,8 @@ func cmdBench(args []string) {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version()}
+	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version(),
+		MaxProcs: runtime.GOMAXPROCS(0)}
 	add := func(name string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -113,6 +120,37 @@ func cmdBench(args []string) {
 				bdst = bank.FactoredMVMBatchInto(bdst, xs, *batch, size)
 			}
 			b.ReportMetric(float64(b.N)*float64(*batch)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+		// The pool-parallel batch path runs on its own bank so installing the
+		// ParallelFor hook cannot perturb the single-threaded baselines above.
+		pbank := newBenchBank(size)
+		pbank.SetParallelFor(core.RunIndexed)
+		add(fmt.Sprintf("BenchmarkBankMVMBatchParallel/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bdst = pbank.MVMBatchInto(bdst, xs, *batch, size)
+			}
+			b.ReportMetric(float64(b.N)*float64(*batch)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+		add(fmt.Sprintf("BenchmarkBankRecompileFull/%dx%d", size, size), func(b *testing.B) {
+			bank.EnsureCompiled()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bank.RotateRows(0) // pure whole-bank invalidation
+				bank.EnsureCompiled()
+			}
+		})
+		add(fmt.Sprintf("BenchmarkBankRecompileIncremental/%dx%d", size, size), func(b *testing.B) {
+			bank.EnsureCompiled()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v := 0.4321
+				if i%2 == 1 {
+					v = -v
+				}
+				bank.OverrideWeight(size/2, size/2, v)
+				bank.EnsureCompiled()
+			}
 		})
 		sets := benchWeightSets(size)
 		add(fmt.Sprintf("BenchmarkBankProgram/%dx%d", size, size), func(b *testing.B) {
@@ -175,6 +213,17 @@ func cmdBench(args []string) {
 			log.Fatal(err)
 		}
 	}
+	if *minRecompile > 0 {
+		if err := rep.ApplyGate("BenchmarkBankRecompileIncremental/256x256", "BenchmarkBankRecompileFull/256x256", *minRecompile); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *minParallel > 0 {
+		if err := rep.ApplyParallelGate("BenchmarkBankMVMBatchParallel/256x256", "BenchmarkBankMVMBatch/256x256",
+			*minParallel, rep.MaxProcs, 2); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := benchio.WriteFile(*out, rep); err != nil {
 		log.Fatal(err)
 	}
@@ -190,7 +239,11 @@ func cmdBench(args []string) {
 	fmt.Print(t.String())
 	fmt.Printf("wrote %s\n", *out)
 	for _, g := range rep.Gates {
-		fmt.Printf("%s vs %s: %.1f× speedup (gate ≥%.1f×)\n", g.Fast, g.Ref, g.Speedup, g.Required)
+		status := ""
+		if g.Waived {
+			status = fmt.Sprintf(" [waived: %d CPU < %d]", rep.MaxProcs, g.MinProcs)
+		}
+		fmt.Printf("%s vs %s: %.1f× speedup (gate ≥%.1f×)%s\n", g.Fast, g.Ref, g.Speedup, g.Required, status)
 	}
 	if !rep.GatesPassed() {
 		log.Fatal("speedup gate FAILED")

@@ -7,7 +7,7 @@
 //	trident infer  [-model VGG-16] [-accel Trident] [-batch 32] [-layers]
 //	trident train  [-model mlp|branched] [-samples 600] [-hidden 16] [-epochs 10] [-noise] [-lifetime]
 //	trident sweep  [-model ResNet-50]
-//	trident bench  [-o BENCH_PR5.json] [-min 2] [-min-batch 1.5] [-batch 32] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	trident bench  [-o BENCH_PR6.json] [-min 2] [-min-batch 1.5] [-min-recompile 5] [-min-parallel 1.5] [-batch 32] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	trident devices
 package main
 
@@ -70,7 +70,7 @@ commands:
   cache    analyze on-chip memory behaviour for one model
   export   train in-situ and save the network state; verify a reload round-trip
   trace    write a Chrome trace of the weight-stationary schedule
-  bench    run hot-path microbenchmarks; write the BENCH_PR5.json trajectory
+  bench    run hot-path microbenchmarks; write the BENCH_PR6.json trajectory
   devices  print the device parameter sheet`)
 	os.Exit(2)
 }

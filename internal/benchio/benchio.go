@@ -1,12 +1,18 @@
 // Package benchio is the benchmark-trajectory format: it parses `go test
 // -bench` output into aggregated per-benchmark results and writes the
-// machine-readable trajectory file (BENCH_PR5.json) that `make bench`, the
+// machine-readable trajectory file (BENCH_PR6.json) that `make bench`, the
 // cmd/benchjson gate and the `trident bench` subcommand all share, so each
 // kernel's speedup over its baseline is recorded — and enforced — the same
 // way no matter which entry point produced the numbers. A trajectory can
-// carry several gates (schema trident-bench/2): the PR 5 file gates both
-// the factored kernel against the reference triple loop and the compiled
-// batch kernel against the factored one.
+// carry several gates (schema trident-bench/3): the PR 6 file gates the
+// factored kernel against the reference triple loop, the compiled batch
+// kernel against the factored one, the incremental dirty-row recompile
+// against a full rebuild, and the worker-pool-parallel batch GEMM against
+// the single-threaded one. The parallel gate carries a minimum-processor
+// requirement: on hosts with fewer logical CPUs than MinProcs (where no
+// parallel speedup is physically available) the measured ratio is still
+// recorded but the gate is marked waived and does not fail the build —
+// multi-core CI enforces it for real.
 package benchio
 
 import (
@@ -44,20 +50,28 @@ type Gate struct {
 	Required float64 `json:"required"`
 	Speedup  float64 `json:"speedup"`
 	Passed   bool    `json:"passed"`
+	// MinProcs, when positive, marks a parallelism gate: it only binds on
+	// hosts with at least this many logical CPUs. Below that the gate is
+	// recorded with Waived=true and Passed=true — a single-threaded host
+	// cannot demonstrate a parallel speedup, and failing the build there
+	// would gate on the machine, not the code.
+	MinProcs int  `json:"min_procs,omitempty"`
+	Waived   bool `json:"waived,omitempty"`
 }
 
 // Report is the trajectory file schema.
 type Report struct {
 	Schema    string   `json:"schema"`
 	GoVersion string   `json:"go_version"`
+	MaxProcs  int      `json:"max_procs,omitempty"`
 	Results   []Result `json:"results"`
 	Gates     []Gate   `json:"gates,omitempty"`
 }
 
 // Schema is the current trajectory-file schema identifier. /2 replaced the
-// single `gate` field with the `gates` list so one trajectory can enforce
-// several kernel relationships at once.
-const Schema = "trident-bench/2"
+// single `gate` field with the `gates` list; /3 added the processor-count
+// record (MaxProcs) and waivable parallelism gates (MinProcs/Waived).
+const Schema = "trident-bench/3"
 
 // procSuffix strips the trailing -GOMAXPROCS from a benchmark name, so the
 // same benchmark aggregates under one key on any host.
@@ -175,6 +189,25 @@ func (rep *Report) ApplyGate(fast, ref string, required float64) error {
 	speedup := g.NsPerOp / f.NsPerOp
 	rep.Gates = append(rep.Gates, Gate{Fast: fast, Ref: ref, Required: required,
 		Speedup: speedup, Passed: speedup >= required})
+	return nil
+}
+
+// ApplyParallelGate is ApplyGate for a parallelism requirement: procs is the
+// host's logical CPU count (typically runtime.GOMAXPROCS(0)) and minProcs
+// the smallest count at which the speedup is physically demonstrable. On a
+// host below minProcs the measured ratio is still recorded, but the gate is
+// marked waived and passes unconditionally; at or above minProcs it behaves
+// exactly like ApplyGate.
+func (rep *Report) ApplyParallelGate(fast, ref string, required float64, procs, minProcs int) error {
+	if err := rep.ApplyGate(fast, ref, required); err != nil {
+		return err
+	}
+	g := &rep.Gates[len(rep.Gates)-1]
+	g.MinProcs = minProcs
+	if procs < minProcs {
+		g.Waived = true
+		g.Passed = true
+	}
 	return nil
 }
 

@@ -91,6 +91,51 @@ func TestApplyGate(t *testing.T) {
 	}
 }
 
+func TestApplyParallelGate(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "parallel" benchmark here is slower than its reference, so the raw
+	// gate fails — exactly the situation on a single-CPU host.
+	rep := &Report{Schema: Schema, Results: results, MaxProcs: 1}
+	if err := rep.ApplyParallelGate("BenchmarkBankMVMReference/64x64", "BenchmarkBankMVM/64x64", 1.5, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Gates[0]
+	if !g.Waived || !g.Passed {
+		t.Errorf("below min_procs the gate must be waived and pass: %+v", g)
+	}
+	if g.MinProcs != 2 {
+		t.Errorf("min_procs = %d, want 2", g.MinProcs)
+	}
+	if want := 12800.0 / 457775.0; g.Speedup != want {
+		t.Errorf("waived gate must still record the measured ratio: %v, want %v", g.Speedup, want)
+	}
+	if !rep.GatesPassed() {
+		t.Error("GatesPassed = false with a waived gate")
+	}
+	// At or above min_procs the same numbers must fail for real.
+	rep2 := &Report{Schema: Schema, Results: results, MaxProcs: 8}
+	if err := rep2.ApplyParallelGate("BenchmarkBankMVMReference/64x64", "BenchmarkBankMVM/64x64", 1.5, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g := rep2.Gates[0]; g.Waived || g.Passed {
+		t.Errorf("at min_procs the gate must bind: %+v", g)
+	}
+	// And a genuinely fast kernel passes without a waiver.
+	rep3 := &Report{Schema: Schema, Results: results, MaxProcs: 8}
+	if err := rep3.ApplyParallelGate("BenchmarkBankMVM/64x64", "BenchmarkBankMVMReference/64x64", 1.5, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g := rep3.Gates[0]; g.Waived || !g.Passed {
+		t.Errorf("fast kernel on a multi-core host: %+v", g)
+	}
+	if err := rep3.ApplyParallelGate("BenchmarkMissing", "BenchmarkBankMVM/64x64", 1.5, 8, 2); err == nil {
+		t.Error("missing benchmark: want error")
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	results, err := Parse(strings.NewReader(sample))
 	if err != nil {

@@ -13,6 +13,14 @@ package core
 // Forward once per sample. The batch paths are serving-only: they do not
 // save lastX/lastH/derivs training state, so a TrainSample must not rely on
 // a preceding batched forward.
+//
+// Parallelism is two-level: tiles fan out across the worker pool here, and
+// inside each tile the bank's compiled batch GEMM fans its row blocks out
+// across the same pool (PEs install core.RunIndexed as the bank's
+// ParallelFor hook). When the outer fan-out saturates the pool the inner
+// one degrades to in-line execution, so a single-tile network still uses
+// every worker on the bank GEMM while a many-tile network parallelizes
+// across tiles — without oversubscription in either case.
 
 import (
 	"fmt"

@@ -122,6 +122,15 @@ enlist:
 	wg.Wait()
 }
 
+// RunIndexed exposes the index fan-out to sibling packages and, through
+// mrr.ParallelFor, to the weight banks themselves: PEs install it as the
+// bank's ParallelFor hook so snapshot recompilation and the compiled batch
+// GEMM shard row blocks across the same pool that runs tile fan-outs.
+// Nested fan-outs are safe — when every pool worker is busy the inner call
+// degrades to in-line serial execution (see runIndexed) — and fn must keep
+// its writes confined to per-index state.
+func RunIndexed(n int, fn func(int)) { runIndexed(n, fn) }
+
 // runTiles runs fn over every (r, c) of an rt×ct tile grid, in parallel.
 // When several tiles fail, the error of the lowest flattened tile index is
 // reported, so the error a caller observes never depends on goroutine

@@ -831,6 +831,23 @@ func (g *Graph) ForEachPE(fn func(layer, tileRow, tileCol int, pe *PE)) {
 	}
 }
 
+// CompileBanks brings every bank's compiled effective-weight snapshot up to
+// date, paying any pending recompilation — full after drift or rotation,
+// dirty-rows-only after refresh pulses or overrides — at a moment the
+// caller chooses instead of inside the first pass that follows. The
+// reliability scheduler calls it at the end of each health check so serving
+// resumes on warm snapshots. Tiles compile concurrently; each bank has a
+// single writer, so the compiled images are independent of scheduling.
+func (g *Graph) CompileBanks() {
+	for _, l := range g.layers {
+		tiles := l.tiles
+		_ = runTiles(len(tiles), len(tiles[0]), func(r, c int) error {
+			tiles[r][c].Bank().EnsureCompiled()
+			return nil
+		})
+	}
+}
+
 // ApplyDrift ages every bank's readout by the given hold duration (see
 // PE.ApplyDrift). Tiles age concurrently; each PE's state has a single
 // writer, so the result is independent of scheduling.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"trident/internal/fixed"
 	"trident/internal/optics"
@@ -40,10 +41,40 @@ type WeightBank struct {
 	// Compiled weight-stationary snapshot (see compiled.go). epoch counts
 	// weight-state mutations; the flat effective-weight matrix weff is
 	// rebuilt lazily on the first MVM after compiledAt falls behind.
+	// Invalidation is tracked per physical row: row-scoped mutators set
+	// dirty[pr] so the recompiler touches only the stale rows, while
+	// whole-bank mutators (drift, rotation) set dirtyAll and force a full
+	// rebuild. rowMap is a bijection, so nDirty is exactly the number of
+	// stale logical rows.
 	epoch      uint64
 	compiledAt uint64
 	weff       []float64 // rows×cols row-major effective weights
+	dirty      []bool    // physical rows whose compiled image is stale
+	nDirty     int       // count of set entries in dirty
+	dirtyAll   bool      // whole-snapshot invalidation pending
+
+	// pfor, when non-nil, shards recompilation and the compiled batch GEMM
+	// across fixed row blocks (see compiled.go); rowsCompiled counts row
+	// compiles over the bank's lifetime for incremental-recompile
+	// observability. The counter is atomic only because compile blocks run
+	// concurrently under pfor — the bank itself stays single-writer.
+	pfor         ParallelFor
+	rowsCompiled atomic.Uint64
 }
+
+// ParallelFor runs fn(i) for every i in [0, n) and returns only after all n
+// calls complete. Implementations may execute calls concurrently; the bank
+// guarantees distinct indices write disjoint state (row-block ownership), so
+// a correct implementation yields bit-identical results at any worker count.
+type ParallelFor func(n int, fn func(int))
+
+// SetParallelFor installs the worker-pool hook the bank uses to shard
+// recompilation and the compiled batch GEMM across row blocks (the
+// tile-execution engine's pool, for banks living inside a PE). nil — the
+// default — keeps the bank fully serial. Banks below the parallel work
+// thresholds in compiled.go ignore the hook, so attaching it to small PE
+// banks costs nothing.
+func (b *WeightBank) SetParallelFor(p ParallelFor) { b.pfor = p }
 
 // crosstalkFloor is the leakage level below which a neighbour's contribution
 // is indistinguishable from zero at the detector: coefficients under it are
@@ -85,6 +116,7 @@ func NewWeightBank(rows, cols int, plan *optics.ChannelPlan, newTuner NewTunerFu
 		weights: make([][]float64, rows),
 		rowMap:  make([]int, rows),
 		masked:  make([]bool, rows),
+		dirty:   make([]bool, rows),
 	}
 	for j := range b.rowMap {
 		b.rowMap[j] = j
@@ -179,16 +211,63 @@ func NewIdealWeightBank(rows, cols int, plan *optics.ChannelPlan) (*WeightBank, 
 	return b, nil
 }
 
-// invalidate bumps the weight-state epoch, marking the compiled snapshot
-// stale. Every mutation of what an MVM can observe — programmed weights,
-// drifted readouts, fault overrides, masking, the wear-leveling rotation —
-// must route through it; compiled_test.go asserts each public mutator does.
-func (b *WeightBank) invalidate() { b.epoch++ }
+// invalidate bumps the weight-state epoch and marks the whole compiled
+// snapshot stale. It is the coarse half of the invalidation protocol,
+// reserved for mutations whose reach a single row cannot bound: ApplyDrift
+// relaxes every live cell, and RotateRows remaps every logical row onto a
+// different physical row. Every mutation of what an MVM can observe must
+// route through this or invalidateRow; compiled_test.go asserts each public
+// mutator does.
+func (b *WeightBank) invalidate() {
+	b.epoch++
+	b.dirtyAll = true
+}
+
+// invalidateRow is the row-scoped half of the invalidation protocol: it
+// bumps the weight-state epoch and marks only physical row pr stale, so the
+// next recompile touches one row instead of J. Crosstalk needs no
+// row-neighbour widening here: the band couples *channels* — columns within
+// a row — so Weff[j] depends on exactly one physical row's weights
+// (rowWeights(j)); a mutation of physical row pr perturbs only the compiled
+// image of the logical row it serves. The incremental-vs-full property tests
+// in compiled_test.go pin this, including mutations at the band edges.
+func (b *WeightBank) invalidateRow(pr int) {
+	b.epoch++
+	if b.dirtyAll || b.dirty[pr] {
+		return
+	}
+	b.dirty[pr] = true
+	b.nDirty++
+}
 
 // Epoch returns the bank's weight-state epoch: a counter bumped by every
-// mutation that can change MVM output. The compiled snapshot is keyed on it,
-// and tests use it to prove no mutator forgets to invalidate.
+// mutation that actually changes what an MVM can observe. The compiled
+// snapshot is keyed on it, and tests use it to prove no mutator forgets to
+// invalidate. Mutations that provably change nothing — a compare-first
+// Program pass that elides every pulse, a Refresh with no displaced cells, a
+// fault pin re-applied at its current value — leave the epoch (and therefore
+// the compiled snapshot) untouched.
 func (b *WeightBank) Epoch() uint64 { return b.epoch }
+
+// DirtyRowCount reports how many physical rows are marked stale for the next
+// incremental recompile; a whole-bank invalidation pending reports the full
+// row count. Observability for the invalidation protocol (see compiled.go).
+func (b *WeightBank) DirtyRowCount() int {
+	if b.weff != nil && b.compiledAt == b.epoch {
+		return 0
+	}
+	if b.dirtyAll || b.weff == nil {
+		return b.rows
+	}
+	return b.nDirty
+}
+
+// RowsCompiled reports the cumulative number of effective-weight rows
+// compiled over the bank's lifetime: a full compile adds Rows, an
+// incremental pass adds only the stale-row count. The reliability suite uses
+// it to assert that periodic refresh traffic stays off the full-recompile
+// path.
+func (b *WeightBank) RowsCompiled() uint64 { return b.rowsCompiled.Load() }
 
 // Rows returns J.
 func (b *WeightBank) Rows() int { return b.rows }
@@ -229,7 +308,9 @@ func (b *WeightBank) LogicalRow(physical int) int {
 // remapped to physical row (j + rotation) mod J, spreading write traffic of
 // hot logical rows across all fabricated rings over time. The weights stay
 // with their physical rings, so logical reads are stale until the caller
-// reprograms the bank. It returns the new rotation offset.
+// reprograms the bank. Rotation remaps every logical row at once, so it is a
+// whole-bank invalidation — the coarse half of the protocol in compiled.go.
+// It returns the new rotation offset.
 func (b *WeightBank) RotateRows(k int) int {
 	b.rotation = ((b.rotation+k)%b.rows + b.rows) % b.rows
 	for j := range b.rowMap {
@@ -250,7 +331,7 @@ func (b *WeightBank) MaskPhysicalRow(row int) {
 		panic(fmt.Sprintf("mrr: mask row %d outside %d-row bank", row, b.rows))
 	}
 	b.masked[row] = true
-	b.invalidate()
+	b.invalidateRow(row)
 }
 
 // RowMasked reports whether the physical row is retired.
@@ -270,13 +351,19 @@ func (b *WeightBank) MaskedRowCount() int {
 // OverrideWeight forces the realized weight at logical (row, col) without
 // driving the tuner — the fault-modeling hook: a stuck cell keeps
 // transmitting its pinned value no matter what was programmed. It panics on
-// out-of-range positions (a wiring error in the caller).
+// out-of-range positions (a wiring error in the caller). A no-op override
+// (the cell already reads the pinned value — the common case when fault
+// pins are re-applied after every pass) leaves the weight state untouched,
+// so it neither bumps the epoch nor dirties the row.
 func (b *WeightBank) OverrideWeight(row, col int, w float64) {
 	if row < 0 || row >= b.rows || col < 0 || col >= b.cols {
 		panic(fmt.Sprintf("mrr: override (%d,%d) outside %d×%d bank", row, col, b.rows, b.cols))
 	}
-	b.weights[b.rowMap[row]][col] = clampWeight(w)
-	b.invalidate()
+	pr := b.rowMap[row]
+	if v := clampWeight(w); b.weights[pr][col] != v {
+		b.weights[pr][col] = v
+		b.invalidateRow(pr)
+	}
 }
 
 // OverridePhysicalWeight is OverrideWeight addressing the fabricated ring at
@@ -286,8 +373,10 @@ func (b *WeightBank) OverridePhysicalWeight(row, col int, w float64) {
 	if row < 0 || row >= b.rows || col < 0 || col >= b.cols {
 		panic(fmt.Sprintf("mrr: override (%d,%d) outside %d×%d bank", row, col, b.rows, b.cols))
 	}
-	b.weights[row][col] = clampWeight(w)
-	b.invalidate()
+	if v := clampWeight(w); b.weights[row][col] != v {
+		b.weights[row][col] = v
+		b.invalidateRow(row)
+	}
 }
 
 // ProgramResult summarizes one bank programming operation.
@@ -318,17 +407,21 @@ func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, 
 	if len(w) > b.rows {
 		return ProgramResult{}, fmt.Errorf("mrr: %d weight rows exceed bank rows %d", len(w), b.rows)
 	}
-	b.invalidate()
 	var res ProgramResult
 	res.Elapsed = 0
 	for j := range w {
 		if len(w[j]) > b.cols {
-			return ProgramResult{}, fmt.Errorf("mrr: row %d has %d weights, bank cols %d", j, len(w[j]), b.cols)
+			return res, fmt.Errorf("mrr: row %d has %d weights, bank cols %d", j, len(w[j]), b.cols)
 		}
 		pr := b.rowMap[j]
 		if b.masked[pr] {
 			continue
 		}
+		// Invalidation is row-scoped: the row goes stale on its first issued
+		// pulse, so reprogramming a handful of rows (or re-issuing values the
+		// compare-first logic elides entirely) no longer costs a whole-bank
+		// recompile on the next pass.
+		rowWritten := false
 		for n := range w[j] {
 			t := b.tuners[pr][n]
 			before := t.Writes()
@@ -347,6 +440,10 @@ func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, 
 			// displaced readout stays until Refresh or a real write.
 			if t.Writes() != before {
 				b.weights[pr][n] = actual
+				if !rowWritten {
+					rowWritten = true
+					b.invalidateRow(pr)
+				}
 				res.CellsWritten++
 				res.Energy += t.EnergyConsumed() - beforeE
 				if d := done - now; d > res.Elapsed {
@@ -363,7 +460,8 @@ func (b *WeightBank) Program(w [][]float64, now units.Duration) (ProgramResult, 
 // of amorphous-phase structural relaxation as simulated time advances.
 // Tuners without a drift model (volatile mechanisms) are left untouched.
 // The programmed tuner state is not modified — a subsequent Refresh or
-// reprogram restores the nominal weights.
+// reprogram restores the nominal weights. Drift relaxes every live cell at
+// once, so it is a whole-bank invalidation.
 func (b *WeightBank) ApplyDrift(hold units.Duration) {
 	b.invalidate()
 	for pr := range b.tuners {
@@ -382,14 +480,18 @@ func (b *WeightBank) ApplyDrift(hold units.Duration) {
 // been displaced from its programmed state (by ApplyDrift), restoring the
 // nominal weights. Each refresh pulse consumes one endurance cycle and the
 // full write energy; cells with no endurance left are reported in Worn and
-// keep their displaced state. Masked rows are skipped.
+// keep their displaced state. Masked rows are skipped. Invalidation is
+// row-scoped: only rows where a pulse actually lands go stale, so the
+// reliability scheduler's periodic refresh of a few displaced rows — or a
+// refresh that finds nothing displaced at all — no longer invalidates the
+// whole compiled snapshot.
 func (b *WeightBank) Refresh(now units.Duration) ProgramResult {
-	b.invalidate()
 	var res ProgramResult
 	for pr := range b.tuners {
 		if b.masked[pr] {
 			continue
 		}
+		rowWritten := false
 		for n, t := range b.tuners[pr] {
 			r, ok := t.(refresher)
 			if !ok || b.weights[pr][n] == t.Weight() {
@@ -407,6 +509,10 @@ func (b *WeightBank) Refresh(now units.Duration) ProgramResult {
 				panic(fmt.Sprintf("mrr: refresh (%d,%d): %v", pr, n, err))
 			}
 			b.weights[pr][n] = t.Weight()
+			if !rowWritten {
+				rowWritten = true
+				b.invalidateRow(pr)
+			}
 			res.CellsWritten++
 			res.Energy += t.EnergyConsumed() - beforeE
 			if d := done - now; d > res.Elapsed {

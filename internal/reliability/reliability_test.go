@@ -309,6 +309,55 @@ func TestSchedulerMasksDeadRows(t *testing.T) {
 	}
 }
 
+// totalRowsCompiled sums lifetime compiled-row counts across every bank —
+// the recompilation odometer the scheduler cost assertions read.
+func totalRowsCompiled(net *core.Network) uint64 {
+	var total uint64
+	net.ForEachPE(func(_, _, _ int, pe *core.PE) {
+		total += pe.Bank().RowsCompiled()
+	})
+	return total
+}
+
+// TestSchedulerSteadyStateRecompilesNothing pins the serving win of
+// row-scoped invalidation: a drift-free health check — BIST park passes
+// elided by compare-first writes, refresh finding nothing displaced — must
+// recompile zero rows across the whole network, and a single displaced cell
+// must cost at most two row recompiles (one when the self-test probes the
+// overridden row, one when refresh restores it), never a bank rebuild.
+func TestSchedulerSteadyStateRecompilesNothing(t *testing.T) {
+	net := newTestNetwork(t)
+	eval := func() (float64, error) { return 1, nil }
+	// Zero TimePerStep: no drift aging, so nothing displaces between checks.
+	sched, err := NewScheduler(net.Graph, Policy{}, 1, eval, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First check settles the BIST park cells and warms every snapshot.
+	if _, err := sched.Check(1); err != nil {
+		t.Fatal(err)
+	}
+	before := totalRowsCompiled(net)
+	if _, err := sched.Check(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalRowsCompiled(net); got != before {
+		t.Fatalf("drift-free steady-state check recompiled %d rows, want 0", got-before)
+	}
+	// Displace one realized cell; the next check's refresh restores it.
+	net.Layers()[0].Tiles()[0][0].Bank().OverridePhysicalWeight(4, 2, 0.123456)
+	if _, err := sched.Check(3); err != nil {
+		t.Fatal(err)
+	}
+	delta := totalRowsCompiled(net) - before
+	if delta == 0 {
+		t.Fatal("displaced cell never triggered a recompile; the override was not observed")
+	}
+	if delta > 2 {
+		t.Fatalf("single displaced cell recompiled %d rows, want ≤2", delta)
+	}
+}
+
 // TestRemediationRecompilesBanks pins the scheduler against the compiled
 // weight-stationary snapshot: every remediation action — drift aging and
 // refresh during Check, the wear-leveling rotation, healing reprograms and

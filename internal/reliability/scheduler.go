@@ -175,7 +175,11 @@ func (s *Scheduler) maskedRows() int {
 }
 
 // refreshAll re-pulses every drift-displaced cell. Walks PEs in fixed order;
-// refresh traffic is rare enough that parallelism buys nothing here.
+// refresh traffic is rare enough that parallelism buys nothing here. Each
+// refreshed row dirties only itself in the bank's compiled snapshot, so a
+// check that refreshes a handful of rows costs a handful of row recompiles —
+// not a full O(J·N·r) rebuild per bank (pinned by the scheduler recompile
+// test).
 func (s *Scheduler) refreshAll() int {
 	before := s.writes()
 	s.net.ForEachPE(func(_, _, _ int, pe *core.PE) {
@@ -262,6 +266,11 @@ func (s *Scheduler) Check(step int) (CheckResult, error) {
 	res.Suspects = len(s.seen)
 	res.MaskedRows = s.maskedRows()
 	s.lastStep = step
+	// Pay any pending snapshot recompilation now — row-scoped after refresh
+	// pulses or masking, full after drift aging or wear-leveling — so the
+	// serving window that follows reopens on warm banks instead of stalling
+	// its first pass on a rebuild.
+	s.net.CompileBanks()
 	return res, nil
 }
 
