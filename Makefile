@@ -25,28 +25,35 @@ tier2:
 # Tier 2 reliability: the fault campaigns, batch-serving equality tests,
 # execution-graph equivalence/golden-regression tests, and the dirty-row
 # recompilation property/staleness tests under the race detector, plus short
-# fuzz runs over the PCM cell state machines the wear model leans on.
+# fuzz runs over the PCM cell state machines the wear model leans on. The
+# whole serve package (including the chaos soak, which forces maintenance
+# windows against live traffic and replays the op journal for bit-identity)
+# also runs under -race here — its correctness claims are concurrency claims.
 tier2-reliability:
 	$(GO) test -race -run 'Campaign|Wear|Fault|BIST|Scheduler|Drift|Batch|Golden|Graph|Recompile|Dirty|Stale|NoOp|ParallelBitIdentical' ./internal/reliability/ ./internal/core/ ./internal/mrr/ ./internal/pcm/
+	$(GO) test -race -count=2 ./internal/serve/
 	$(GO) test -run '^$$' -fuzz '^FuzzActivationCell$$' -fuzztime 10s ./internal/pcm/
 	$(GO) test -run '^$$' -fuzz '^FuzzCellProgram$$' -fuzztime 10s ./internal/pcm/
 
-# Benchmark trajectory: the kernel/batch/recompilation microbenchmarks and
-# two regenerating-table benchmarks, six repetitions with allocation
-# reporting, parsed into the machine-readable trajectory file (BENCH_OUT,
-# default BENCH_PR6.json). cmd/benchjson exits non-zero unless the factored
-# kernel holds ≥2× over the reference triple loop on the 64×64 bank, the
-# compiled batch kernel ≥1.5× over the factored kernel on the 256×256
-# batched MVM, the incremental dirty-row recompile ≥5× over a full snapshot
-# rebuild on the 256×256 bank, and the pool-parallel batch GEMM ≥1.5× over
-# the single-threaded batch on the 256×256 bank (this last gate is recorded
-# but waived on single-CPU hosts, where no parallel speedup is physically
-# available — multi-core CI enforces it).
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMCompiled|BenchmarkBankMVMFactored|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankMVMBatchFactored|BenchmarkBankMVMBatchParallel|BenchmarkBankRecompileFull|BenchmarkBankRecompileIncremental|BenchmarkBankProgram|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond)$$
+# Benchmark trajectory: the kernel/batch/recompilation microbenchmarks, the
+# two regenerating-table benchmarks, and the serving throughput pair,
+# BENCH_COUNT repetitions with allocation reporting, parsed into the
+# machine-readable trajectory file (BENCH_OUT, default BENCH_PR7.json).
+# cmd/benchjson exits non-zero unless the factored kernel holds ≥2× over the
+# reference triple loop on the 64×64 bank, the compiled batch kernel ≥1.5×
+# over the factored kernel on the 256×256 batched MVM, the incremental
+# dirty-row recompile ≥5× over a full snapshot rebuild on the 256×256 bank,
+# the pool-parallel batch GEMM ≥1.5× over the single-threaded batch on the
+# 256×256 bank (recorded but waived on single-CPU hosts, where no parallel
+# speedup is physically available — multi-core CI enforces it), and the
+# micro-batching serve front-end ≥1.2× requests/second over single-request
+# dispatch.
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_COUNT ?= 6
+BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMCompiled|BenchmarkBankMVMFactored|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankMVMBatchFactored|BenchmarkBankMVMBatchParallel|BenchmarkBankRecompileFull|BenchmarkBankRecompileIncremental|BenchmarkBankProgram|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond|BenchmarkServeBatcher|BenchmarkServeUnbatched)$$
 
 bench:
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=6 . > bench.out
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . > bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench.out
 	@rm -f bench.out
 

@@ -9,9 +9,13 @@ package trident
 // and compare the printed artifacts against EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"trident/internal/accel"
 	"trident/internal/core"
@@ -24,6 +28,7 @@ import (
 	"trident/internal/mrr"
 	"trident/internal/optics"
 	"trident/internal/pcm"
+	"trident/internal/serve"
 	"trident/internal/tensor"
 	"trident/internal/train"
 )
@@ -695,4 +700,79 @@ func BenchmarkDeepCNNTrainStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// serveBenchNet builds the serving-benchmark workload: a wider MLP than
+// the unit-test miniatures so the batched forward path has real work to
+// amortize per-request overhead against.
+func serveBenchNet(b *testing.B) *core.Network {
+	b.Helper()
+	net, err := core.NewNetwork(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
+		LearningRate: 0.08,
+	},
+		core.LayerSpec{In: 32, Out: 64, Activate: true},
+		core.LayerSpec{In: 64, Out: 8},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// benchServe drives b.N requests through a serving batcher from
+// serveClients concurrent clients and reports requests/second. The fixed
+// client count models a steady p99-bounded load; the config under test
+// decides whether requests coalesce.
+func benchServe(b *testing.B, cfg serve.Config) {
+	net := serveBenchNet(b)
+	bt := serve.NewBatcher(net.Graph, cfg)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := bt.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	const serveClients = 16
+	rng := rand.New(rand.NewSource(3))
+	inputs := make([][]float64, serveClients)
+	for c := range inputs {
+		x := make([]float64, 32)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		inputs[c] = x
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for c := 0; c < serveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if _, err := bt.Submit(context.Background(), inputs[c]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
+// BenchmarkServeBatcher measures serving throughput with micro-batching
+// on: up to 16 concurrent requests coalesce into one batched forward pass.
+func BenchmarkServeBatcher(b *testing.B) {
+	benchServe(b, serve.Config{MaxBatch: 16, MaxWait: 100 * time.Microsecond, QueueCap: 64})
+}
+
+// BenchmarkServeUnbatched is the degenerate-window baseline: the same
+// serving stack forced to one request per engine pass, so the pair
+// isolates exactly what coalescing buys at the same concurrency.
+func BenchmarkServeUnbatched(b *testing.B) {
+	benchServe(b, serve.Config{MaxBatch: 1, MaxWait: 100 * time.Microsecond, QueueCap: 64})
 }

@@ -1,17 +1,19 @@
 // Command benchjson turns `go test -bench` output into the machine-readable
-// benchmark-trajectory file (BENCH_PR6.json) and enforces the kernel speedup
+// benchmark-trajectory file (BENCH_PR7.json) and enforces the kernel speedup
 // gates. By default the factored crosstalk kernel must hold ≥2× over the
 // reference triple loop on the 64×64 bank, the compiled batch kernel ≥1.5×
 // over the factored kernel on the 256×256 batched MVM, the incremental
 // dirty-row recompile ≥5× over a full snapshot rebuild on the 256×256 bank,
-// and the worker-pool-parallel batch GEMM ≥1.5× over the single-threaded
-// batch on the 256×256 bank — or the pipe exits non-zero. The parallel gate
-// only binds on hosts with at least 2 logical CPUs; below that the measured
-// ratio is recorded but the gate is waived (see benchio.ApplyParallelGate).
+// the worker-pool-parallel batch GEMM ≥1.5× over the single-threaded batch
+// on the 256×256 bank, and the micro-batching serve front-end ≥1.2× over
+// single-request dispatch in requests served per second — or the pipe exits
+// non-zero. The parallel gate only binds on hosts with at least 2 logical
+// CPUs; below that the measured ratio is recorded but the gate is waived
+// (see benchio.ApplyParallelGate).
 //
 // Usage (as wired by `make bench`):
 //
-//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR6.json
+//	go test -run='^$' -bench=... -benchmem -count=6 . | benchjson -out BENCH_PR7.json
 //
 // Custom gates replace the defaults with repeated -gate FAST,REF,MIN and
 // -pgate FAST,REF,MIN,MINPROCS flags; -nogates disables gating entirely (the
@@ -40,12 +42,16 @@ type gateSpec struct {
 	minProcs  int
 }
 
-// defaultGates are the PR 6 trajectory requirements.
+// defaultGates are the PR 7 trajectory requirements. The serve gate compares
+// ns/op of the two serving benchmarks, which is exactly inverse requests per
+// second: batching must buy at least 1.2× throughput over one-at-a-time
+// dispatch through the same batcher machinery.
 var defaultGates = []gateSpec{
 	{fast: "BenchmarkBankMVMFactored/64x64", ref: "BenchmarkBankMVMReference/64x64", min: 2},
 	{fast: "BenchmarkBankMVMBatch/256x256", ref: "BenchmarkBankMVMBatchFactored/256x256", min: 1.5},
 	{fast: "BenchmarkBankRecompileIncremental/256x256", ref: "BenchmarkBankRecompileFull/256x256", min: 5},
 	{fast: "BenchmarkBankMVMBatchParallel/256x256", ref: "BenchmarkBankMVMBatch/256x256", min: 1.5, minProcs: 2},
+	{fast: "BenchmarkServeBatcher", ref: "BenchmarkServeUnbatched", min: 1.2},
 }
 
 // gateFlags collects repeated -gate/-pgate values.
@@ -100,7 +106,7 @@ func (g gateFlags) Set(v string) error {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "BENCH_PR6.json", "trajectory file to write")
+	out := flag.String("out", "BENCH_PR7.json", "trajectory file to write")
 	var gates []gateSpec
 	flag.Var(gateFlags{specs: &gates}, "gate", "speedup gate FAST,REF,MIN (repeatable; replaces the default gates)")
 	flag.Var(gateFlags{specs: &gates, parallel: true}, "pgate",

@@ -2,26 +2,35 @@ package main
 
 // The bench subcommand: the in-process twin of `make bench`. It runs the
 // compiled-, factored- and reference-kernel, batched-path, recompilation and
-// bank-programming microbenchmarks plus two regenerating-table benchmarks
-// through testing.Benchmark, prints a summary table, writes the same
-// BENCH_PR6.json trajectory schema as cmd/benchjson, and enforces the same
-// speedup gates (factored ≥2× reference on 64×64; compiled batch ≥1.5×
-// factored batch on 256×256; incremental recompile ≥5× full recompile on
-// 256×256; pool-parallel batch ≥1.5× single-threaded batch on 256×256, the
-// last waived on hosts with a single CPU) — so a deployment host without
-// the test tree can still measure and gate the hot paths. -cpuprofile /
+// bank-programming microbenchmarks, two regenerating-table benchmarks, and
+// the serving-throughput pair through testing.Benchmark, prints a summary
+// table, writes the same BENCH_PR7.json trajectory schema as cmd/benchjson,
+// and enforces the same speedup gates (factored ≥2× reference on 64×64;
+// compiled batch ≥1.5× factored batch on 256×256; incremental recompile ≥5×
+// full recompile on 256×256; pool-parallel batch ≥1.5× single-threaded batch
+// on 256×256, waived on hosts with a single CPU; micro-batching serve ≥1.2×
+// single-request dispatch in req/sec) — so a deployment host without the
+// test tree can still measure and gate the hot paths. -cpuprofile /
 // -memprofile capture pprof profiles of the benchmark run for
-// `go tool pprof`.
+// `go tool pprof`. SIGINT/SIGTERM stop the run at a benchmark boundary: the
+// partial trajectory is still written (gates skipped) instead of the run
+// being killed mid-write.
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"testing"
+	"time"
 
 	"trident/internal/benchio"
 	"trident/internal/core"
@@ -29,6 +38,7 @@ import (
 	"trident/internal/mrr"
 	"trident/internal/optics"
 	"trident/internal/report"
+	"trident/internal/serve"
 )
 
 // benchBankSizes mirrors the bank-geometry sweep of the go test benchmarks.
@@ -36,11 +46,12 @@ var benchBankSizes = []int{16, 64, 256}
 
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR6.json", "trajectory file to write")
+	out := fs.String("o", "BENCH_PR7.json", "trajectory file to write")
 	min := fs.Float64("min", 2, "required factored/reference speedup on the 64×64 bank (0 disables the gate)")
 	minBatch := fs.Float64("min-batch", 1.5, "required compiled/factored batch speedup on the 256×256 bank (0 disables the gate)")
 	minRecompile := fs.Float64("min-recompile", 5, "required incremental/full recompile speedup on the 256×256 bank (0 disables the gate)")
 	minParallel := fs.Float64("min-parallel", 1.5, "required parallel/single-threaded batch speedup on the 256×256 bank, waived below 2 CPUs (0 disables the gate)")
+	minServe := fs.Float64("min-serve", 1.2, "required micro-batched/unbatched serving throughput ratio (0 disables the gate)")
 	batch := fs.Int("batch", 32, "batch size for the batched-path benchmarks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the benchmark run to this file")
@@ -58,9 +69,17 @@ func cmdBench(args []string) {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	// A signal stops the sweep at the next benchmark boundary; the partial
+	// trajectory below still gets written and the process exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	rep := &benchio.Report{Schema: benchio.Schema, GoVersion: runtime.Version(),
 		MaxProcs: runtime.GOMAXPROCS(0)}
 	add := func(name string, fn func(b *testing.B)) {
+		if ctx.Err() != nil {
+			return
+		}
 		r := testing.Benchmark(fn)
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		res := benchio.Result{
@@ -184,6 +203,16 @@ func cmdBench(args []string) {
 			}
 		}
 	})
+	// Serving throughput pair: the same batcher machinery with coalescing
+	// on (≤16 requests per forward pass) vs forced to one request per
+	// pass, 16 concurrent clients each way — the ratio is exactly what
+	// micro-batching buys.
+	add("BenchmarkServeBatcher", func(b *testing.B) {
+		benchServeThroughput(b, serve.Config{MaxBatch: 16, MaxWait: 100 * time.Microsecond, QueueCap: 64})
+	})
+	add("BenchmarkServeUnbatched", func(b *testing.B) {
+		benchServeThroughput(b, serve.Config{MaxBatch: 1, MaxWait: 100 * time.Microsecond, QueueCap: 64})
+	})
 
 	// Profiles cover only the benchmark work above; stop/write them before
 	// gating so a failed gate (log.Fatal skips defers) still leaves usable
@@ -203,6 +232,13 @@ func cmdBench(args []string) {
 		f.Close()
 	}
 
+	// A partial sweep cannot be gated fairly: the interrupted trajectory is
+	// still written below, but the speedup gates are skipped because their
+	// reference benchmarks may be missing.
+	interrupted := ctx.Err() != nil
+	if interrupted {
+		*min, *minBatch, *minRecompile, *minParallel, *minServe = 0, 0, 0, 0, 0
+	}
 	if *min > 0 {
 		if err := rep.ApplyGate("BenchmarkBankMVMFactored/64x64", "BenchmarkBankMVMReference/64x64", *min); err != nil {
 			log.Fatal(err)
@@ -224,6 +260,11 @@ func cmdBench(args []string) {
 			log.Fatal(err)
 		}
 	}
+	if *minServe > 0 {
+		if err := rep.ApplyGate("BenchmarkServeBatcher", "BenchmarkServeUnbatched", *minServe); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := benchio.WriteFile(*out, rep); err != nil {
 		log.Fatal(err)
 	}
@@ -238,6 +279,10 @@ func cmdBench(args []string) {
 	}
 	fmt.Print(t.String())
 	fmt.Printf("wrote %s\n", *out)
+	if interrupted {
+		fmt.Printf("interrupted: partial trajectory (%d benchmarks); speedup gates skipped\n", len(rep.Results))
+		return
+	}
 	for _, g := range rep.Gates {
 		status := ""
 		if g.Waived {
@@ -282,6 +327,57 @@ func benchVector(n int, seed int64) []float64 {
 		x[i] = rng.Float64()*2 - 1
 	}
 	return x
+}
+
+// benchServeThroughput drives b.N requests through a serving batcher from
+// 16 concurrent clients and reports requests/second — the in-process twin
+// of the BenchmarkServe pair in the test tree.
+func benchServeThroughput(b *testing.B, cfg serve.Config) {
+	net, err := core.NewNetwork(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
+		LearningRate: 0.08,
+	},
+		core.LayerSpec{In: 32, Out: 64, Activate: true},
+		core.LayerSpec{In: 64, Out: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt := serve.NewBatcher(net.Graph, cfg)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := bt.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	const serveClients = 16
+	rng := rand.New(rand.NewSource(3))
+	inputs := make([][]float64, serveClients)
+	for c := range inputs {
+		x := make([]float64, 32)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		inputs[c] = x
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for c := 0; c < serveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if _, err := bt.Submit(context.Background(), inputs[c]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
 }
 
 // benchWeightSets returns two alternating weight matrices so repeated

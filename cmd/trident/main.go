@@ -6,17 +6,21 @@
 //
 //	trident infer  [-model VGG-16] [-accel Trident] [-batch 32] [-layers]
 //	trident train  [-model mlp|branched] [-samples 600] [-hidden 16] [-epochs 10] [-noise] [-lifetime]
+//	trident serve  [-addr localhost:8089] [-batch 16] [-wait 2ms] [-queue 64] [-maint 30s] [-chaos]
 //	trident sweep  [-model ResNet-50]
-//	trident bench  [-o BENCH_PR6.json] [-min 2] [-min-batch 1.5] [-min-recompile 5] [-min-parallel 1.5] [-batch 32] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	trident bench  [-o BENCH_PR7.json] [-min 2] [-min-batch 1.5] [-min-recompile 5] [-min-parallel 1.5] [-min-serve 1.2] [-batch 32] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	trident devices
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"trident/internal/accel"
 	"trident/internal/core"
@@ -41,6 +45,8 @@ func main() {
 		cmdInfer(os.Args[2:])
 	case "train":
 		cmdTrain(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
 	case "cache":
@@ -54,6 +60,7 @@ func main() {
 	case "devices":
 		cmdDevices()
 	default:
+		fmt.Fprintf(os.Stderr, "trident: unknown command %q\n\n", os.Args[1])
 		usage()
 	}
 }
@@ -66,11 +73,13 @@ commands:
   train    run functional in-situ training on synthetic data
            (-model branched: residual+concat graph on the photonic core;
             -lifetime: compressed wear-out campaign with BIST + self-healing)
+  serve    train a small model, then serve it over HTTP with deadline-aware
+           micro-batching, admission control and background maintenance
   sweep    sweep the PE budget for one model
   cache    analyze on-chip memory behaviour for one model
   export   train in-situ and save the network state; verify a reload round-trip
   trace    write a Chrome trace of the weight-stationary schedule
-  bench    run hot-path microbenchmarks; write the BENCH_PR6.json trajectory
+  bench    run hot-path microbenchmarks; write the BENCH_PR7.json trajectory
   devices  print the device parameter sheet`)
 	os.Exit(2)
 }
@@ -188,11 +197,18 @@ func cmdTrain(args []string) {
 // situ while GST cells exhaust Weibull endurance budgets, the built-in
 // self-test localizes the deaths without oracle access, and the remediation
 // scheduler refreshes, wear-levels, heals and masks to hold accuracy.
+// SIGINT/SIGTERM stop the campaign at a sample boundary and the partial
+// summary still prints, so an interrupted run is never killed mid-write.
 func cmdLifetime(seed int64) {
 	fmt.Println("lifetime campaign: compressed wear-out with BIST, wear-leveling and self-healing")
-	res, err := experiments.Lifetime(seed)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	res, err := experiments.LifetimeCtx(ctx, seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if res.Interrupted {
+		fmt.Println("interrupted: campaign stopped early, partial results follow")
 	}
 	fmt.Print(experiments.LifetimeTable(res).String())
 	fmt.Printf("  baseline accuracy  %.1f%%\n", res.BaselineAccuracy*100)

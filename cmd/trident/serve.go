@@ -1,0 +1,116 @@
+package main
+
+// The serve subcommand: a deadline-aware micro-batching inference front
+// end over HTTP. It trains a small MLP in situ on synthetic blobs (the
+// same workload as `trident train`), then serves /predict through the
+// coalescing batcher in internal/serve: concurrent requests are merged
+// into batched forward passes, admission control rejects deadlines the
+// queue cannot meet, and a background maintenance loop runs BIST +
+// refresh + rotation behind the batcher's execute token so bank
+// mutations never race an in-flight MVM. SIGINT/SIGTERM drain in-flight
+// connections before exit; -chaos turns on the fault injector used by
+// the soak test (drift spikes, wear-fault bursts, engine stalls).
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trident/internal/core"
+	"trident/internal/dataset"
+	"trident/internal/reliability"
+	"trident/internal/serve"
+	"trident/internal/units"
+)
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8089", "listen address")
+	batch := fs.Int("batch", 16, "micro-batch size cap")
+	wait := fs.Duration("wait", 2*time.Millisecond, "batch collection window")
+	queue := fs.Int("queue", 64, "admission queue capacity")
+	grace := fs.Duration("grace", 5*time.Second, "shutdown drain budget before in-flight work is cancelled")
+	maint := fs.Duration("maint", 30*time.Second, "maintenance window interval (0 disables BIST/refresh)")
+	chaosOn := fs.Bool("chaos", false, "inject drift spikes, wear faults and stalls (for soak testing)")
+	samples := fs.Int("samples", 600, "synthetic training samples")
+	classes := fs.Int("classes", 3, "classes")
+	dim := fs.Int("dim", 6, "input dimensionality")
+	hidden := fs.Int("hidden", 16, "hidden units")
+	epochs := fs.Int("epochs", 6, "in-situ training epochs before serving")
+	seed := fs.Int64("seed", 42, "dataset / probe / chaos seed")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the model to serve. DisableNoise keeps the served classes
+	// deterministic so journal replays and repeated curls agree.
+	data := dataset.Blobs(*samples, *classes, *dim, 0.1, *seed)
+	net, err := core.NewNetwork(
+		core.NetworkConfig{PE: core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true}, LearningRate: 0.08},
+		core.LayerSpec{In: *dim, Out: *hidden, Activate: true},
+		core.LayerSpec{In: *hidden, Out: *classes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training %d→%d→%d network: %d samples, %d epochs\n",
+		*dim, *hidden, *classes, *samples, *epochs)
+	for e := 0; e < *epochs; e++ {
+		for i := range data.Inputs {
+			if _, err := net.TrainSample(data.Inputs[i].Data(), data.Labels[i]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// SIGINT/SIGTERM start the graceful drain: the listener stops
+	// accepting, queued requests flush, and after -grace the batcher
+	// cancels whatever is still in flight.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	j := serve.NewJournal()
+	b := serve.NewBatcher(net.Graph, serve.Config{
+		MaxBatch: *batch, MaxWait: *wait, QueueCap: *queue,
+		Probe: serve.GraphHealth(net.Graph), Journal: j,
+	})
+	if *maint > 0 {
+		m, err := serve.NewMaintainer(net.Graph, b, j, serve.MaintainerConfig{
+			Seed:   *seed,
+			Policy: reliability.Policy{TimePerStep: 30 * units.Second, BISTRepeats: 1},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := m.Run(ctx, *maint); err != nil {
+				log.Printf("maintenance loop: %v", err)
+			}
+		}()
+	}
+	if *chaosOn {
+		chaos := serve.NewChaos(net.Graph, b, j, serve.ChaosConfig{Seed: *seed})
+		go chaos.Run(ctx)
+		fmt.Println("chaos injection ON: drift spikes, wear faults and stalls are live")
+	}
+
+	fmt.Printf("serving on http://%s  (batch ≤%d, window %v, queue %d, maintenance every %v)\n",
+		*addr, *batch, *wait, *queue, *maint)
+	fmt.Println("endpoints: POST /predict  GET /healthz  GET /readyz  GET /stats")
+	srv := serve.NewServer(b)
+	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil {
+		log.Fatal(err)
+	}
+
+	sn := b.Stats()
+	fmt.Printf("drained: served %d of %d submitted (%d rejected, %d expired), %d batches, p50 %.2fms p99 %.2fms\n",
+		sn.Served, sn.Submitted,
+		sn.RejectedQueueFull+sn.RejectedDeadline+sn.RejectedShutdown,
+		sn.DeadlineExpired, sn.Batches, sn.P50Ms, sn.P99Ms)
+	fmt.Printf("energy: %.3g J over %.3gs simulated (avg %.3g W), degraded=%v masked_rows=%d\n",
+		sn.Health.EnergyJ, sn.Health.SimElapsedS, sn.Health.AvgPowerW,
+		sn.Health.Degraded, sn.Health.MaskedRows)
+}

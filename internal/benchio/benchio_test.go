@@ -1,6 +1,7 @@
 package benchio
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -162,5 +163,95 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if len(back.Gates) != 2 || back.Gates[0].Speedup != rep.Gates[0].Speedup ||
 		back.Gates[1].Speedup != rep.Gates[1].Speedup {
 		t.Errorf("gates did not survive round trip: %+v", back.Gates)
+	}
+}
+
+// TestReadFileRejectsBadJSON pins the failure mode for damaged trajectory
+// files: malformed, truncated and empty files must all error (naming the
+// file), never come back as a zero-value report that would pass gating.
+func TestReadFileRejectsBadJSON(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"garbage.json":   "not json at all {",
+		"truncated.json": `{"schema":"trident-bench/3","results":[{"name":"B`,
+		"empty.json":     "",
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadFile(path)
+		if err == nil {
+			t.Errorf("%s: ReadFile accepted damaged JSON", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error %q does not name the file", name, err)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("ReadFile of a missing file must error")
+	}
+}
+
+// TestParseMalformedLines pins Parse's tolerance contract: short and
+// non-benchmark lines are skipped (the raw `go test` stream contains
+// them), but a benchmark line with an unparseable measurement is a hard
+// error — silently dropping it would un-gate the build.
+func TestParseMalformedLines(t *testing.T) {
+	tolerated := `goos: linux
+BenchmarkShort-8
+BenchmarkNoIter-8	notanumber	100 ns/op
+--- BENCH: BenchmarkVerbose-8
+BenchmarkReal-8	100	250 ns/op
+PASS
+`
+	results, err := Parse(strings.NewReader(tolerated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkReal" {
+		t.Fatalf("want only BenchmarkReal to survive, got %+v", results)
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBad-8\t100\tabc ns/op\n")); err == nil {
+		t.Error("unparseable measurement must be a hard error")
+	}
+	results, err = Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil || len(results) != 0 {
+		t.Errorf("benchmark-free stream: got %v, %v", results, err)
+	}
+}
+
+// TestGateBoundaries pins the two gate comparisons exactly at their
+// thresholds: a measured speedup equal to the requirement passes (the
+// gate is ≥, not >), and a host with exactly MinProcs CPUs binds the
+// parallel gate rather than waiving it.
+func TestGateBoundaries(t *testing.T) {
+	rep := &Report{Schema: Schema, Results: []Result{
+		{Name: "fast", NsPerOp: 100},
+		{Name: "ref", NsPerOp: 150},
+	}}
+	if err := rep.ApplyGate("fast", "ref", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if g := rep.Gates[0]; g.Speedup != 1.5 || !g.Passed {
+		t.Errorf("speedup exactly at the requirement must pass: %+v", g)
+	}
+
+	// procs == minProcs is the smallest host the gate binds on.
+	bind := &Report{Schema: Schema, Results: rep.Results, MaxProcs: 2}
+	if err := bind.ApplyParallelGate("ref", "fast", 1.5, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g := bind.Gates[0]; g.Waived || g.Passed {
+		t.Errorf("at exactly min_procs the gate must bind and this ratio must fail: %+v", g)
+	}
+	waive := &Report{Schema: Schema, Results: rep.Results, MaxProcs: 1}
+	if err := waive.ApplyParallelGate("ref", "fast", 1.5, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g := waive.Gates[0]; !g.Waived || !g.Passed {
+		t.Errorf("one CPU below min_procs must waive: %+v", g)
 	}
 }

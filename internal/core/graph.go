@@ -19,6 +19,7 @@ package core
 // or parallel, per-sample or batched.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -681,6 +682,18 @@ func (g *Graph) ForwardBatch(xs []float64, batch int) ([]float64, error) {
 // calling Forward once per sample. Serving-only: no training state is
 // saved, so a TrainSample must not rely on a preceding batched forward.
 func (g *Graph) ForwardBatchInto(dst, xs []float64, batch int) ([]float64, error) {
+	return g.ForwardBatchIntoCtx(context.Background(), dst, xs, batch)
+}
+
+// ForwardBatchIntoCtx is ForwardBatchInto with cancellation checkpoints
+// between node stages: when ctx is cancelled the walk stops before the next
+// node runs and the context's error is returned. A batch that completes is
+// bit-identical to an uncancelled one — cancellation never yields partial
+// output, it yields an error. This is the hook the serving front-end uses to
+// abort in-flight micro-batches on hard shutdown without tearing a bank
+// pass in half: checkpoints sit *between* hardware passes, so a cancelled
+// batch leaves every bank in a consistent state.
+func (g *Graph) ForwardBatchIntoCtx(ctx context.Context, dst, xs []float64, batch int) ([]float64, error) {
 	if !g.outputSet {
 		return nil, fmt.Errorf("core: graph output not set")
 	}
@@ -691,6 +704,9 @@ func (g *Graph) ForwardBatchInto(dst, xs []float64, batch int) ([]float64, error
 	}
 	g.nodes[0].batchVal = xs
 	for i := 1; i < len(g.nodes); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: batched forward cancelled before node %d: %w", i, err)
+		}
 		if err := g.forwardNodeBatch(g.nodes[i], batch); err != nil {
 			return nil, err
 		}
@@ -775,7 +791,13 @@ func (g *Graph) forwardNodeBatch(n *graphNode, batch int) error {
 // enough. The logits buffer is graph-owned scratch, so repeated serving
 // calls allocate nothing.
 func (g *Graph) PredictBatch(dst []int, xs []float64, batch int) ([]int, error) {
-	logits, err := g.ForwardBatchInto(g.batchLogits, xs, batch)
+	return g.PredictBatchCtx(context.Background(), dst, xs, batch)
+}
+
+// PredictBatchCtx is PredictBatch with the cancellation checkpoints of
+// ForwardBatchIntoCtx.
+func (g *Graph) PredictBatchCtx(ctx context.Context, dst []int, xs []float64, batch int) ([]int, error) {
+	logits, err := g.ForwardBatchIntoCtx(ctx, g.batchLogits, xs, batch)
 	if err != nil {
 		return nil, err
 	}
@@ -789,6 +811,32 @@ func (g *Graph) PredictBatch(dst []int, xs []float64, batch int) ([]int, error) 
 		dst[s] = argmax(logits[s*classes : (s+1)*classes])
 	}
 	return dst, nil
+}
+
+// InputSize returns the flat element count of the graph's input node.
+func (g *Graph) InputSize() int { return g.nodes[0].size }
+
+// OutputSize returns the flat element count of the output node (0 until
+// SetOutput has sealed the graph).
+func (g *Graph) OutputSize() int {
+	if !g.outputSet {
+		return 0
+	}
+	return g.nodes[g.output].size
+}
+
+// MaskedRowCount returns the number of retired physical bank rows across
+// the whole graph — the serving front-end's graceful-degradation signal.
+func (g *Graph) MaskedRowCount() int {
+	total := 0
+	for _, l := range g.layers {
+		for _, row := range l.tiles {
+			for _, pe := range row {
+				total += pe.Bank().MaskedRowCount()
+			}
+		}
+	}
+	return total
 }
 
 // Layers returns every hardware layer in construction order (dense layers

@@ -71,6 +71,16 @@ func (l *Ledger) Elapsed() units.Duration { return l.elapsed }
 // Energy returns the energy booked under one category.
 func (l *Ledger) Energy(cat EnergyCategory) units.Energy { return l.energy[cat] }
 
+// Breakdown returns a copy of the per-category energy map (safe for the
+// caller to hold after the ledger moves on).
+func (l *Ledger) Breakdown() map[EnergyCategory]units.Energy {
+	out := make(map[EnergyCategory]units.Energy, len(l.energy))
+	for cat, e := range l.energy {
+		out[cat] = e
+	}
+	return out
+}
+
 // TotalEnergy returns the energy summed over all categories.
 func (l *Ledger) TotalEnergy() units.Energy {
 	var t units.Energy

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"trident/internal/reliability"
@@ -34,6 +35,13 @@ func LifetimeConfig(seed int64) reliability.CampaignConfig {
 // accuracy. See internal/reliability for the machinery.
 func Lifetime(seed int64) (*reliability.CampaignResult, error) {
 	return reliability.RunCampaign(LifetimeConfig(seed))
+}
+
+// LifetimeCtx is Lifetime with cooperative cancellation: an interrupted
+// campaign stops at a sample boundary and returns a partial result with
+// Interrupted set (see reliability.RunCampaignCtx).
+func LifetimeCtx(ctx context.Context, seed int64) (*reliability.CampaignResult, error) {
+	return reliability.RunCampaignCtx(ctx, LifetimeConfig(seed))
 }
 
 // LifetimeTable renders a campaign's health-check timeline as the

@@ -1,6 +1,7 @@
 package reliability
 
 import (
+	"context"
 	"fmt"
 
 	"trident/internal/core"
@@ -117,6 +118,10 @@ type CampaignResult struct {
 	MaxCellWrites  uint64
 	MeanCellWrites float64
 	Timeline       []TimelineRow
+	// Interrupted reports that the campaign was cancelled mid-run (SIGINT
+	// on the CLI): the summary and detection scoring cover only the steps
+	// that actually executed.
+	Interrupted bool
 }
 
 // RunCampaign executes one lifetime campaign: warmup training to a healthy
@@ -125,6 +130,15 @@ type CampaignResult struct {
 // scoring. Deterministic for a fixed config, including under the parallel
 // tile engine.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return RunCampaignCtx(context.Background(), cfg)
+}
+
+// RunCampaignCtx is RunCampaign with cooperative cancellation: the context
+// is checked between training samples and between checks, so an interrupted
+// campaign stops at a sample boundary — never mid-write — runs its summary
+// and detection scoring over the completed prefix, and returns a partial
+// result with Interrupted set instead of an error.
+func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	cfg = cfg.withDefaults()
 	data := dataset.Blobs(cfg.Samples, cfg.Classes, cfg.Dim, cfg.Spread, cfg.Seed)
 	trainSet, testSet := data.Split(0.8)
@@ -166,6 +180,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		return float64(correct) / float64(testSet.Len()), nil
 	}
 	for e := 0; e < cfg.WarmupEpochs; e++ {
+		if ctx.Err() != nil {
+			break // partial warmup; supervise loop exits immediately below
+		}
 		if err := trainEpoch(); err != nil {
 			return nil, fmt.Errorf("reliability: warmup epoch %d: %w", e, err)
 		}
@@ -207,8 +224,13 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		result.FinalAccuracy = res.Accuracy
 		return nil
 	}
+supervise:
 	for e := 0; e < cfg.Epochs; e++ {
 		for i := range trainSet.Inputs {
+			if ctx.Err() != nil {
+				result.Interrupted = true
+				break supervise
+			}
 			if _, err := net.TrainSample(trainSet.Inputs[i].Data(), trainSet.Labels[i]); err != nil {
 				return nil, fmt.Errorf("reliability: campaign step %d: %w", steps, err)
 			}
@@ -220,7 +242,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 			}
 		}
 	}
-	if steps%checkEvery != 0 {
+	if steps%checkEvery != 0 && !result.Interrupted {
 		if err := check(); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package reliability
 
 import (
+	"context"
 	"fmt"
 
 	"trident/internal/core"
@@ -92,6 +93,18 @@ type CheckResult struct {
 	Rotated bool
 }
 
+// Gate is the drain/permit protocol between the scheduler and a serving
+// front-end: Acquire blocks until no micro-batch is in flight and no new one
+// can start, then returns a release function. While the permit is held the
+// scheduler owns the banks exclusively — BIST park-and-probe passes, refresh
+// pulses, row-map rotation and masking never race an MVM. The serving
+// batcher implements this (serve.Batcher); a nil gate means the caller
+// already guarantees exclusivity (the training campaign calls Check between
+// samples).
+type Gate interface {
+	Acquire(ctx context.Context) (release func(), err error)
+}
+
 // Scheduler drives periodic health checks over one network. The validation
 // probe and the healing routine are injected: the scheduler decides *when*
 // to remediate, the campaign owns the data.
@@ -101,6 +114,7 @@ type Scheduler struct {
 	baseline float64
 	eval     func() (float64, error)
 	heal     func(epochs int) error
+	gate     Gate
 
 	seen     map[suspectKey]Suspect
 	order    []Suspect // insertion-ordered view of seen
@@ -130,6 +144,10 @@ func NewScheduler(net *core.Graph, policy Policy, baseline float64,
 		seen:     make(map[suspectKey]Suspect),
 	}, nil
 }
+
+// SetGate installs the drain/permit gate Check acquires before touching the
+// banks. Install it before the first Check; passing nil removes the gate.
+func (s *Scheduler) SetGate(g Gate) { s.gate = g }
 
 // Baseline returns the accuracy target the scheduler defends.
 func (s *Scheduler) Baseline() float64 { return s.baseline }
@@ -210,10 +228,19 @@ func (s *Scheduler) belowTarget(acc float64) bool {
 
 // Check runs one full health check at the given training step: drift aging,
 // self-test, drift refresh, periodic wear-leveling, then accuracy-driven
-// healing and (if healing alone cannot recover) row masking followed by one
-// more healing round. It is meant to be called from the training loop
-// between samples — never concurrently with a pass.
+// healing and (if healing alone cannot recover, or no healing routine is
+// installed) row masking. It must not run concurrently with a pass: the
+// training campaign calls it between samples, and a serving front-end
+// installs a Gate (SetGate) so the check drains in-flight micro-batches
+// first and holds new ones back until the banks are consistent again.
 func (s *Scheduler) Check(step int) (CheckResult, error) {
+	if s.gate != nil {
+		release, err := s.gate.Acquire(context.Background())
+		if err != nil {
+			return CheckResult{Step: step}, fmt.Errorf("reliability: maintenance permit: %w", err)
+		}
+		defer release()
+	}
 	p := s.policy
 	res := CheckResult{Step: step, SimTime: units.Duration(float64(step)) * p.TimePerStep}
 	if p.TimePerStep > 0 && step > s.lastStep {
@@ -237,25 +264,32 @@ func (s *Scheduler) Check(step int) (CheckResult, error) {
 	if err != nil {
 		return res, err
 	}
-	if s.heal != nil && s.belowTarget(acc) {
-		if err := s.heal(p.HealEpochs); err != nil {
-			return res, err
+	if s.belowTarget(acc) {
+		if s.heal != nil {
+			if err := s.heal(p.HealEpochs); err != nil {
+				return res, err
+			}
+			s.heals++
+			res.Healed = true
+			if acc, err = s.eval(); err != nil {
+				return res, err
+			}
 		}
-		s.heals++
-		res.Healed = true
-		if acc, err = s.eval(); err != nil {
-			return res, err
-		}
+		// Healing alone did not recover (or a serving deployment has no
+		// training data to heal with): retire rows the post-refresh self-test
+		// still finds stuck and keep serving degraded rather than going dark.
 		if s.belowTarget(acc) {
 			masked, err := s.maskDeadRows()
 			if err != nil {
 				return res, err
 			}
 			if masked > 0 {
-				if err := s.heal(p.HealEpochs); err != nil {
-					return res, err
+				if s.heal != nil {
+					if err := s.heal(p.HealEpochs); err != nil {
+						return res, err
+					}
+					s.heals++
 				}
-				s.heals++
 				if acc, err = s.eval(); err != nil {
 					return res, err
 				}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"time"
+)
+
+// Server is the HTTP front-end over a Batcher: POST /predict plus the
+// operational surface (/healthz, /readyz, /stats). It maps the batcher's
+// typed outcomes onto HTTP semantics:
+//
+//	ErrBadInput                         → 400
+//	ErrQueueFull (backpressure)         → 429 + Retry-After
+//	ErrShuttingDown                     → 503
+//	ErrDeadline / context deadline      → 504
+type Server struct {
+	b   *Batcher
+	mux *http.ServeMux
+}
+
+// NewServer wraps b in the HTTP front-end.
+func NewServer(b *Batcher) *Server {
+	s := &Server{b: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// PredictRequest is the /predict request body.
+type PredictRequest struct {
+	// Input is one feature vector of the model's input width.
+	Input []float64 `json:"input"`
+	// DeadlineMs, when positive, bounds the end-to-end budget; the server
+	// derives a context deadline and admission control enforces it.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+}
+
+// PredictResponse is the /predict success body.
+type PredictResponse struct {
+	Class int `json:"class"`
+	// Degraded mirrors the health snapshot: true once BIST has masked
+	// rows or faults are present, so callers can see they were served by
+	// degraded hardware.
+	Degraded bool `json:"degraded"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs*float64(time.Millisecond)))
+		defer cancel()
+	}
+	class, err := s.b.Submit(ctx, req.Input)
+	if err != nil {
+		status := httpStatus(err)
+		if status == http.StatusTooManyRequests {
+			secs := int(math.Ceil(s.b.EstimateWait().Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", itoa(secs))
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Class: class, Degraded: s.b.Health().Degraded})
+}
+
+// httpStatus maps a Submit error onto its HTTP status.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// handleHealthz is liveness: 200 while the process runs, even degraded.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while draining, otherwise 200 with the
+// degradation state — "degraded" keeps serving (masked rows still
+// classify) but tells the balancer the hardware took damage.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.b.Accepting() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	status := "ready"
+	if s.b.Health().Degraded {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.Stats())
+}
+
+// ListenAndServe runs the HTTP server until ctx cancels (SIGINT/SIGTERM
+// via signal.NotifyContext), then drains: the listener stops accepting,
+// in-flight connections finish within grace, and the batcher flushes its
+// queue — past grace, the in-flight batch hard-cancels at the next node
+// checkpoint. Every admitted request still gets exactly one outcome.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err // listener failed to start
+	case <-ctx.Done():
+	}
+	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(graceCtx)
+	if berr := s.b.Shutdown(graceCtx); err == nil {
+		err = berr
+	}
+	if err != nil {
+		srv.Close() //nolint:errcheck // grace expired; force-close stragglers
+	}
+	<-errc // ListenAndServe's ErrServerClosed
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return err
+}
