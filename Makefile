@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-fmt tier2 tier2-reliability bench bench-all bench-profile all
+.PHONY: tier1 tier1-fmt tier2 tier2-reliability bench bench-all bench-profile clean all
 
 all: tier1
 
@@ -36,21 +36,23 @@ tier2-reliability:
 	$(GO) test -run '^$$' -fuzz '^FuzzCellProgram$$' -fuzztime 10s ./internal/pcm/
 
 # Benchmark trajectory: the kernel/batch/recompilation microbenchmarks, the
-# two regenerating-table benchmarks, and the serving throughput pair,
-# BENCH_COUNT repetitions with allocation reporting, parsed into the
-# machine-readable trajectory file (BENCH_OUT, default BENCH_PR7.json).
-# cmd/benchjson exits non-zero unless the factored kernel holds ≥2× over the
-# reference triple loop on the 64×64 bank, the compiled batch kernel ≥1.5×
-# over the factored kernel on the 256×256 batched MVM, the incremental
-# dirty-row recompile ≥5× over a full snapshot rebuild on the 256×256 bank,
-# the pool-parallel batch GEMM ≥1.5× over the single-threaded batch on the
-# 256×256 bank (recorded but waived on single-CPU hosts, where no parallel
-# speedup is physically available — multi-core CI enforces it), and the
-# micro-batching serve front-end ≥1.2× requests/second over single-request
-# dispatch.
-BENCH_OUT ?= BENCH_PR7.json
+# training pair, the two regenerating-table benchmarks, and the serving
+# throughput pair, BENCH_COUNT repetitions with allocation reporting, parsed
+# into the machine-readable trajectory file (BENCH_OUT, default
+# BENCH_PR8.json). cmd/benchjson exits non-zero unless the factored kernel
+# holds ≥2× over the reference triple loop on the 64×64 bank, the compiled
+# batch kernel ≥1.5× over the factored kernel on the 256×256 batched MVM,
+# the incremental dirty-row recompile ≥5× over a full snapshot rebuild on
+# the 256×256 bank, the pool-parallel batch GEMM ≥1.5× over the
+# single-threaded batch on the 256×256 bank (recorded but waived on
+# single-CPU hosts, where no parallel speedup is physically available —
+# multi-core CI enforces it), the micro-batching serve front-end ≥1.2×
+# requests/second over single-request dispatch, and batched in-situ training
+# ≥2× per-sample throughput over the sequential TrainSample schedule on the
+# 256×256 layer.
+BENCH_OUT ?= BENCH_PR8.json
 BENCH_COUNT ?= 6
-BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMCompiled|BenchmarkBankMVMFactored|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankMVMBatchFactored|BenchmarkBankMVMBatchParallel|BenchmarkBankRecompileFull|BenchmarkBankRecompileIncremental|BenchmarkBankProgram|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond|BenchmarkServeBatcher|BenchmarkServeUnbatched)$$
+BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMCompiled|BenchmarkBankMVMFactored|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankMVMBatchFactored|BenchmarkBankMVMBatchParallel|BenchmarkBankRecompileFull|BenchmarkBankRecompileIncremental|BenchmarkBankProgram|BenchmarkTrainStep|BenchmarkTrainBatch|BenchmarkTransposeCompiled|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond|BenchmarkServeBatcher|BenchmarkServeUnbatched)$$
 
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . > bench.out
@@ -69,3 +71,8 @@ bench-profile:
 # file.
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Remove benchmark/profiling byproducts (the tracked BENCH_*.json
+# trajectories are left alone).
+clean:
+	rm -f cpu.pprof mem.pprof bench-profile.json bench.out

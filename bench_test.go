@@ -247,6 +247,93 @@ func BenchmarkGSTProgram(b *testing.B) {
 	}
 }
 
+// trainBenchBatch is the minibatch size of the training-throughput pair:
+// both benchmarks process exactly trainBenchBatch samples per op, so their
+// ns/op ratio is a per-sample speedup.
+const trainBenchBatch = 32
+
+// trainBenchNet builds the 256→256→classes training benchmark network on
+// 32×32 banks — an 8×8 tile grid on the wide layer, the geometry the ≥2×
+// batched-training gate is measured on.
+func trainBenchNet(b *testing.B) *core.Network {
+	b.Helper()
+	net, err := core.NewNetwork(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 32, Cols: 32, DisableNoise: true},
+		LearningRate: 0.05,
+	},
+		core.LayerSpec{In: 256, Out: 256, Activate: true},
+		core.LayerSpec{In: 256, Out: 3},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkTrainStep times trainBenchBatch sequential TrainSample steps per
+// op on the 256×256 layer — the per-sample schedule in which every step
+// pays forward, backward AND the post-update bank reprogram. The reference
+// side of the ≥2× batched-training gate.
+func BenchmarkTrainStep(b *testing.B) {
+	b.Run("256x256", func(b *testing.B) {
+		net := trainBenchNet(b)
+		xs := benchInput(trainBenchBatch*256, 5)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < trainBenchBatch; s++ {
+				if _, err := net.TrainSample(xs[s*256:(s+1)*256], s%3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*trainBenchBatch/b.Elapsed().Seconds(), "samples/sec")
+	})
+}
+
+// BenchmarkTrainBatch times one TrainBatch minibatch of the same
+// trainBenchBatch samples per op: one batched forward on resident weights,
+// reprogram-free batched transpose GEMMs, one blocked ΔHᵀ·X contraction and
+// one weight update per layer. The fast side of the ≥2× gate.
+func BenchmarkTrainBatch(b *testing.B) {
+	b.Run("256x256", func(b *testing.B) {
+		net := trainBenchNet(b)
+		xs := benchInput(trainBenchBatch*256, 5)
+		labels := make([]int, trainBenchBatch)
+		for s := range labels {
+			labels[s] = s % 3
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.TrainBatch(xs, labels); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*trainBenchBatch/b.Elapsed().Seconds(), "samples/sec")
+	})
+}
+
+// BenchmarkTransposeCompiled times the compiled transpose GEMV — the Wᵀ·δ
+// backward pass served from the shared snapshot's transpose view with zero
+// bank reprogramming — across the bank-geometry sweep.
+func BenchmarkTransposeCompiled(b *testing.B) {
+	for _, size := range bankSizes {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			bank := benchBank(b, size)
+			bank.EnsureTransposeCompiled()
+			delta := benchInput(size, 11)
+			dst := make([]float64, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bank.TransposeMVM(dst, delta)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+}
+
 // BenchmarkDataflowMapResNet50 times a full weight-stationary mapping of
 // ResNet-50 onto the 44-PE array.
 func BenchmarkDataflowMapResNet50(b *testing.B) {

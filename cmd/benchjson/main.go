@@ -42,16 +42,21 @@ type gateSpec struct {
 	minProcs  int
 }
 
-// defaultGates are the PR 7 trajectory requirements. The serve gate compares
+// defaultGates are the PR 8 trajectory requirements. The serve gate compares
 // ns/op of the two serving benchmarks, which is exactly inverse requests per
 // second: batching must buy at least 1.2× throughput over one-at-a-time
-// dispatch through the same batcher machinery.
+// dispatch through the same batcher machinery. The training gate compares
+// the two training benchmarks, each of which processes the same 32 samples
+// per op: one TrainBatch minibatch must beat 32 sequential TrainSample
+// steps (which reprogram the banks after every sample) by at least 2× on
+// the 256×256 layer.
 var defaultGates = []gateSpec{
 	{fast: "BenchmarkBankMVMFactored/64x64", ref: "BenchmarkBankMVMReference/64x64", min: 2},
 	{fast: "BenchmarkBankMVMBatch/256x256", ref: "BenchmarkBankMVMBatchFactored/256x256", min: 1.5},
 	{fast: "BenchmarkBankRecompileIncremental/256x256", ref: "BenchmarkBankRecompileFull/256x256", min: 5},
 	{fast: "BenchmarkBankMVMBatchParallel/256x256", ref: "BenchmarkBankMVMBatch/256x256", min: 1.5, minProcs: 2},
 	{fast: "BenchmarkServeBatcher", ref: "BenchmarkServeUnbatched", min: 1.2},
+	{fast: "BenchmarkTrainBatch/256x256", ref: "BenchmarkTrainStep/256x256", min: 2},
 }
 
 // gateFlags collects repeated -gate/-pgate values.

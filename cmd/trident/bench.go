@@ -2,15 +2,17 @@ package main
 
 // The bench subcommand: the in-process twin of `make bench`. It runs the
 // compiled-, factored- and reference-kernel, batched-path, recompilation and
-// bank-programming microbenchmarks, two regenerating-table benchmarks, and
-// the serving-throughput pair through testing.Benchmark, prints a summary
-// table, writes the same BENCH_PR7.json trajectory schema as cmd/benchjson,
-// and enforces the same speedup gates (factored ≥2× reference on 64×64;
-// compiled batch ≥1.5× factored batch on 256×256; incremental recompile ≥5×
-// full recompile on 256×256; pool-parallel batch ≥1.5× single-threaded batch
-// on 256×256, waived on hosts with a single CPU; micro-batching serve ≥1.2×
-// single-request dispatch in req/sec) — so a deployment host without the
-// test tree can still measure and gate the hot paths. -cpuprofile /
+// bank-programming microbenchmarks, the compiled-transpose and training
+// benchmarks, two regenerating-table benchmarks, and the serving-throughput
+// pair through testing.Benchmark, prints a summary table, writes the same
+// BENCH_PR8.json trajectory schema as cmd/benchjson, and enforces the same
+// speedup gates (factored ≥2× reference on 64×64; compiled batch ≥1.5×
+// factored batch on 256×256; incremental recompile ≥5× full recompile on
+// 256×256; pool-parallel batch ≥1.5× single-threaded batch on 256×256,
+// waived on hosts with a single CPU; micro-batching serve ≥1.2×
+// single-request dispatch in req/sec; batched training ≥2× the sequential
+// per-sample schedule on the 256×256 layer) — so a deployment host without
+// the test tree can still measure and gate the hot paths. -cpuprofile /
 // -memprofile capture pprof profiles of the benchmark run for
 // `go tool pprof`. SIGINT/SIGTERM stop the run at a benchmark boundary: the
 // partial trajectory is still written (gates skipped) instead of the run
@@ -46,12 +48,13 @@ var benchBankSizes = []int{16, 64, 256}
 
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR7.json", "trajectory file to write")
+	out := fs.String("o", "BENCH_PR8.json", "trajectory file to write")
 	min := fs.Float64("min", 2, "required factored/reference speedup on the 64×64 bank (0 disables the gate)")
 	minBatch := fs.Float64("min-batch", 1.5, "required compiled/factored batch speedup on the 256×256 bank (0 disables the gate)")
 	minRecompile := fs.Float64("min-recompile", 5, "required incremental/full recompile speedup on the 256×256 bank (0 disables the gate)")
 	minParallel := fs.Float64("min-parallel", 1.5, "required parallel/single-threaded batch speedup on the 256×256 bank, waived below 2 CPUs (0 disables the gate)")
 	minServe := fs.Float64("min-serve", 1.2, "required micro-batched/unbatched serving throughput ratio (0 disables the gate)")
+	minTrain := fs.Float64("min-train", 2, "required batched/per-sample training speedup on the 256×256 layer (0 disables the gate)")
 	batch := fs.Int("batch", 32, "batch size for the batched-path benchmarks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the benchmark run to this file")
@@ -181,6 +184,30 @@ func cmdBench(args []string) {
 			}
 		})
 	}
+	// The compiled-transpose backward kernel: Wᵀ·δ from the shared
+	// snapshot's transpose view, zero bank reprogramming.
+	for _, size := range benchBankSizes {
+		size := size
+		bank := newBenchBank(size)
+		bank.EnsureTransposeCompiled()
+		delta := benchVector(size, 11)
+		tdst := make([]float64, size)
+		add(fmt.Sprintf("BenchmarkTransposeCompiled/%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tdst = bank.TransposeMVM(tdst, delta)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "MVMs/sec")
+		})
+	}
+	// The training pair: both process the same 32 samples per op, so their
+	// ns/op ratio is the per-sample speedup of minibatch training.
+	add("BenchmarkTrainStep/256x256", func(b *testing.B) {
+		benchTrainStep(b, false)
+	})
+	add("BenchmarkTrainBatch/256x256", func(b *testing.B) {
+		benchTrainStep(b, true)
+	})
 	// Regenerating-table benchmarks: the paper artifacts the trajectory
 	// tracks alongside the kernels.
 	add("BenchmarkTableIII_PowerBreakdown", func(b *testing.B) {
@@ -237,7 +264,7 @@ func cmdBench(args []string) {
 	// reference benchmarks may be missing.
 	interrupted := ctx.Err() != nil
 	if interrupted {
-		*min, *minBatch, *minRecompile, *minParallel, *minServe = 0, 0, 0, 0, 0
+		*min, *minBatch, *minRecompile, *minParallel, *minServe, *minTrain = 0, 0, 0, 0, 0, 0
 	}
 	if *min > 0 {
 		if err := rep.ApplyGate("BenchmarkBankMVMFactored/64x64", "BenchmarkBankMVMReference/64x64", *min); err != nil {
@@ -262,6 +289,11 @@ func cmdBench(args []string) {
 	}
 	if *minServe > 0 {
 		if err := rep.ApplyGate("BenchmarkServeBatcher", "BenchmarkServeUnbatched", *minServe); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *minTrain > 0 {
+		if err := rep.ApplyGate("BenchmarkTrainBatch/256x256", "BenchmarkTrainStep/256x256", *minTrain); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -293,6 +325,45 @@ func cmdBench(args []string) {
 	if !rep.GatesPassed() {
 		log.Fatal("speedup gate FAILED")
 	}
+}
+
+// benchTrainStep drives 32 training samples per op through the 256→256→3
+// benchmark network on 32×32 banks: batched=false pays the sequential
+// TrainSample schedule (forward, backward and a bank reprogram per sample),
+// batched=true runs them as one TrainBatch minibatch on resident weights.
+func benchTrainStep(b *testing.B, batched bool) {
+	const batch, dim = 32, 256
+	net, err := core.NewNetwork(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 32, Cols: 32, DisableNoise: true},
+		LearningRate: 0.05,
+	},
+		core.LayerSpec{In: dim, Out: dim, Activate: true},
+		core.LayerSpec{In: dim, Out: 3},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := benchVector(batch*dim, 5)
+	labels := make([]int, batch)
+	for s := range labels {
+		labels[s] = s % 3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			if _, err := net.TrainBatch(xs, labels); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for s := 0; s < batch; s++ {
+				if _, err := net.TrainSample(xs[s*dim:(s+1)*dim], labels[s]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "samples/sec")
 }
 
 // newBenchBank builds a programmed size×size PCM bank on the extended

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	trident infer  [-model VGG-16] [-accel Trident] [-batch 32] [-layers]
-//	trident train  [-model mlp|branched] [-samples 600] [-hidden 16] [-epochs 10] [-noise] [-lifetime]
+//	trident train  [-model mlp|branched] [-samples 600] [-hidden 16] [-epochs 10] [-batch 1] [-noise] [-lifetime]
 //	trident serve  [-addr localhost:8089] [-batch 16] [-wait 2ms] [-queue 64] [-maint 30s] [-chaos]
 //	trident sweep  [-model ResNet-50]
 //	trident bench  [-o BENCH_PR7.json] [-min 2] [-min-batch 1.5] [-min-recompile 5] [-min-parallel 1.5] [-min-serve 1.2] [-batch 32] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -153,6 +153,7 @@ func cmdTrain(args []string) {
 	seed := fs.Int64("seed", 42, "dataset seed")
 	lifetime := fs.Bool("lifetime", false, "run the lifetime wear-out campaign instead of plain training")
 	model := fs.String("model", "mlp", "architecture: mlp (dense stack) or branched (residual+concat mini-model)")
+	batch := fs.Int("batch", 1, "minibatch size (mlp only): >1 trains via the batched reprogram-free backward path")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
 	}
@@ -179,9 +180,17 @@ func cmdTrain(args []string) {
 		log.Fatalf("unknown -model %q (want mlp or branched)", *model)
 	}
 	data := dataset.Blobs(*samples, *classes, *dim, 0.1, *seed)
-	fmt.Printf("in-situ training: %d samples, %d classes, %d→%d→%d network, %d epochs\n",
+	fmt.Printf("in-situ training: %d samples, %d classes, %d→%d→%d network, %d epochs",
 		*samples, *classes, *dim, *hidden, *classes, *epochs)
-	res, err := train.RunInSitu(data, *hidden, *epochs, *lr, *noise)
+	var res *train.InSituResult
+	var err error
+	if *batch > 1 {
+		fmt.Printf(", batch %d\n", *batch)
+		res, err = train.RunInSituBatched(data, *hidden, *epochs, *lr, *batch, *noise)
+	} else {
+		fmt.Println()
+		res, err = train.RunInSitu(data, *hidden, *epochs, *lr, *noise)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -252,48 +252,42 @@ func (l *DenseLayer) streamMVM(patches []float64, pixels int, pre []float64) err
 	return nil
 }
 
-// streamOuterProduct accumulates the per-pixel rank-1 weight-gradient passes
-// of the convolution backward into grad: for every active pixel, each tile
-// programs its slice of the patch column as the broadcast operand and feeds
-// its slice of δh (Table II, third column), adding the resulting rows into
-// its disjoint block of grad. deltaH is (Out × pixels) pixel-minor. Tiles
-// write disjoint gradient blocks, so no merge step is needed and the
-// per-cell accumulation order equals the serial pixel order.
+// gradRowBlock is the kernel-row granularity of the digital weight-gradient
+// GEMMs: each worker owns whole row blocks, so every gradient cell is
+// accumulated by exactly one goroutine in ascending pixel/sample order —
+// bit-identical at any worker count.
+const gradRowBlock = 16
+
+// streamOuterProduct accumulates the convolution kernel gradient
+// δK[j][i] += Σ_p δh[j,p]·patch[i,p] over the active pixels, in the digital
+// control unit: δh and the im2col patches are electronic values the
+// pipeline already holds, so the contraction is a blocked digital GEMM —
+// no broadcast programming, no bank writes, no optical passes. Kernel rows
+// shard across the worker pool in fixed blocks; each row accumulates its
+// pixels in ascending order, so the result is worker-count independent. The
+// contraction adds into grad (callers zero it via gradScratch), which lets
+// the batched trainer accumulate samples by calling it once per sample.
 func (l *DenseLayer) streamOuterProduct(patches []float64, deltaH []float64, active []bool, pixels int, grad [][]float64) error {
-	err := runTiles(len(l.tiles), len(l.tiles[0]), func(r, c int) error {
-		pe := l.tiles[r][c]
-		j0 := r * l.rows
-		j1 := min(j0+l.rows, l.spec.Out)
-		i0 := c * l.cols
-		i1 := min(i0+l.cols, l.spec.In)
+	out, in := l.spec.Out, l.spec.In
+	blocks := (out + gradRowBlock - 1) / gradRowBlock
+	RunIndexed(blocks, func(bi int) {
+		j0 := bi * gradRowBlock
+		j1 := min(j0+gradRowBlock, out)
 		for j := j0; j < j1; j++ {
-			pe.opRows[j-j0] = grad[j][i0:i1]
-		}
-		dh := pe.dhBuf[:j1-j0]
-		col := pe.colBuf[:i1-i0]
-		for p := 0; p < pixels; p++ {
-			if !active[p] {
-				continue
-			}
-			for k := i0; k < i1; k++ {
-				col[k-i0] = patches[k*pixels+p]
-			}
-			for j := j0; j < j1; j++ {
-				dh[j-j0] = deltaH[j*pixels+p]
-			}
-			if err := pe.ProgramBroadcast(col); err != nil {
-				return err
-			}
-			if err := pe.outerProductInto(pe.opRows[:j1-j0], dh, col, true); err != nil {
-				return err
+			row := grad[j][:in]
+			dh := deltaH[j*pixels : (j+1)*pixels]
+			for i := 0; i < in; i++ {
+				pr := patches[i*pixels : (i+1)*pixels]
+				acc := row[i]
+				for p, d := range dh {
+					if d != 0 && active[p] {
+						acc += d * pr[p]
+					}
+				}
+				row[i] = acc
 			}
 		}
-		return nil
 	})
-	if err != nil {
-		return err
-	}
-	l.state = bankBroadcast
 	return nil
 }
 

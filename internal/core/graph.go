@@ -20,6 +20,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -28,6 +29,14 @@ import (
 	"trident/internal/tensor"
 	"trident/internal/units"
 )
+
+// ErrStaleTrainState is returned by the backward pass when the per-sample
+// training state (layer lastX/derivs, conv patches/pre) was overwritten by
+// a batched forward since the last per-sample Forward. The batch paths
+// share those buffers, so gradients computed from them would silently mix
+// stale activations; run Forward (or TrainSample, which always re-runs it)
+// before backpropagating.
+var ErrStaleTrainState = errors.New("core: per-sample training state overwritten by a batched forward; run Forward again before backward")
 
 // NodeID names a node in an execution graph.
 type NodeID int
@@ -73,6 +82,15 @@ type graphNode struct {
 
 	// Batched-serving scratch, sample-major.
 	batchVal []float64
+
+	// Batched-training state and scratch (TrainBatch), all sample-major.
+	batchDerivs  []float64 // dense: batch×Out LDSU-latched derivatives
+	batchPatches []float64 // conv: batch×(In·pixels) im2col slabs
+	batchPre     []float64 // conv: batch×(Out·pixels) pre-activations
+	batchActive  []bool    // conv: batch×pixels active-pixel masks
+	batchGrad    []float64 // batch×size upstream gradient slab
+	batchDeltaH  []float64 // gated delta slab (Out dense, OutC·pixels conv)
+	batchDIn     []float64 // batch×(producer size) input-gradient slab
 }
 
 // Graph is a hardware-mapped execution DAG: node 0 is the input, layer
@@ -90,6 +108,15 @@ type Graph struct {
 
 	// Batched-serving scratch (see PredictBatch), reused across calls.
 	batchLogits []float64
+
+	// trainFwdValid marks the per-sample training state as coherent with
+	// the most recent forward walk. Batched forwards (serving and
+	// TrainBatch) overwrite the shared per-sample buffers, so backward
+	// refuses to run until a fresh Forward (ErrStaleTrainState).
+	trainFwdValid bool
+
+	// Batched-training scratch (see TrainBatch), reused across calls.
+	batchDelta []float64
 }
 
 // NewGraph starts a graph whose input is a flat vector ([n]) or a CHW
@@ -337,6 +364,7 @@ func (g *Graph) Forward(x []float64) ([]float64, error) {
 			return nil, err
 		}
 	}
+	g.trainFwdValid = true
 	return g.nodes[g.output].val, nil
 }
 
@@ -441,6 +469,9 @@ func (g *Graph) TrainSample(x []float64, label int) (float64, error) {
 // the hardware transpose and outer-product passes, and applying the
 // weight update. Join and pool nodes route gradients digitally.
 func (g *Graph) backward(delta []float64) error {
+	if !g.trainFwdValid {
+		return ErrStaleTrainState
+	}
 	for _, n := range g.nodes {
 		n.gradSet = false
 	}
@@ -580,71 +611,6 @@ func (g *Graph) backwardConv(n *graphNode) error {
 	return nil
 }
 
-// streamTransposeCol2im runs a conv node's per-pixel gradient-vector
-// passes (banks holding Kᵀ) with one transpose tile per worker: each tile
-// walks every active pixel in order — preserving its PE's serial noise and
-// energy sequence — computing its rows of the patch gradient and
-// scattering them via col2im into a per-tile input-gradient buffer. The
-// buffers merge into dst in fixed tile order afterwards, so the result is
-// independent of how many workers ran the passes.
-func streamTransposeCol2im(l *DenseLayer, s tensor.Conv2DSpec, deltaH []float64, active []bool, partBuf *[][]float64, dst *tensor.Tensor) error {
-	pixels := s.OutH() * s.OutW()
-	if l.state != bankTranspose {
-		if err := l.programTranspose(); err != nil {
-			return err
-		}
-	}
-	rt := (l.spec.In + l.rows - 1) / l.rows
-	ct := (l.spec.Out + l.cols - 1) / l.cols
-	n := dst.Len()
-	dInPart := *partBuf
-	if dInPart == nil || len(dInPart) < rt*ct || len(dInPart[0]) < n {
-		flat := make([]float64, rt*ct*n)
-		dInPart = make([][]float64, rt*ct)
-		for t := range dInPart {
-			dInPart[t] = flat[t*n : (t+1)*n]
-		}
-		*partBuf = dInPart
-	}
-	if err := runTiles(rt, ct, func(r, c int) error {
-		pe := l.tiles[c][r]
-		j0 := r * l.rows
-		j1 := min(j0+l.rows, l.spec.In)
-		i0 := c * l.cols
-		i1 := min(i0+l.cols, l.spec.Out)
-		buf := dInPart[r*ct+c][:n]
-		for i := range buf {
-			buf[i] = 0
-		}
-		dh := pe.colBuf[:i1-i0]
-		for p := 0; p < pixels; p++ {
-			if !active[p] {
-				continue
-			}
-			for k := i0; k < i1; k++ {
-				dh[k-i0] = deltaH[k*pixels+p]
-			}
-			part, err := pe.MVMPassInto(l.part[r*ct+c], dh)
-			if err != nil {
-				return err
-			}
-			col2imAddRows(buf, part[:j1-j0], j0, s, p)
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	out := dst.Data()
-	for t := 0; t < rt*ct; t++ {
-		for i, v := range dInPart[t][:n] {
-			if v != 0 {
-				out[i] += v
-			}
-		}
-	}
-	return nil
-}
-
 // col2imAddRows scatters rows [j0, j0+len(rows)) of one pixel's patch
 // gradient back onto the flat input map.
 func col2imAddRows(dst []float64, rows []float64, j0 int, s tensor.Conv2DSpec, pixel int) {
@@ -680,7 +646,11 @@ func (g *Graph) ForwardBatch(xs []float64, batch int) ([]float64, error) {
 // before the next node starts, each tile seeing its samples in batch
 // order, so outputs, noise streams and ledgers are bit-identical to
 // calling Forward once per sample. Serving-only: no training state is
-// saved, so a TrainSample must not rely on a preceding batched forward.
+// saved — and the conv nodes' shared patch/pre buffers are overwritten —
+// so the graph marks its per-sample training state stale and a subsequent
+// backward (without a fresh Forward) fails with ErrStaleTrainState rather
+// than silently training on mixed activations. TrainSample always re-runs
+// Forward, so it is safe after any batched call.
 func (g *Graph) ForwardBatchInto(dst, xs []float64, batch int) ([]float64, error) {
 	return g.ForwardBatchIntoCtx(context.Background(), dst, xs, batch)
 }
@@ -703,6 +673,7 @@ func (g *Graph) ForwardBatchIntoCtx(ctx context.Context, dst, xs []float64, batc
 			batch, in, batch*in, len(xs))
 	}
 	g.nodes[0].batchVal = xs
+	g.trainFwdValid = false
 	for i := 1; i < len(g.nodes); i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: batched forward cancelled before node %d: %w", i, err)

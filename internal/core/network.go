@@ -305,71 +305,36 @@ func (l *DenseLayer) Forward(x []float64) ([]float64, error) {
 	return y, nil
 }
 
-// TransposeMVMInto computes Wᵀ·δ on hardware (the gradient-vector pass
-// before the Hadamard product), writing into a caller-owned buffer, with
-// the tile passes fanned out like MVMInto (transposed grid).
+// TransposeMVMInto computes Wᵀ·δ (the gradient-vector pass before the
+// Hadamard product), writing into a caller-owned buffer. The production
+// build serves it from the forward-resident banks' compiled transpose
+// views — no reprogramming, no endurance writes; -tags=reprogtranspose
+// swaps in the historical rung that physically writes Wᵀ first
+// (transpose.go).
 func (l *DenseLayer) TransposeMVMInto(dst, delta []float64) ([]float64, error) {
 	if len(delta) != l.spec.Out {
 		return nil, fmt.Errorf("core: layer delta %d, want %d", len(delta), l.spec.Out)
 	}
-	if l.state != bankTranspose {
-		if err := l.programTranspose(); err != nil {
-			return nil, err
-		}
-	}
-	rt := (l.spec.In + l.rows - 1) / l.rows
-	ct := (l.spec.Out + l.cols - 1) / l.cols
-	if err := runTiles(rt, ct, func(r, c int) error {
-		i0 := c * l.cols
-		i1 := min(i0+l.cols, l.spec.Out)
-		_, err := l.tiles[c][r].MVMPassInto(l.part[r*ct+c], delta[i0:i1])
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	out := growFloats(dst, l.spec.In)
-	for j := range out {
-		out[j] = 0
-	}
-	for r := 0; r < rt; r++ {
-		j0 := r * l.rows
-		j1 := min(j0+l.rows, l.spec.In)
-		for c := 0; c < ct; c++ {
-			part := l.part[r*ct+c]
-			for j := j0; j < j1; j++ {
-				out[j] += part[j-j0]
-			}
-		}
-	}
-	return out, nil
+	return l.transposeKernel(dst, delta)
 }
 
-// OuterProductInto computes δW = δh·yᵀ on hardware into caller-owned
-// gradient rows: each tile programs its broadcast y slice, feeds its δh
-// slice (Table II, third column) and runs its pass concurrently; tiles
-// write disjoint blocks of grad, so no merge step is needed.
+// OuterProductInto computes δW = δh·yᵀ in the digital control unit: both
+// operands are electronic values the pipeline has already detected (δh from
+// the gradient pass, y latched at forward time), so the rank-1 update is
+// plain digital multiply-accumulate — no broadcast programming, no bank
+// writes, no optical passes. The ModeOuterProduct hardware path survives at
+// the PE level (OuterProductPass) for direct Table II experiments.
 func (l *DenseLayer) OuterProductInto(grad [][]float64, deltaH, y []float64) error {
 	if len(deltaH) != l.spec.Out || len(y) != l.spec.In {
 		return fmt.Errorf("core: outer product dims %d×%d, want %d×%d",
 			len(deltaH), len(y), l.spec.Out, l.spec.In)
 	}
-	if err := runTiles(len(l.tiles), len(l.tiles[0]), func(r, c int) error {
-		pe := l.tiles[r][c]
-		j0 := r * l.rows
-		j1 := min(j0+l.rows, l.spec.Out)
-		i0 := c * l.cols
-		i1 := min(i0+l.cols, l.spec.In)
-		if err := pe.ProgramBroadcast(y[i0:i1]); err != nil {
-			return err
+	for j, dh := range deltaH {
+		row := grad[j][:len(y)]
+		for i, yv := range y {
+			row[i] = dh * yv
 		}
-		for j := j0; j < j1; j++ {
-			pe.opRows[j-j0] = grad[j][i0:i1]
-		}
-		return pe.outerProductInto(pe.opRows[:j1-j0], deltaH[j0:j1], y[i0:i1], false)
-	}); err != nil {
-		return err
 	}
-	l.state = bankBroadcast
 	return nil
 }
 

@@ -90,6 +90,7 @@ type PE struct {
 	// tile), so these need no locking.
 	colBuf    []float64   // input-slice extraction (len Cols)
 	dhBuf     []float64   // δh-slice extraction (len Rows)
+	tScratch  []float64   // adjoint-pass bank output (len Cols)
 	normBuf   []float64   // threshold-normalized pre-activations (len Rows)
 	derivBuf  []float64   // LDSU derivative reads (len Rows)
 	opRows    [][]float64 // outer-product destination row views (len Rows)
@@ -300,6 +301,54 @@ func (p *PE) MVMPassBatchInto(dst, xs []float64, batch, n int) ([]float64, error
 			out[j] = p.noisy(out[j], n)
 		}
 		p.step(n)
+	}
+	return dst, nil
+}
+
+// TransposePassInto executes the adjoint optical pass out = Wᵀ·δ against the
+// same stored weights the forward pass reads: the delta vector is launched
+// down the row bus and each column's drops accumulate, so the bank is never
+// reprogrammed — no tuner write pulses, no endurance cycles, and the compiled
+// forward snapshot stays valid. The bank serves the pass from its compiled
+// transpose view (mrr/transpose.go); detection noise and pipeline energy are
+// booked exactly like a forward pass of the same optical depth.
+func (p *PE) TransposePassInto(dst, delta []float64) ([]float64, error) {
+	if len(delta) > p.cfg.Rows {
+		return nil, fmt.Errorf("core: delta length %d exceeds bank rows %d", len(delta), p.cfg.Rows)
+	}
+	dst = growFloats(dst, p.cfg.Cols)
+	p.tScratch = p.bank.TransposeMVM(p.tScratch, delta)
+	for i := range dst {
+		dst[i] = p.noisy(p.tScratch[i], len(delta))
+	}
+	p.step(len(delta))
+	return dst, nil
+}
+
+// TransposePassBatchInto streams a batch of delta vectors through the
+// weight-stationary bank's transpose view in one call: sample s occupies
+// ds[s*m : (s+1)*m] and its noisy input-gradients land in
+// dst[s*Cols : (s+1)*Cols], both sample-major. Like MVMPassBatchInto, the
+// whole batch runs through the bank's register-blocked GEMM first (the bank
+// draws no randomness and its batch output is bit-identical to per-sample
+// TransposeMVM calls), then noise and pipeline energy are applied per sample
+// in batch order — bit-identical to calling TransposePassInto once per
+// sample, and allocation-free at steady state.
+func (p *PE) TransposePassBatchInto(dst, ds []float64, batch, m int) ([]float64, error) {
+	if m > p.cfg.Rows {
+		return nil, fmt.Errorf("core: batch delta width %d exceeds bank rows %d", m, p.cfg.Rows)
+	}
+	if batch < 0 || len(ds) < batch*m {
+		return nil, fmt.Errorf("core: batch %d×%d needs %d inputs, have %d", batch, m, batch*m, len(ds))
+	}
+	dst = growFloats(dst, batch*p.cfg.Cols)
+	dst = p.bank.TransposeMVMBatchInto(dst, ds, batch, m)
+	for s := 0; s < batch; s++ {
+		out := dst[s*p.cfg.Cols : (s+1)*p.cfg.Cols]
+		for i := range out {
+			out[i] = p.noisy(out[i], m)
+		}
+		p.step(m)
 	}
 	return dst, nil
 }

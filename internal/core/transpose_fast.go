@@ -1,0 +1,23 @@
+//go:build !reprogtranspose
+
+package core
+
+import "trident/internal/tensor"
+
+// The production backward rung: gradient-vector passes are served from the
+// forward-resident banks' compiled transpose views — zero bank programming,
+// zero endurance writes, no square-bank restriction. Build with
+// -tags=reprogtranspose to swap in the historical rung that physically
+// reprograms Wᵀ before each backward window.
+
+func (l *DenseLayer) transposeKernel(dst, delta []float64) ([]float64, error) {
+	return l.compiledTransposeMVMInto(dst, delta)
+}
+
+func (l *DenseLayer) transposeBatchKernel(dst, ds []float64, batch int) ([]float64, error) {
+	return l.compiledTransposeMVMBatchInto(dst, ds, batch)
+}
+
+func streamTransposeCol2im(l *DenseLayer, s tensor.Conv2DSpec, deltaH []float64, active []bool, partBuf *[][]float64, dst *tensor.Tensor) error {
+	return streamTransposeCol2imCompiled(l, s, deltaH, active, partBuf, dst)
+}

@@ -1,0 +1,29 @@
+//go:build reprogtranspose
+
+package core
+
+import "trident/internal/tensor"
+
+// The reference backward rung: every gradient-vector pass physically
+// reprograms Wᵀ into the banks first (square banks only), the operand
+// layout the compiled transpose view replaced. A debugging escape hatch for
+// A/B-ing the reprogram-free path with the whole stack otherwise unchanged.
+
+func (l *DenseLayer) transposeKernel(dst, delta []float64) ([]float64, error) {
+	return l.reprogramTransposeMVMInto(dst, delta)
+}
+
+func (l *DenseLayer) transposeBatchKernel(dst, ds []float64, batch int) ([]float64, error) {
+	out, in := l.spec.Out, l.spec.In
+	dst = growFloats(dst, batch*in)
+	for s := 0; s < batch; s++ {
+		if _, err := l.reprogramTransposeMVMInto(dst[s*in:(s+1)*in], ds[s*out:(s+1)*out]); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func streamTransposeCol2im(l *DenseLayer, s tensor.Conv2DSpec, deltaH []float64, active []bool, partBuf *[][]float64, dst *tensor.Tensor) error {
+	return streamTransposeCol2imReprogram(l, s, deltaH, active, partBuf, dst)
+}

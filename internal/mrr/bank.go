@@ -53,6 +53,15 @@ type WeightBank struct {
 	nDirty     int       // count of set entries in dirty
 	dirtyAll   bool      // whole-snapshot invalidation pending
 
+	// wefft is the compiled transpose view WeffT (cols×rows row-major,
+	// wefft[i*rows+j] == weff[j*cols+i]), serving Wᵀ·δ for the backward
+	// pass without reprogramming the bank (see transpose.go). It stays nil
+	// until the first transpose pass — inference-only banks never pay for
+	// it — and once active it shares weff's dirty protocol: compileRow
+	// patches both views, so there is no second epoch and no separate
+	// invalidation bookkeeping.
+	wefft []float64
+
 	// pfor, when non-nil, shards recompilation and the compiled batch GEMM
 	// across fixed row blocks (see compiled.go); rowsCompiled counts row
 	// compiles over the bank's lifetime for incremental-recompile

@@ -166,6 +166,10 @@ func (b *WeightBank) compileDirtyRows() {
 // It is the single definition of the folding — full rebuilds and dirty-row
 // passes run exactly this code, so an incrementally-patched snapshot is
 // byte-identical to a from-scratch compile (pinned by compiled_test.go).
+// When the transpose view is active (transpose.go) the freshly compiled row
+// is mirrored into WeffT's column j in the same call — one dirty physical
+// row patches both views under one epoch, with no separate transpose
+// bookkeeping to drift out of sync.
 func (b *WeightBank) compileRow(j int) {
 	cols := b.cols
 	row := b.weff[j*cols : (j+1)*cols]
@@ -174,6 +178,7 @@ func (b *WeightBank) compileRow(j int) {
 		for i := range row {
 			row[i] = 0
 		}
+		b.patchTransposeRow(j, row)
 		return
 	}
 	band := b.band
@@ -190,6 +195,7 @@ func (b *WeightBank) compileRow(j int) {
 		}
 		row[i] = acc
 	}
+	b.patchTransposeRow(j, row)
 }
 
 // compiledMVM is the production single-sample kernel: one naive ascending
@@ -228,11 +234,11 @@ func (b *WeightBank) compiledMVMBatch(dst, xs []float64, batch, n int) {
 		blocks := (rows + gemmRowBlock - 1) / gemmRowBlock
 		b.pfor(blocks, func(bi int) {
 			j0 := bi * gemmRowBlock
-			b.gemmRowRange(dst, xs, j0, min(j0+gemmRowBlock, rows), batch, n)
+			gemmRowRange(b.weff, b.cols, rows, dst, xs, j0, min(j0+gemmRowBlock, rows), batch, n)
 		})
 		return
 	}
-	b.gemmRowRange(dst, xs, 0, rows, batch, n)
+	gemmRowRange(b.weff, b.cols, rows, dst, xs, 0, rows, batch, n)
 }
 
 // gemmRowRange computes output rows [j0, j1) for the whole batch with
@@ -242,12 +248,18 @@ func (b *WeightBank) compiledMVMBatch(dst, xs []float64, batch, n int) {
 // stay cache-resident. k-panels run in ascending column order and the
 // accumulator round-trips through dst exactly, preserving the per-element
 // accumulation order of the single-sample kernel.
-func (b *WeightBank) gemmRowRange(dst, xs []float64, j0, j1, batch, n int) {
-	rows := b.rows
+//
+// The kernel is parameterized on the compiled matrix rather than bound to
+// Weff: mat row j is mat[j*ld : j*ld+n] and each sample's outputs occupy
+// outRows entries of dst. The forward batch GEMM passes (weff, cols, rows);
+// the transpose batch GEMM (transpose.go) passes (wefft, rows, cols) — the
+// backward path runs literally this code, so its bit-identity properties
+// are inherited rather than re-proven.
+func gemmRowRange(mat []float64, ld, outRows int, dst, xs []float64, j0, j1, batch, n int) {
 	if n == 0 {
 		// Degenerate empty input: every dot is empty, the outputs are zero.
 		for s := 0; s < batch; s++ {
-			d := dst[s*rows : (s+1)*rows]
+			d := dst[s*outRows : (s+1)*outRows]
 			for j := j0; j < j1; j++ {
 				d[j] = 0
 			}
@@ -258,7 +270,7 @@ func (b *WeightBank) gemmRowRange(dst, xs []float64, j0, j1, batch, n int) {
 		s1 := min(s0+gemmSampleBlock, batch)
 		for k0 := 0; k0 < n; k0 += gemmColBlock {
 			k1 := min(k0+gemmColBlock, n)
-			b.gemmPanel(dst, xs, j0, j1, s0, s1, k0, k1, n, k0 == 0)
+			gemmPanel(mat, ld, outRows, dst, xs, j0, j1, s0, s1, k0, k1, n, k0 == 0)
 		}
 	}
 }
@@ -271,8 +283,7 @@ func (b *WeightBank) gemmRowRange(dst, xs []float64, j0, j1, batch, n int) {
 // dst; on later panels they resume from dst — a float64 round-trip is
 // exact, so every output element remains a plain ascending dot of one
 // (row, sample) pair, bit-identical to the single-sample compiledMVM.
-func (b *WeightBank) gemmPanel(dst, xs []float64, j0, j1, s0, s1, k0, k1, n int, first bool) {
-	rows, cols := b.rows, b.cols
+func gemmPanel(mat []float64, ld, outRows int, dst, xs []float64, j0, j1, s0, s1, k0, k1, n int, first bool) {
 	kw := k1 - k0
 	s := s0
 	for ; s+4 <= s1; s += 4 {
@@ -280,14 +291,14 @@ func (b *WeightBank) gemmPanel(dst, xs []float64, j0, j1, s0, s1, k0, k1, n int,
 		x1 := xs[(s+1)*n+k0 : (s+1)*n+k1]
 		x2 := xs[(s+2)*n+k0 : (s+2)*n+k1]
 		x3 := xs[(s+3)*n+k0 : (s+3)*n+k1]
-		d0 := dst[(s+0)*rows : (s+1)*rows]
-		d1 := dst[(s+1)*rows : (s+2)*rows]
-		d2 := dst[(s+2)*rows : (s+3)*rows]
-		d3 := dst[(s+3)*rows : (s+4)*rows]
+		d0 := dst[(s+0)*outRows : (s+1)*outRows]
+		d1 := dst[(s+1)*outRows : (s+2)*outRows]
+		d2 := dst[(s+2)*outRows : (s+3)*outRows]
+		d3 := dst[(s+3)*outRows : (s+4)*outRows]
 		j := j0
 		for ; j+2 <= j1; j += 2 {
-			ra := b.weff[(j+0)*cols+k0 : (j+0)*cols+k1]
-			rb := b.weff[(j+1)*cols+k0 : (j+1)*cols+k1]
+			ra := mat[(j+0)*ld+k0 : (j+0)*ld+k1]
+			rb := mat[(j+1)*ld+k0 : (j+1)*ld+k1]
 			var a0, a1, a2, a3, b0, b1, b2, b3 float64
 			if !first {
 				a0, a1, a2, a3 = d0[j], d1[j], d2[j], d3[j]
@@ -309,7 +320,7 @@ func (b *WeightBank) gemmPanel(dst, xs []float64, j0, j1, s0, s1, k0, k1, n int,
 			d0[j+1], d1[j+1], d2[j+1], d3[j+1] = b0, b1, b2, b3
 		}
 		for ; j < j1; j++ {
-			row := b.weff[j*cols+k0 : j*cols+k1]
+			row := mat[j*ld+k0 : j*ld+k1]
 			var a0, a1, a2, a3 float64
 			if !first {
 				a0, a1, a2, a3 = d0[j], d1[j], d2[j], d3[j]
@@ -328,9 +339,9 @@ func (b *WeightBank) gemmPanel(dst, xs []float64, j0, j1, s0, s1, k0, k1, n int,
 	// resume-from-dst accumulation.
 	for ; s < s1; s++ {
 		x := xs[s*n+k0 : s*n+k1]
-		d := dst[s*rows : (s+1)*rows]
+		d := dst[s*outRows : (s+1)*outRows]
 		for j := j0; j < j1; j++ {
-			row := b.weff[j*cols+k0 : j*cols+k1]
+			row := mat[j*ld+k0 : j*ld+k1]
 			var acc float64
 			if !first {
 				acc = d[j]

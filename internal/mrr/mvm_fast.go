@@ -14,3 +14,13 @@ func (b *WeightBank) mvmKernel(dst, x []float64) { b.compiledMVM(dst, x) }
 func (b *WeightBank) mvmBatchKernel(dst, xs []float64, batch, n int) {
 	b.compiledMVMBatch(dst, xs, batch, n)
 }
+
+// tmvmKernel is the adjoint twin of mvmKernel: the contiguous GEMV over the
+// compiled transpose view (transpose.go).
+func (b *WeightBank) tmvmKernel(dst, delta []float64) { b.compiledTransposeMVM(dst, delta) }
+
+// tmvmBatchKernel routes batched adjoint passes to the same register-blocked
+// GEMM as the forward batch path, run over the transpose view.
+func (b *WeightBank) tmvmBatchKernel(dst, ds []float64, batch, m int) {
+	b.compiledTransposeMVMBatch(dst, ds, batch, m)
+}

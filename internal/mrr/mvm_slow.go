@@ -13,3 +13,14 @@ func (b *WeightBank) mvmBatchKernel(dst, xs []float64, batch, n int) {
 		b.mvmKernel(dst[s*b.rows:(s+1)*b.rows], xs[s*n:(s+1)*n])
 	}
 }
+
+// tmvmKernel under the slowmvm tag evaluates the adjoint pass directly from
+// stored weights, bypassing both compiled views.
+func (b *WeightBank) tmvmKernel(dst, delta []float64) { b.referenceTransposeMVM(dst, delta) }
+
+// tmvmBatchKernel under the slowmvm tag is a plain per-sample reference loop.
+func (b *WeightBank) tmvmBatchKernel(dst, ds []float64, batch, m int) {
+	for s := 0; s < batch; s++ {
+		b.tmvmKernel(dst[s*b.cols:(s+1)*b.cols], ds[s*m:(s+1)*m])
+	}
+}

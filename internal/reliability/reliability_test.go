@@ -14,11 +14,15 @@ import (
 // campaignConfig is the calibrated lifetime study the acceptance criteria
 // run against: ~10⁴ supervised steps, Weibull budgets sized so roughly a
 // fifth of the cells die inside the horizon, drift aging and wear-leveling
-// on.
+// on. The endurance budget is calibrated to the reprogram-free backward
+// path: with transpose reprogramming and broadcast outer products gone,
+// the only per-step GST writes are the post-update forward recompiles
+// (~600 mean / ~2000 max cell writes over the horizon), so the Weibull
+// mean sits at 1600 rather than the 42000 the write-heavy backward needed.
 func campaignConfig() CampaignConfig {
 	return CampaignConfig{
 		Seed: 42,
-		Wear: WearConfig{Seed: 7, MeanEndurance: 42000, Shape: 6},
+		Wear: WearConfig{Seed: 7, MeanEndurance: 1600, Shape: 6},
 		Policy: Policy{
 			TimePerStep:    30 * units.Second,
 			WearLevelEvery: 4,
@@ -408,6 +412,71 @@ func TestRemediationRecompilesBanks(t *testing.T) {
 				t.Fatalf("layer %d tile (%d,%d) row %d: compiled %v vs reference %v after remediation",
 					layer, tr, tc, j, got[j], want[j])
 			}
+		}
+	})
+}
+
+// TestRemediationRecompilesTransposeView: once in-situ training has
+// activated the banks' compiled transpose views, every remediation action
+// that patches the forward snapshot — drift refresh during Check, the
+// wear-leveling rotation, dead-row masking — must keep the transpose view
+// in lockstep through the shared dirty-row protocol: after a full year of
+// checks both compiled views still track the reference kernels, with no
+// dirty rows left behind.
+func TestRemediationRecompilesTransposeView(t *testing.T) {
+	net := newTestNetwork(t)
+	// Activate the transpose view on every bank, as a training epoch's
+	// backward passes would.
+	net.ForEachPE(func(layer, tr, tc int, pe *core.PE) {
+		pe.Bank().EnsureTransposeCompiled()
+	})
+	pe := net.Layers()[0].Tiles()[0][0]
+	const deadRow = 3
+	for c := 0; c < pe.Cols(); c++ {
+		if err := pe.InjectFault(deadRow, c, core.StuckCrystalline); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval := func() (float64, error) { return 1, nil }
+	sched, err := NewScheduler(net.Graph, Policy{
+		TimePerStep:    units.Duration(24 * 3600), // one simulated day per step
+		WearLevelEvery: 1,
+	}, 1, eval, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Check(365)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refreshed == 0 || !res.Rotated {
+		t.Fatalf("remediation did not exercise refresh (%d) and rotation (%v)", res.Refreshed, res.Rotated)
+	}
+	if _, err := sched.maskDeadRows(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	net.ForEachPE(func(layer, tr, tc int, pe *core.PE) {
+		bank := pe.Bank()
+		if !bank.TransposeViewActive() {
+			t.Fatalf("layer %d tile (%d,%d): transpose view deactivated by remediation", layer, tr, tc)
+		}
+		delta := make([]float64, bank.Rows())
+		for i := range delta {
+			delta[i] = rng.Float64()*2 - 1
+		}
+		got := bank.TransposeMVM(nil, delta)
+		want := bank.ReferenceTransposeMVM(nil, delta)
+		for i := range want {
+			diff := math.Abs(got[i] - want[i])
+			scale := math.Max(math.Abs(want[i]), 1)
+			if diff/scale > 1e-9 {
+				t.Fatalf("layer %d tile (%d,%d) col %d: transpose view %v vs reference %v after remediation",
+					layer, tr, tc, i, got[i], want[i])
+			}
+		}
+		if n := bank.DirtyRowCount(); n != 0 {
+			t.Fatalf("layer %d tile (%d,%d): %d dirty rows survive the serving pass", layer, tr, tc, n)
 		}
 	})
 }

@@ -112,6 +112,38 @@ func TestRunInSituLearns(t *testing.T) {
 	}
 }
 
+// TestRunInSituBatchedLearns: the minibatch schedule must learn the same
+// task through the batched reprogram-free backward path, and a batch of
+// one must reproduce the per-sample RunInSitu schedule exactly — same
+// noise draws, same weight trajectory, same ledger.
+func TestRunInSituBatchedLearns(t *testing.T) {
+	data := dataset.Blobs(150, 3, 6, 0.1, 7)
+	res, err := RunInSituBatched(data, 16, 10, 0.08, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.85 {
+		t.Errorf("batched in-situ test accuracy = %.2f, want ≥ 0.85", res.TestAccuracy)
+	}
+	if res.Energy <= 0 {
+		t.Error("energy ledger empty")
+	}
+	single, err := RunInSitu(data, 16, 4, 0.08, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchOne, err := RunInSituBatched(data, 16, 4, 0.08, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *single != *batchOne {
+		t.Errorf("batch-of-one run diverged from per-sample run:\n  single %+v\n  batched %+v", single, batchOne)
+	}
+	if _, err := RunInSituBatched(&dataset.Set{}, 4, 1, 0.1, 4, false); err == nil {
+		t.Error("empty dataset: want error")
+	}
+}
+
 // TestRunInSituWithNoise: analog noise must not destroy learning.
 func TestRunInSituWithNoise(t *testing.T) {
 	data := dataset.Blobs(150, 3, 6, 0.1, 9)
