@@ -26,9 +26,10 @@ tier2:
 # execution-graph equivalence/golden-regression tests, and the dirty-row
 # recompilation property/staleness tests under the race detector, plus short
 # fuzz runs over the PCM cell state machines the wear model leans on. The
-# whole serve package (including the chaos soak, which forces maintenance
-# windows against live traffic and replays the op journal for bit-identity)
-# also runs under -race here — its correctness claims are concurrency claims.
+# whole serve package (the chaos soak, the router/instance tests, and the
+# routed 2-models×2-replicas soak — which drains each replica under live
+# traffic and replays every per-replica op journal for bit-identity) also
+# runs under -race here — its correctness claims are concurrency claims.
 tier2-reliability:
 	$(GO) test -race -run 'Campaign|Wear|Fault|BIST|Scheduler|Drift|Batch|Golden|Graph|Recompile|Dirty|Stale|NoOp|ParallelBitIdentical' ./internal/reliability/ ./internal/core/ ./internal/mrr/ ./internal/pcm/
 	$(GO) test -race -count=2 ./internal/serve/
@@ -36,10 +37,11 @@ tier2-reliability:
 	$(GO) test -run '^$$' -fuzz '^FuzzCellProgram$$' -fuzztime 10s ./internal/pcm/
 
 # Benchmark trajectory: the kernel/batch/recompilation microbenchmarks, the
-# training pair, the two regenerating-table benchmarks, and the serving
-# throughput pair, BENCH_COUNT repetitions with allocation reporting, parsed
-# into the machine-readable trajectory file (BENCH_OUT, default
-# BENCH_PR8.json). cmd/benchjson exits non-zero unless the factored kernel
+# training pair, the two regenerating-table benchmarks, the serving
+# throughput pair, and the routed-replica pair, BENCH_COUNT repetitions with
+# allocation reporting, parsed into the machine-readable trajectory file
+# (BENCH_OUT, default
+# BENCH_PR9.json). cmd/benchjson exits non-zero unless the factored kernel
 # holds ≥2× over the reference triple loop on the 64×64 bank, the compiled
 # batch kernel ≥1.5× over the factored kernel on the 256×256 batched MVM,
 # the incremental dirty-row recompile ≥5× over a full snapshot rebuild on
@@ -47,12 +49,14 @@ tier2-reliability:
 # single-threaded batch on the 256×256 bank (recorded but waived on
 # single-CPU hosts, where no parallel speedup is physically available —
 # multi-core CI enforces it), the micro-batching serve front-end ≥1.2×
-# requests/second over single-request dispatch, and batched in-situ training
+# requests/second over single-request dispatch, batched in-situ training
 # ≥2× per-sample throughput over the sequential TrainSample schedule on the
-# 256×256 layer.
-BENCH_OUT ?= BENCH_PR8.json
+# 256×256 layer, and two-replica routed serving ≥1.3× a single replica
+# under maintenance churn (ApplyParallelGate: recorded but waived below 2
+# CPUs, where the sibling replicas cannot actually run concurrently).
+BENCH_OUT ?= BENCH_PR9.json
 BENCH_COUNT ?= 6
-BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMCompiled|BenchmarkBankMVMFactored|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankMVMBatchFactored|BenchmarkBankMVMBatchParallel|BenchmarkBankRecompileFull|BenchmarkBankRecompileIncremental|BenchmarkBankProgram|BenchmarkTrainStep|BenchmarkTrainBatch|BenchmarkTransposeCompiled|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond|BenchmarkServeBatcher|BenchmarkServeUnbatched)$$
+BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMCompiled|BenchmarkBankMVMFactored|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankMVMBatchFactored|BenchmarkBankMVMBatchParallel|BenchmarkBankRecompileFull|BenchmarkBankRecompileIncremental|BenchmarkBankProgram|BenchmarkTrainStep|BenchmarkTrainBatch|BenchmarkTransposeCompiled|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond|BenchmarkServeBatcher|BenchmarkServeUnbatched|BenchmarkRouterOneReplica|BenchmarkRouterTwoReplicas)$$
 
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . > bench.out

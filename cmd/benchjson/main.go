@@ -1,13 +1,15 @@
 // Command benchjson turns `go test -bench` output into the machine-readable
-// benchmark-trajectory file (BENCH_PR7.json) and enforces the kernel speedup
-// gates. By default the factored crosstalk kernel must hold ≥2× over the
-// reference triple loop on the 64×64 bank, the compiled batch kernel ≥1.5×
-// over the factored kernel on the 256×256 batched MVM, the incremental
-// dirty-row recompile ≥5× over a full snapshot rebuild on the 256×256 bank,
-// the worker-pool-parallel batch GEMM ≥1.5× over the single-threaded batch
-// on the 256×256 bank, and the micro-batching serve front-end ≥1.2× over
-// single-request dispatch in requests served per second — or the pipe exits
-// non-zero. The parallel gate only binds on hosts with at least 2 logical
+// benchmark-trajectory file (BENCH_PR9.json via `make bench`) and enforces
+// the kernel speedup gates. By default the factored crosstalk kernel must
+// hold ≥2× over the reference triple loop on the 64×64 bank, the compiled
+// batch kernel ≥1.5× over the factored kernel on the 256×256 batched MVM,
+// the incremental dirty-row recompile ≥5× over a full snapshot rebuild on
+// the 256×256 bank, the worker-pool-parallel batch GEMM ≥1.5× over the
+// single-threaded batch on the 256×256 bank, the micro-batching serve
+// front-end ≥1.2× over single-request dispatch in requests served per
+// second, batched training ≥2× over per-sample steps, and the two-replica
+// router ≥1.3× over a single replica under maintenance churn — or the pipe
+// exits non-zero. Parallelism gates only bind on hosts with enough logical
 // CPUs; below that the measured ratio is recorded but the gate is waived
 // (see benchio.ApplyParallelGate).
 //
@@ -42,14 +44,18 @@ type gateSpec struct {
 	minProcs  int
 }
 
-// defaultGates are the PR 8 trajectory requirements. The serve gate compares
+// defaultGates are the PR 9 trajectory requirements. The serve gate compares
 // ns/op of the two serving benchmarks, which is exactly inverse requests per
 // second: batching must buy at least 1.2× throughput over one-at-a-time
 // dispatch through the same batcher machinery. The training gate compares
 // the two training benchmarks, each of which processes the same 32 samples
 // per op: one TrainBatch minibatch must beat 32 sequential TrainSample
 // steps (which reprogram the banks after every sample) by at least 2× on
-// the 256×256 layer.
+// the 256×256 layer. The router gate compares routed serving throughput
+// under maintenance churn with two replicas against one: the router must
+// buy ≥1.3× by shifting traffic to the warm sibling during each drain —
+// waived below 2 CPUs, where the siblings cannot actually run
+// concurrently (ApplyParallelGate semantics).
 var defaultGates = []gateSpec{
 	{fast: "BenchmarkBankMVMFactored/64x64", ref: "BenchmarkBankMVMReference/64x64", min: 2},
 	{fast: "BenchmarkBankMVMBatch/256x256", ref: "BenchmarkBankMVMBatchFactored/256x256", min: 1.5},
@@ -57,6 +63,7 @@ var defaultGates = []gateSpec{
 	{fast: "BenchmarkBankMVMBatchParallel/256x256", ref: "BenchmarkBankMVMBatch/256x256", min: 1.5, minProcs: 2},
 	{fast: "BenchmarkServeBatcher", ref: "BenchmarkServeUnbatched", min: 1.2},
 	{fast: "BenchmarkTrainBatch/256x256", ref: "BenchmarkTrainStep/256x256", min: 2},
+	{fast: "BenchmarkRouterTwoReplicas", ref: "BenchmarkRouterOneReplica", min: 1.3, minProcs: 2},
 }
 
 // gateFlags collects repeated -gate/-pgate values.

@@ -3,15 +3,18 @@ package main
 // The bench subcommand: the in-process twin of `make bench`. It runs the
 // compiled-, factored- and reference-kernel, batched-path, recompilation and
 // bank-programming microbenchmarks, the compiled-transpose and training
-// benchmarks, two regenerating-table benchmarks, and the serving-throughput
-// pair through testing.Benchmark, prints a summary table, writes the same
-// BENCH_PR8.json trajectory schema as cmd/benchjson, and enforces the same
+// benchmarks, two regenerating-table benchmarks, the serving-throughput
+// pair and the routed-replica pair through testing.Benchmark, prints a
+// summary table, writes the same
+// BENCH_PR9.json trajectory schema as cmd/benchjson, and enforces the same
 // speedup gates (factored ≥2× reference on 64×64; compiled batch ≥1.5×
 // factored batch on 256×256; incremental recompile ≥5× full recompile on
 // 256×256; pool-parallel batch ≥1.5× single-threaded batch on 256×256,
 // waived on hosts with a single CPU; micro-batching serve ≥1.2×
 // single-request dispatch in req/sec; batched training ≥2× the sequential
-// per-sample schedule on the 256×256 layer) — so a deployment host without
+// per-sample schedule on the 256×256 layer; two-replica routed serving
+// ≥1.3× a single replica under maintenance churn, waived below 2 CPUs) —
+// so a deployment host without
 // the test tree can still measure and gate the hot paths. -cpuprofile /
 // -memprofile capture pprof profiles of the benchmark run for
 // `go tool pprof`. SIGINT/SIGTERM stop the run at a benchmark boundary: the
@@ -20,6 +23,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -48,13 +52,14 @@ var benchBankSizes = []int{16, 64, 256}
 
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR8.json", "trajectory file to write")
+	out := fs.String("o", "BENCH_PR9.json", "trajectory file to write")
 	min := fs.Float64("min", 2, "required factored/reference speedup on the 64×64 bank (0 disables the gate)")
 	minBatch := fs.Float64("min-batch", 1.5, "required compiled/factored batch speedup on the 256×256 bank (0 disables the gate)")
 	minRecompile := fs.Float64("min-recompile", 5, "required incremental/full recompile speedup on the 256×256 bank (0 disables the gate)")
 	minParallel := fs.Float64("min-parallel", 1.5, "required parallel/single-threaded batch speedup on the 256×256 bank, waived below 2 CPUs (0 disables the gate)")
 	minServe := fs.Float64("min-serve", 1.2, "required micro-batched/unbatched serving throughput ratio (0 disables the gate)")
 	minTrain := fs.Float64("min-train", 2, "required batched/per-sample training speedup on the 256×256 layer (0 disables the gate)")
+	minRouter := fs.Float64("min-router", 1.3, "required two-replica/one-replica routed throughput ratio under maintenance churn, waived below 2 CPUs (0 disables the gate)")
 	batch := fs.Int("batch", 32, "batch size for the batched-path benchmarks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the benchmark run to this file")
@@ -240,6 +245,15 @@ func cmdBench(args []string) {
 	add("BenchmarkServeUnbatched", func(b *testing.B) {
 		benchServeThroughput(b, serve.Config{MaxBatch: 1, MaxWait: 100 * time.Microsecond, QueueCap: 64})
 	})
+	// Routed serving pair under maintenance churn: one replica (every
+	// drain stops the model) vs two (the router shifts to the warm
+	// sibling) — the ratio is what replica fan-out buys.
+	add("BenchmarkRouterOneReplica", func(b *testing.B) {
+		benchRouterThroughput(b, 1)
+	})
+	add("BenchmarkRouterTwoReplicas", func(b *testing.B) {
+		benchRouterThroughput(b, 2)
+	})
 
 	// Profiles cover only the benchmark work above; stop/write them before
 	// gating so a failed gate (log.Fatal skips defers) still leaves usable
@@ -264,7 +278,7 @@ func cmdBench(args []string) {
 	// reference benchmarks may be missing.
 	interrupted := ctx.Err() != nil
 	if interrupted {
-		*min, *minBatch, *minRecompile, *minParallel, *minServe, *minTrain = 0, 0, 0, 0, 0, 0
+		*min, *minBatch, *minRecompile, *minParallel, *minServe, *minTrain, *minRouter = 0, 0, 0, 0, 0, 0, 0
 	}
 	if *min > 0 {
 		if err := rep.ApplyGate("BenchmarkBankMVMFactored/64x64", "BenchmarkBankMVMReference/64x64", *min); err != nil {
@@ -294,6 +308,12 @@ func cmdBench(args []string) {
 	}
 	if *minTrain > 0 {
 		if err := rep.ApplyGate("BenchmarkTrainBatch/256x256", "BenchmarkTrainStep/256x256", *minTrain); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *minRouter > 0 {
+		if err := rep.ApplyParallelGate("BenchmarkRouterTwoReplicas", "BenchmarkRouterOneReplica",
+			*minRouter, rep.MaxProcs, 2); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -440,6 +460,104 @@ func benchServeThroughput(b *testing.B, cfg serve.Config) {
 			defer wg.Done()
 			for next.Add(1) <= int64(b.N) {
 				if _, err := bt.Submit(context.Background(), inputs[c]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
+// benchRouterThroughput mirrors the router benchmark pair from the test
+// tree: b.N routed requests through one model with the given replica
+// count while a churn goroutine round-robins maintenance-style drains
+// (1ms token holds) across the replicas. The two-vs-one replica ratio is
+// what drain-tolerant routing buys under maintenance churn.
+func benchRouterThroughput(b *testing.B, replicas int) {
+	base, err := core.NewNetwork(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
+		LearningRate: 0.08,
+	},
+		core.LayerSpec{In: 32, Out: 64, Activate: true},
+		core.LayerSpec{In: 64, Out: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := serve.NewRouter()
+	insts := make([]*serve.Instance, replicas)
+	for i := range insts {
+		rep, err := base.Replicate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := serve.NewGraphInstance(fmt.Sprintf("m/replica-%d", i), rep.Graph,
+			serve.Config{MaxBatch: 16, MaxWait: 100 * time.Microsecond, QueueCap: 64}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts[i] = inst
+	}
+	if err := rt.AddModel("m", insts...); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	churnCtx, stopChurn := context.WithCancel(context.Background())
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; churnCtx.Err() == nil; i++ {
+			release, err := insts[i%len(insts)].Batcher().Acquire(churnCtx)
+			if err != nil {
+				return
+			}
+			select {
+			case <-time.After(time.Millisecond):
+			case <-churnCtx.Done():
+			}
+			release()
+			select {
+			case <-time.After(500 * time.Microsecond):
+			case <-churnCtx.Done():
+			}
+		}
+	}()
+	defer func() { stopChurn(); <-churnDone }()
+	const serveClients = 16
+	rng := rand.New(rand.NewSource(3))
+	inputs := make([][]float64, serveClients)
+	for c := range inputs {
+		x := make([]float64, 32)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		inputs[c] = x
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for c := 0; c < serveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				for {
+					_, err := rt.Submit(context.Background(), "m", inputs[c])
+					if err == nil {
+						break
+					}
+					if errors.Is(err, serve.ErrAllDraining) || errors.Is(err, serve.ErrQueueFull) {
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
 					b.Error(err)
 					return
 				}

@@ -6,9 +6,9 @@
 //
 //	trident infer  [-model VGG-16] [-accel Trident] [-batch 32] [-layers]
 //	trident train  [-model mlp|branched] [-samples 600] [-hidden 16] [-epochs 10] [-batch 1] [-noise] [-lifetime]
-//	trident serve  [-addr localhost:8089] [-batch 16] [-wait 2ms] [-queue 64] [-maint 30s] [-chaos]
+//	trident serve  [-addr localhost:8089] [-model blobs] [-models blobs,spirals] [-replicas 2] [-batch 16] [-wait 2ms] [-queue 64] [-maint 30s] [-chaos]
 //	trident sweep  [-model ResNet-50]
-//	trident bench  [-o BENCH_PR7.json] [-min 2] [-min-batch 1.5] [-min-recompile 5] [-min-parallel 1.5] [-min-serve 1.2] [-batch 32] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	trident bench  [-o BENCH_PR9.json] [-min 2] [-min-batch 1.5] [-min-recompile 5] [-min-parallel 1.5] [-min-serve 1.2] [-min-router 1.3] [-batch 32] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	trident devices
 package main
 
@@ -73,13 +73,15 @@ commands:
   train    run functional in-situ training on synthetic data
            (-model branched: residual+concat graph on the photonic core;
             -lifetime: compressed wear-out campaign with BIST + self-healing)
-  serve    train a small model, then serve it over HTTP with deadline-aware
-           micro-batching, admission control and background maintenance
+  serve    train one or more small models and serve them over HTTP through a
+           wear-aware replica router with deadline-aware micro-batching,
+           admission control and staggered background maintenance
+           (-models blobs,spirals,digits -replicas N; GET /models lists them)
   sweep    sweep the PE budget for one model
   cache    analyze on-chip memory behaviour for one model
   export   train in-situ and save the network state; verify a reload round-trip
   trace    write a Chrome trace of the weight-stationary schedule
-  bench    run hot-path microbenchmarks; write the BENCH_PR7.json trajectory
+  bench    run hot-path microbenchmarks; write the BENCH_PR9.json trajectory
   devices  print the device parameter sheet`)
 	os.Exit(2)
 }

@@ -1,15 +1,17 @@
 package main
 
-// The serve subcommand: a deadline-aware micro-batching inference front
-// end over HTTP. It trains a small MLP in situ on synthetic blobs (the
-// same workload as `trident train`), then serves /predict through the
-// coalescing batcher in internal/serve: concurrent requests are merged
-// into batched forward passes, admission control rejects deadlines the
-// queue cannot meet, and a background maintenance loop runs BIST +
-// refresh + rotation behind the batcher's execute token so bank
-// mutations never race an in-flight MVM. SIGINT/SIGTERM drain in-flight
-// connections before exit; -chaos turns on the fault injector used by
-// the soak test (drift spikes, wear-fault bursts, engine stalls).
+// The serve subcommand: a replica-oriented micro-batching inference front
+// end over HTTP. It trains one or more small MLPs in situ on synthetic
+// workloads (see internal/train's serve-model constructors), fans each
+// out into N bit-identical replicas from the trained snapshot, and fronts
+// the fleet with a wear-aware router: requests name a model, the router
+// scores that model's replicas by estimated wait plus masked-row and
+// endurance-draw-down penalties, and maintenance windows drain one
+// replica while warm siblings keep serving. A model with every replica
+// draining degrades to 503 with an honest Retry-After. SIGINT/SIGTERM
+// drain in-flight connections before exit; -chaos turns on the per-replica
+// fault injector used by the soak test (drift spikes, wear-fault bursts,
+// engine stalls).
 
 import (
 	"context"
@@ -17,100 +19,127 @@ import (
 	"fmt"
 	"log"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"trident/internal/core"
-	"trident/internal/dataset"
 	"trident/internal/reliability"
 	"trident/internal/serve"
+	"trident/internal/train"
 	"trident/internal/units"
 )
 
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8089", "listen address")
-	batch := fs.Int("batch", 16, "micro-batch size cap")
+	model := fs.String("model", "blobs", "model to serve: "+strings.Join(train.ServeModelKinds(), "|"))
+	models := fs.String("models", "", "comma-separated model list (overrides -model), e.g. blobs,digits")
+	replicas := fs.Int("replicas", 1, "replicas per model, fanned out bit-identically from the trained snapshot")
+	batch := fs.Int("batch", 16, "micro-batch size cap (per replica)")
 	wait := fs.Duration("wait", 2*time.Millisecond, "batch collection window")
-	queue := fs.Int("queue", 64, "admission queue capacity")
+	queue := fs.Int("queue", 64, "admission queue capacity (per replica)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown drain budget before in-flight work is cancelled")
-	maint := fs.Duration("maint", 30*time.Second, "maintenance window interval (0 disables BIST/refresh)")
-	chaosOn := fs.Bool("chaos", false, "inject drift spikes, wear faults and stalls (for soak testing)")
-	samples := fs.Int("samples", 600, "synthetic training samples")
-	classes := fs.Int("classes", 3, "classes")
-	dim := fs.Int("dim", 6, "input dimensionality")
-	hidden := fs.Int("hidden", 16, "hidden units")
-	epochs := fs.Int("epochs", 6, "in-situ training epochs before serving")
+	maint := fs.Duration("maint", 30*time.Second, "maintenance window interval per replica (0 disables BIST/refresh)")
+	chaosOn := fs.Bool("chaos", false, "inject drift spikes, wear faults and stalls per replica (for soak testing)")
 	seed := fs.Int64("seed", 42, "dataset / probe / chaos seed")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
 	}
-
-	// Train the model to serve. DisableNoise keeps the served classes
-	// deterministic so journal replays and repeated curls agree.
-	data := dataset.Blobs(*samples, *classes, *dim, 0.1, *seed)
-	net, err := core.NewNetwork(
-		core.NetworkConfig{PE: core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true}, LearningRate: 0.08},
-		core.LayerSpec{In: *dim, Out: *hidden, Activate: true},
-		core.LayerSpec{In: *hidden, Out: *classes})
-	if err != nil {
-		log.Fatal(err)
+	if *replicas < 1 {
+		log.Fatal("serve: -replicas must be ≥ 1")
 	}
-	fmt.Printf("training %d→%d→%d network: %d samples, %d epochs\n",
-		*dim, *hidden, *classes, *samples, *epochs)
-	for e := 0; e < *epochs; e++ {
-		for i := range data.Inputs {
-			if _, err := net.TrainSample(data.Inputs[i].Data(), data.Labels[i]); err != nil {
-				log.Fatal(err)
-			}
-		}
+	kinds := []string{*model}
+	if *models != "" {
+		kinds = strings.Split(*models, ",")
 	}
 
 	// SIGINT/SIGTERM start the graceful drain: the listener stops
-	// accepting, queued requests flush, and after -grace the batcher
-	// cancels whatever is still in flight.
+	// accepting, queued requests flush on every replica, and after -grace
+	// the batchers cancel whatever is still in flight.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	j := serve.NewJournal()
-	b := serve.NewBatcher(net.Graph, serve.Config{
-		MaxBatch: *batch, MaxWait: *wait, QueueCap: *queue,
-		Probe: serve.GraphHealth(net.Graph), Journal: j,
-	})
-	if *maint > 0 {
-		m, err := serve.NewMaintainer(net.Graph, b, j, serve.MaintainerConfig{
-			Seed:   *seed,
-			Policy: reliability.Policy{TimePerStep: 30 * units.Second, BISTRepeats: 1},
-		})
+	rt := serve.NewRouter()
+	for _, k := range kinds {
+		kind := train.ServeModelKind(strings.TrimSpace(k))
+		// Train once; every replica (including the first) is fanned out
+		// from the same trained snapshot via Replicate so the fleet is
+		// bit-identical: same weights, same programmed write history.
+		trained, err := train.NewServeModel(kind, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		go func() {
-			if err := m.Run(ctx, *maint); err != nil {
-				log.Printf("maintenance loop: %v", err)
+		fmt.Printf("trained %s (%s), fanning out %d replica(s)\n",
+			kind, train.ServeModelDims(kind), *replicas)
+		insts := make([]*serve.Instance, 0, *replicas)
+		for i := 0; i < *replicas; i++ {
+			rep, err := trained.Replicate()
+			if err != nil {
+				log.Fatal(err)
 			}
-		}()
+			name := fmt.Sprintf("%s/replica-%d", kind, i)
+			cfg := serve.Config{MaxBatch: *batch, MaxWait: *wait, QueueCap: *queue}
+			var mcfg *serve.MaintainerConfig
+			if *maint > 0 {
+				mcfg = &serve.MaintainerConfig{
+					Seed:   *seed,
+					Policy: reliability.Policy{TimePerStep: 30 * units.Second, BISTRepeats: 1},
+				}
+			}
+			inst, err := serve.NewGraphInstance(name, rep.Graph, cfg, mcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m := inst.Maintainer(); m != nil {
+				// Stagger the per-replica maintenance loops so windows on
+				// sibling replicas do not line up — the router always has a
+				// warm sibling to shift traffic to.
+				delay := *maint * time.Duration(i) / time.Duration(*replicas)
+				go func(m *serve.Maintainer, delay time.Duration) {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(delay):
+					}
+					if err := m.Run(ctx, *maint); err != nil {
+						log.Printf("maintenance loop (%s): %v", name, err)
+					}
+				}(m, delay)
+			}
+			if *chaosOn {
+				chaos := serve.NewChaos(inst.Graph(), inst.Batcher(), inst.Journal(),
+					serve.ChaosConfig{Seed: *seed + int64(i)*7919})
+				go chaos.Run(ctx)
+			}
+			insts = append(insts, inst)
+		}
+		if err := rt.AddModel(string(kind), insts...); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *chaosOn {
-		chaos := serve.NewChaos(net.Graph, b, j, serve.ChaosConfig{Seed: *seed})
-		go chaos.Run(ctx)
-		fmt.Println("chaos injection ON: drift spikes, wear faults and stalls are live")
+		fmt.Println("chaos injection ON: drift spikes, wear faults and stalls are live on every replica")
 	}
 
-	fmt.Printf("serving on http://%s  (batch ≤%d, window %v, queue %d, maintenance every %v)\n",
-		*addr, *batch, *wait, *queue, *maint)
-	fmt.Println("endpoints: POST /predict  GET /healthz  GET /readyz  GET /stats")
-	srv := serve.NewServer(b)
+	fmt.Printf("serving %d model(s) × %d replica(s) on http://%s  (batch ≤%d, window %v, queue %d, maintenance every %v)\n",
+		len(kinds), *replicas, *addr, *batch, *wait, *queue, *maint)
+	fmt.Println("endpoints: POST /predict  GET /models  GET /healthz  GET /readyz  GET /stats")
+	srv := serve.NewServer(rt)
 	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil {
 		log.Fatal(err)
 	}
 
-	sn := b.Stats()
-	fmt.Printf("drained: served %d of %d submitted (%d rejected, %d expired), %d batches, p50 %.2fms p99 %.2fms\n",
-		sn.Served, sn.Submitted,
-		sn.RejectedQueueFull+sn.RejectedDeadline+sn.RejectedShutdown,
-		sn.DeadlineExpired, sn.Batches, sn.P50Ms, sn.P99Ms)
-	fmt.Printf("energy: %.3g J over %.3gs simulated (avg %.3g W), degraded=%v masked_rows=%d\n",
-		sn.Health.EnergyJ, sn.Health.SimElapsedS, sn.Health.AvgPowerW,
-		sn.Health.Degraded, sn.Health.MaskedRows)
+	sn := rt.Snapshot()
+	fmt.Printf("drained: routed %d requests — %d served, %d rejected, %d deadline, %d handoffs, %d all-draining (lost %d)\n",
+		sn.Submitted, sn.Served, sn.Rejected, sn.DeadlineErrs, sn.Handoffs, sn.AllDraining, sn.Lost())
+	for _, ms := range sn.Models {
+		agg := ms.Aggregate
+		fmt.Printf("  %s: served %d of %d submitted across %d replica(s), %d batches, p50 %.2fms p99 %.2fms\n",
+			ms.Name, agg.Served, agg.Submitted, len(ms.Replicas), agg.Batches, agg.P50Ms, agg.P99Ms)
+		for _, rep := range ms.Replicas {
+			h := rep.Stats.Health
+			fmt.Printf("    %s: served %d, %d maintenance checks, masked_rows=%d wear=%.4f energy=%.3gJ\n",
+				rep.Name, rep.Stats.Served, rep.Checks, rep.Masked, rep.Wear, h.EnergyJ)
+		}
+	}
 }

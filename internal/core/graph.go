@@ -787,6 +787,11 @@ func (g *Graph) PredictBatchCtx(ctx context.Context, dst []int, xs []float64, ba
 // InputSize returns the flat element count of the graph's input node.
 func (g *Graph) InputSize() int { return g.nodes[0].size }
 
+// Config returns the network configuration the graph was built with — the
+// recipe replica construction reuses so twins come up on identical
+// hardware settings.
+func (g *Graph) Config() NetworkConfig { return g.cfg }
+
 // OutputSize returns the flat element count of the output node (0 until
 // SetOutput has sealed the graph).
 func (g *Graph) OutputSize() int {

@@ -29,9 +29,14 @@ type LayerState struct {
 // stateVersion guards the wire format.
 const stateVersion = "trident-state-1"
 
-// Save writes the network's master weights as JSON.
-func (n *Network) Save(w io.Writer) error {
-	st := NetworkState{Version: stateVersion}
+// Snapshot captures the network's master weights as an in-memory state —
+// the same artifact Save writes, without the JSON round-trip. It is the
+// seed replica construction works from: every NewNetworkFromState built
+// from one snapshot programs its banks through the identical deterministic
+// write sequence, so sibling replicas (and offline replay twins) start
+// bit-identical.
+func (n *Network) Snapshot() *NetworkState {
+	st := &NetworkState{Version: stateVersion}
 	for _, l := range n.layers {
 		ls := LayerState{In: l.spec.In, Out: l.spec.Out, Activate: l.spec.Activate}
 		for _, row := range l.w {
@@ -39,17 +44,24 @@ func (n *Network) Save(w io.Writer) error {
 		}
 		st.Layers = append(st.Layers, ls)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(st)
+	return st
 }
 
-// LoadNetwork reconstructs a hardware network from a saved state, building
-// fresh PEs under cfg and programming the banks with the stored weights.
-func LoadNetwork(r io.Reader, cfg NetworkConfig) (*Network, error) {
-	var st NetworkState
-	if err := json.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("core: decoding state: %w", err)
+// Save writes the network's master weights as JSON.
+func (n *Network) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(n.Snapshot())
+}
+
+// NewNetworkFromState builds a hardware network from a state snapshot:
+// fresh PEs under cfg, banks programmed with the stored weights. Two
+// networks built from the same snapshot under the same config are
+// bit-identical twins — same master weights, same GST programming
+// sequence — which is what replica fan-out and journal replay rely on.
+func NewNetworkFromState(st *NetworkState, cfg NetworkConfig) (*Network, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil state")
 	}
 	if st.Version != stateVersion {
 		return nil, fmt.Errorf("core: state version %q, want %q", st.Version, stateVersion)
@@ -90,4 +102,24 @@ func LoadNetwork(r io.Reader, cfg NetworkConfig) (*Network, error) {
 		}
 	}
 	return net, nil
+}
+
+// Replicate builds a fresh replica of the network from its current master
+// weights under its own configuration: new PEs, new banks, identical
+// programmed state. Replicas of one snapshot serve bit-identical classes
+// (given deterministic noise settings), so a serving router can fan one
+// trained model out across instances and drain any of them for
+// maintenance without changing answers.
+func (n *Network) Replicate() (*Network, error) {
+	return NewNetworkFromState(n.Snapshot(), n.Config())
+}
+
+// LoadNetwork reconstructs a hardware network from a saved state, building
+// fresh PEs under cfg and programming the banks with the stored weights.
+func LoadNetwork(r io.Reader, cfg NetworkConfig) (*Network, error) {
+	var st NetworkState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding state: %w", err)
+	}
+	return NewNetworkFromState(&st, cfg)
 }

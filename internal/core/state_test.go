@@ -86,6 +86,70 @@ func TestLoadNetworkValidation(t *testing.T) {
 	}
 }
 
+// TestReplicateBitIdentical pins the replica fan-out contract the serving
+// router depends on: Replicate builds a twin from the trained snapshot on
+// fresh hardware whose classifications are bit-identical to the source,
+// and whose banks are fully independent afterwards — masking rows on one
+// replica must not leak into a sibling.
+func TestReplicateBitIdentical(t *testing.T) {
+	data := dataset.Blobs(120, 3, 5, 0.1, 7)
+	cfg := NetworkConfig{PE: PEConfig{Rows: 8, Cols: 8, DisableNoise: true}, LearningRate: 0.1}
+	net, err := NewNetwork(cfg, LayerSpec{In: 5, Out: 10, Activate: true}, LayerSpec{In: 10, Out: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 4; e++ {
+		for i := range data.Inputs {
+			if _, err := net.TrainSample(data.Inputs[i].Data(), data.Labels[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if net.Config().LearningRate != cfg.LearningRate {
+		t.Fatalf("Config() = %+v, want the construction config", net.Config())
+	}
+	repA, err := net.Replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := net.Replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data.Inputs {
+		want, err := net.Predict(data.Inputs[i].Data())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, rep := range []*Network{repA, repB} {
+			got, err := rep.Predict(data.Inputs[i].Data())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("replica %d sample %d: class %d, source %d", ri, i, got, want)
+			}
+		}
+	}
+	// Independence: degrading one replica leaves its siblings untouched.
+	masked := false
+	repA.ForEachPE(func(_, _, _ int, pe *PE) {
+		if !masked {
+			if err := pe.MaskRow(0); err != nil {
+				t.Errorf("mask row: %v", err)
+			}
+			masked = true
+		}
+	})
+	if repA.MaskedRowCount() != 1 {
+		t.Fatalf("replica A masked rows %d, want 1", repA.MaskedRowCount())
+	}
+	if net.MaskedRowCount() != 0 || repB.MaskedRowCount() != 0 {
+		t.Fatalf("mask leaked across replicas: source %d, sibling %d",
+			net.MaskedRowCount(), repB.MaskedRowCount())
+	}
+}
+
 // TestLoadClampsWeights: out-of-range weights in a state file saturate to
 // the physical [-1, 1] attenuator range.
 func TestLoadClampsWeights(t *testing.T) {

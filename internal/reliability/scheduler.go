@@ -149,6 +149,35 @@ func NewScheduler(net *core.Graph, policy Policy, baseline float64,
 // banks. Install it before the first Check; passing nil removes the gate.
 func (s *Scheduler) SetGate(g Gate) { s.gate = g }
 
+// State is the scheduler's cumulative remediation history — the health
+// signal a wear-aware router consumes alongside EstimateWait when scoring
+// replicas. It is a plain value snapshot; reading it must be serialized
+// with Check by the caller (the serving maintainer does this under its own
+// lock).
+type State struct {
+	// Checks is the number of completed health checks; LastStep the
+	// training/serving step of the most recent one.
+	Checks, LastStep int
+	// Suspects is the cumulative count of distinct BIST-flagged cells.
+	Suspects int
+	// MaskedRows is the cumulative count of retired physical rows.
+	MaskedRows int
+	// Heals counts in-situ healing interventions.
+	Heals int
+}
+
+// State returns the cumulative remediation snapshot. Not safe to call
+// concurrently with Check — wrap it behind whatever serializes checks.
+func (s *Scheduler) State() State {
+	return State{
+		Checks:     s.checks,
+		LastStep:   s.lastStep,
+		Suspects:   len(s.seen),
+		MaskedRows: s.maskedRows(),
+		Heals:      s.heals,
+	}
+}
+
 // Baseline returns the accuracy target the scheduler defends.
 func (s *Scheduler) Baseline() float64 { return s.baseline }
 

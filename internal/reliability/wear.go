@@ -65,6 +65,61 @@ func sampleWeibull(rng *rand.Rand, scale, shape float64) float64 {
 	return scale * math.Pow(-math.Log(1-u), 1/shape)
 }
 
+// WearStats summarizes the endurance draw-down of every GST weight cell in
+// a network: how much of each cell's switching budget its lifetime writes
+// have consumed. A wear-aware serving router reads this to steer traffic
+// toward the least-worn replica, mirroring row-rotation wear-leveling one
+// level up.
+type WearStats struct {
+	// Cells is the number of PCM weight cells inspected.
+	Cells int
+	// WornOut counts cells whose writes have met or passed their budget.
+	WornOut int
+	// MeanDrawDown and MaxDrawDown are the mean and worst per-cell
+	// writes/endurance fractions (0 = pristine, ≥1 = exhausted).
+	MeanDrawDown float64
+	MaxDrawDown  float64
+}
+
+// WearSummary walks the network's PCM weight cells and reports their
+// cumulative endurance draw-down. It only reads bookkeeping counters
+// (lifetime writes, endurance budget), so it is cheap enough to run inside
+// a serving health probe; like every bank read it must not race a
+// mutation, so callers hold the execute token.
+func WearSummary(net *core.Graph) WearStats {
+	var st WearStats
+	var sum float64
+	net.ForEachPE(func(_, _, _ int, pe *core.PE) {
+		bank := pe.Bank()
+		for r := 0; r < bank.Rows(); r++ {
+			for c := 0; c < bank.Cols(); c++ {
+				t, ok := bank.PhysicalTuner(r, c).(*mrr.PCMTuner)
+				if !ok {
+					continue
+				}
+				cell := t.Cell()
+				limit := cell.EnduranceLimit()
+				if limit <= 0 {
+					continue
+				}
+				frac := float64(cell.Writes()) / limit
+				st.Cells++
+				sum += frac
+				if frac > st.MaxDrawDown {
+					st.MaxDrawDown = frac
+				}
+				if cell.WornOut() {
+					st.WornOut++
+				}
+			}
+		}
+	})
+	if st.Cells > 0 {
+		st.MeanDrawDown = sum / float64(st.Cells)
+	}
+	return st
+}
+
 // AttachWear assigns every GST weight cell in the network a per-cell
 // endurance budget drawn from the Weibull distribution, walking the tile
 // grid in fixed order so the same seed always produces the same budgets.

@@ -26,14 +26,17 @@ func GraphHealth(g *core.Graph) func() Health {
 		}
 		faults := g.FaultCount()
 		masked := g.MaskedRowCount()
+		wear := reliability.WearSummary(g)
 		return Health{
-			Degraded:    faults > 0 || masked > 0,
-			Faults:      faults,
-			MaskedRows:  masked,
-			EnergyJ:     led.TotalEnergy().Joules(),
-			AvgPowerW:   led.AveragePower().Watts(),
-			SimElapsedS: led.Elapsed().Seconds(),
-			Energy:      energy,
+			Degraded:     faults > 0 || masked > 0,
+			Faults:       faults,
+			MaskedRows:   masked,
+			EnergyJ:      led.TotalEnergy().Joules(),
+			AvgPowerW:    led.AveragePower().Watts(),
+			SimElapsedS:  led.Elapsed().Seconds(),
+			Energy:       energy,
+			WearDrawDown: wear.MeanDrawDown,
+			WornCells:    wear.WornOut,
 		}
 	}
 }
@@ -180,11 +183,66 @@ func (m *Maintainer) LastResult() reliability.CheckResult {
 	return m.last
 }
 
+// SchedulerState returns the underlying remediation scheduler's cumulative
+// state (checks, suspects, masked rows, heals). It serializes with CheckNow
+// under the maintainer's lock, so the router and the /models listing can
+// observe scheduler state while maintenance runs.
+func (m *Maintainer) SchedulerState() reliability.State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched.State()
+}
+
 // Checks returns how many maintenance windows have completed.
 func (m *Maintainer) Checks() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.checks
+}
+
+// TwinChecker builds the replay-side counterpart of a maintainer for a
+// twin graph: a fresh reliability scheduler with the same policy and the
+// same deterministic self-probe reference, returned as the check hook
+// Journal.Replay feeds OpCheck entries into. A journal recorded by a
+// maintainer with cfg replays bit-identically through a twin checker built
+// from the same cfg on a twin graph.
+func TwinChecker(g *core.Graph, cfg MaintainerConfig) (func(step int) error, error) {
+	if g == nil {
+		return nil, fmt.Errorf("serve: twin checker needs a graph")
+	}
+	if cfg.ProbeSamples <= 0 {
+		cfg.ProbeSamples = 64
+	}
+	if cfg.Policy.CheckEvery <= 0 {
+		cfg.Policy.CheckEvery = 500
+	}
+	probe := makeProbe(g.InputSize(), cfg.ProbeSamples, cfg.Seed)
+	reference, err := g.PredictBatch(nil, probe, cfg.ProbeSamples)
+	if err != nil {
+		return nil, fmt.Errorf("serve: twin probe reference: %w", err)
+	}
+	reference = append([]int(nil), reference...)
+	eval := func() (float64, error) {
+		classes, err := g.PredictBatch(nil, probe, cfg.ProbeSamples)
+		if err != nil {
+			return 0, err
+		}
+		agree := 0
+		for i := range classes {
+			if classes[i] == reference[i] {
+				agree++
+			}
+		}
+		return float64(agree) / float64(len(classes)), nil
+	}
+	sched, err := reliability.NewScheduler(g, cfg.Policy, 1.0, eval, nil)
+	if err != nil {
+		return nil, err
+	}
+	return func(step int) error {
+		_, err := sched.Check(step)
+		return err
+	}, nil
 }
 
 // Run ticks maintenance windows every interval until ctx cancels or the

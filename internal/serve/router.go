@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Router-level typed rejections.
+var (
+	// ErrUnknownModel rejects a request naming a model the router does not
+	// front.
+	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrAllDraining rejects a request whose model has every replica in a
+	// maintenance drain: rather than queueing behind the drain, the router
+	// degrades honestly — the HTTP layer maps this to 503 with a
+	// Retry-After derived from the replicas' own wait estimates.
+	ErrAllDraining = errors.New("serve: all replicas draining")
+)
+
+// Router fronts M models × N replicas: every request names a model, the
+// router scores that model's replicas (Instance.Score: estimated wait plus
+// masked-row and wear penalties) and submits to the best warm one.
+// Drain-tolerance is the point: when one replica's maintainer acquires its
+// execute token, the router shifts traffic to warm siblings instead of
+// queueing behind the drain, and replica-local backpressure (ErrQueueFull)
+// hands the request to the next-best sibling before giving up. Only when
+// every replica of a model is draining does the router reject — with
+// ErrAllDraining, never silently.
+//
+// Accounting preserves the batcher's ledger identity one level up: every
+// routed request resolves to exactly one router-level outcome (served,
+// typed rejection, deadline error, or failure), so RouterSnapshot.Lost()
+// == 0 holds across handoffs — a request that bounced off a full replica
+// and was served by its sibling counts one submission and one outcome at
+// the router, while each replica's own ledger records its local attempt.
+type Router struct {
+	mu     sync.RWMutex
+	groups map[string]*modelGroup
+	names  []string // registration order, for stable listings
+
+	// Router-level ledger (see RouterSnapshot).
+	submitted, served, rejected atomic.Uint64
+	deadlineErrs, failed        atomic.Uint64
+	handoffs, allDraining       atomic.Uint64
+	unknownModel                atomic.Uint64
+}
+
+type modelGroup struct {
+	name     string
+	replicas []*Instance
+}
+
+// NewRouter returns an empty router; register models with AddModel.
+func NewRouter() *Router {
+	return &Router{groups: make(map[string]*modelGroup)}
+}
+
+// AddModel registers a model and its replicas. Replica input widths must
+// agree — they are meant to be bit-identical twins of one trained
+// snapshot. Registering a duplicate name or an empty replica set errors.
+func (r *Router) AddModel(name string, replicas ...*Instance) error {
+	if name == "" {
+		return fmt.Errorf("serve: model name must be non-empty")
+	}
+	if len(replicas) == 0 {
+		return fmt.Errorf("serve: model %q needs at least one replica", name)
+	}
+	width := replicas[0].b.eng.InputSize()
+	for _, inst := range replicas[1:] {
+		if w := inst.b.eng.InputSize(); w != width {
+			return fmt.Errorf("serve: model %q replica %q input width %d, sibling has %d",
+				name, inst.Name(), w, width)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.groups[name]; ok {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.groups[name] = &modelGroup{name: name, replicas: append([]*Instance(nil), replicas...)}
+	r.names = append(r.names, name)
+	return nil
+}
+
+// Models returns the registered model names in registration order.
+func (r *Router) Models() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// Replicas returns a model's replicas, or nil for an unknown model.
+func (r *Router) Replicas(model string) []*Instance {
+	if g := r.group(model); g != nil {
+		return append([]*Instance(nil), g.replicas...)
+	}
+	return nil
+}
+
+// DefaultModel returns the single registered model's name, or "" when the
+// router fronts zero or several models (then every request must name one).
+func (r *Router) DefaultModel() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.names) == 1 {
+		return r.names[0]
+	}
+	return ""
+}
+
+func (r *Router) group(model string) *modelGroup {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.groups[model]
+}
+
+// rank partitions a model's replicas into warm (not draining, accepting)
+// and the rest, with warm sorted by ascending routing score.
+func (g *modelGroup) rank() (warm, drained []*Instance) {
+	type scored struct {
+		inst  *Instance
+		score time.Duration
+	}
+	ranked := make([]scored, 0, len(g.replicas))
+	for _, inst := range g.replicas {
+		if inst.Draining() || !inst.Accepting() {
+			drained = append(drained, inst)
+			continue
+		}
+		ranked = append(ranked, scored{inst, inst.Score()})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
+	warm = make([]*Instance, len(ranked))
+	for i, s := range ranked {
+		warm[i] = s.inst
+	}
+	return warm, drained
+}
+
+// EstimateWait is the model's best-case wait estimate: the minimum over
+// its replicas (draining ones included — their estimate carries the
+// maintenance penalty, which is exactly the honest Retry-After for an
+// all-draining model). Zero for unknown models.
+func (r *Router) EstimateWait(model string) time.Duration {
+	g := r.group(model)
+	if g == nil {
+		return 0
+	}
+	var min time.Duration
+	for i, inst := range g.replicas {
+		if est := inst.EstimateWait(); i == 0 || est < min {
+			min = est
+		}
+	}
+	return min
+}
+
+// Submit routes one request to the named model. Exactly one router-level
+// outcome results: a class, a typed rejection (ErrUnknownModel,
+// ErrAllDraining, or a replica's own typed rejection), or the request
+// context's error. On replica-local backpressure or a drain that began
+// mid-flight (ErrQueueFull, ErrShuttingDown) the router hands the request
+// to the next-best warm sibling before giving up.
+func (r *Router) Submit(ctx context.Context, model string, x []float64) (int, error) {
+	r.submitted.Add(1)
+	g := r.group(model)
+	if g == nil {
+		r.unknownModel.Add(1)
+		return 0, fmt.Errorf("%w: %q", ErrUnknownModel, model)
+	}
+	warm, _ := g.rank()
+	if len(warm) == 0 {
+		r.allDraining.Add(1)
+		return 0, fmt.Errorf("%w: model %q, retry in ~%v",
+			ErrAllDraining, model, r.EstimateWait(model).Round(time.Millisecond))
+	}
+	var class int
+	var err error
+	for i, inst := range warm {
+		class, err = inst.Submit(ctx, x)
+		if err == nil {
+			r.served.Add(1)
+			return class, nil
+		}
+		// Replica-local conditions hand off to the next-best sibling; the
+		// last sibling's error stands. Caller-owned outcomes (bad input,
+		// expired context, unattainable deadline) are final wherever they
+		// surface.
+		if (errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown)) && i < len(warm)-1 {
+			r.handoffs.Add(1)
+			continue
+		}
+		break
+	}
+	r.account(err)
+	return 0, err
+}
+
+// account classifies a terminal Submit error into the router ledger.
+func (r *Router) account(err error) {
+	switch {
+	case errors.Is(err, ErrBadInput), errors.Is(err, ErrQueueFull),
+		errors.Is(err, ErrShuttingDown), errors.Is(err, ErrDeadline):
+		r.rejected.Add(1)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		r.deadlineErrs.Add(1)
+	default:
+		r.failed.Add(1)
+	}
+}
+
+// ReplicaSnapshot is one replica's view in the router snapshot: its full
+// batcher ledger plus the routing-facing signals the router scored it by.
+type ReplicaSnapshot struct {
+	Name     string        `json:"name"`
+	Draining bool          `json:"draining"`
+	ScoreMs  float64       `json:"score_ms"`
+	Checks   int           `json:"maintenance_checks"`
+	Masked   int           `json:"masked_rows"`
+	Wear     float64       `json:"wear_draw_down"`
+	Stats    Snapshot      `json:"stats"`
+	scoreDur time.Duration `json:"-"`
+}
+
+// ModelSnapshot is one model's view: per-replica snapshots plus their
+// ledger-preserving aggregate.
+type ModelSnapshot struct {
+	Name      string            `json:"name"`
+	Replicas  []ReplicaSnapshot `json:"replicas"`
+	Aggregate Snapshot          `json:"aggregate"`
+}
+
+// RouterSnapshot is the router-level metrics view exported on /stats.
+type RouterSnapshot struct {
+	Submitted    uint64 `json:"submitted"`
+	Served       uint64 `json:"served"`
+	Rejected     uint64 `json:"rejected"`
+	DeadlineErrs uint64 `json:"deadline_errs"`
+	Failed       uint64 `json:"failed"`
+	Handoffs     uint64 `json:"handoffs"`
+	AllDraining  uint64 `json:"all_draining"`
+	UnknownModel uint64 `json:"unknown_model"`
+
+	Models []ModelSnapshot `json:"models"`
+}
+
+// Lost returns the number of routed requests not accounted for by any
+// router-level outcome — the replica ledger identity lifted across
+// handoffs: zero means every request that entered the router left it with
+// exactly one outcome, no matter how many replicas it bounced between.
+func (sn RouterSnapshot) Lost() int64 {
+	accounted := sn.Served + sn.Rejected + sn.DeadlineErrs + sn.Failed +
+		sn.AllDraining + sn.UnknownModel
+	return int64(sn.Submitted) - int64(accounted)
+}
+
+// Snapshot captures the router ledger and every model's per-replica and
+// aggregate views.
+func (r *Router) Snapshot() RouterSnapshot {
+	sn := RouterSnapshot{
+		Submitted:    r.submitted.Load(),
+		Served:       r.served.Load(),
+		Rejected:     r.rejected.Load(),
+		DeadlineErrs: r.deadlineErrs.Load(),
+		Failed:       r.failed.Load(),
+		Handoffs:     r.handoffs.Load(),
+		AllDraining:  r.allDraining.Load(),
+		UnknownModel: r.unknownModel.Load(),
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	for _, name := range names {
+		g := r.group(name)
+		if g == nil {
+			continue
+		}
+		ms := ModelSnapshot{Name: name}
+		parts := make([]Snapshot, 0, len(g.replicas))
+		for _, inst := range g.replicas {
+			score := inst.Score()
+			h := inst.Health()
+			stats := inst.Stats()
+			ms.Replicas = append(ms.Replicas, ReplicaSnapshot{
+				Name:     inst.Name(),
+				Draining: inst.Draining(),
+				ScoreMs:  float64(score) / float64(time.Millisecond),
+				Checks:   inst.SchedulerState().Checks,
+				Masked:   h.MaskedRows,
+				Wear:     h.WearDrawDown,
+				Stats:    stats,
+				scoreDur: score,
+			})
+			parts = append(parts, stats)
+		}
+		ms.Aggregate = Aggregate(parts...)
+		sn.Models = append(sn.Models, ms)
+	}
+	return sn
+}
+
+// Shutdown drains every replica of every model gracefully, concurrently.
+// The first error (if any) is returned after all instances settle.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.RLock()
+	var all []*Instance
+	for _, g := range r.groups {
+		all = append(all, g.replicas...)
+	}
+	r.mu.RUnlock()
+	errs := make(chan error, len(all))
+	var wg sync.WaitGroup
+	for _, inst := range all {
+		wg.Add(1)
+		go func(inst *Instance) {
+			defer wg.Done()
+			errs <- inst.Shutdown(ctx)
+		}(inst)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -78,6 +78,12 @@ type Health struct {
 	SimElapsedS float64 `json:"sim_elapsed_s"`
 	// Energy is the per-category ledger breakdown in joules.
 	Energy map[string]float64 `json:"energy_breakdown_j,omitempty"`
+	// WearDrawDown is the mean per-cell endurance fraction consumed by
+	// lifetime writes (0 = pristine banks, ≥1 = exhausted); WornCells
+	// counts cells past their budget. A wear-aware router steers traffic
+	// toward replicas with the lowest draw-down.
+	WearDrawDown float64 `json:"wear_draw_down"`
+	WornCells    int     `json:"worn_cells"`
 }
 
 // Config parameterizes a Batcher. Zero values select the documented
@@ -307,6 +313,12 @@ func (b *Batcher) Accepting() bool {
 	defer b.mu.RUnlock()
 	return !b.closed
 }
+
+// Draining reports whether a maintenance window is pending or in progress:
+// some holder is waiting on or owns the execute token via Acquire. A
+// router uses this to shift traffic to warm sibling replicas instead of
+// queueing new work behind the drain.
+func (b *Batcher) Draining() bool { return b.drainers.Load() > 0 }
 
 // QueueDepth returns the current number of queued requests.
 func (b *Batcher) QueueDepth() int { return len(b.queue) }

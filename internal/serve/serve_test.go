@@ -304,7 +304,7 @@ func waitFor(t *testing.T, cond func() bool) {
 func TestHTTPPredictAndOps(t *testing.T) {
 	eng := &fakeEngine{width: 3}
 	b := NewBatcher(eng, Config{MaxBatch: 4, MaxWait: 500 * time.Microsecond})
-	srv := httptest.NewServer(NewServer(b).Handler())
+	srv := httptest.NewServer(NewSingleServer(b).Handler())
 	defer srv.Close()
 
 	post := func(body string) (*http.Response, []byte) {
@@ -352,13 +352,19 @@ func TestHTTPPredictAndOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sn Snapshot
+	var sn RouterSnapshot
 	if err := json.NewDecoder(resp2.Body).Decode(&sn); err != nil {
 		t.Fatalf("stats decode: %v", err)
 	}
 	resp2.Body.Close()
 	if sn.Submitted == 0 || sn.Lost() != 0 {
 		t.Fatalf("stats: %+v", sn)
+	}
+	if len(sn.Models) != 1 || sn.Models[0].Name != "default" || len(sn.Models[0].Replicas) != 1 {
+		t.Fatalf("stats models: %+v", sn.Models)
+	}
+	if agg := sn.Models[0].Aggregate; agg.Lost() != 0 || agg.Served == 0 {
+		t.Fatalf("stats aggregate: %+v", agg)
 	}
 
 	mustShutdown(t, b)
@@ -376,14 +382,12 @@ func TestHTTPPredictAndOps(t *testing.T) {
 }
 
 func TestHTTPBackpressure429(t *testing.T) {
-	eng := &fakeEngine{width: 1}
+	// A slow engine (not a drain: the router maps all-replicas-draining to
+	// 503) backs the queue up so the overflow request bounces with 429.
+	eng := &fakeEngine{width: 1, delay: 100 * time.Millisecond}
 	b := NewBatcher(eng, Config{MaxBatch: 1, MaxWait: 100 * time.Microsecond, QueueCap: 2})
-	srv := httptest.NewServer(NewServer(b).Handler())
+	srv := httptest.NewServer(NewSingleServer(b).Handler())
 	defer srv.Close()
-	release, err := b.Acquire(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
@@ -396,7 +400,6 @@ func TestHTTPBackpressure429(t *testing.T) {
 		}()
 	}
 	waitFor(t, func() bool { return b.QueueDepth() == 2 })
-	time.Sleep(5 * time.Millisecond) // let the dispatcher park on the gate
 	resp, err := http.Post(srv.URL+"/predict", "application/json", strings.NewReader(`{"input":[1]}`))
 	if err != nil {
 		t.Fatal(err)
@@ -408,9 +411,95 @@ func TestHTTPBackpressure429(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
-	release()
 	wg.Wait()
 	mustShutdown(t, b)
+}
+
+func TestHTTPMethodAndContentTypeRejections(t *testing.T) {
+	b := NewBatcher(&fakeEngine{width: 1}, Config{MaxBatch: 1, MaxWait: 100 * time.Microsecond})
+	srv := httptest.NewServer(NewSingleServer(b).Handler())
+	defer srv.Close()
+	defer mustShutdown(t, b)
+
+	decodeErr := func(resp *http.Response) errorResponse {
+		t.Helper()
+		defer resp.Body.Close()
+		var er errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("error body decode: %v", err)
+		}
+		return er
+	}
+
+	// Non-POST /predict: 405 with an Allow header and a typed code.
+	for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodDelete} {
+		req, err := http.NewRequest(method, srv.URL+"/predict", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s /predict: status %d, want 405", method, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Fatalf("%s /predict: Allow %q, want POST", method, allow)
+		}
+		if er := decodeErr(resp); er.Code != codeMethod {
+			t.Fatalf("%s /predict: code %q, want %q", method, er.Code, codeMethod)
+		}
+	}
+
+	// Explicit non-JSON Content-Type: typed 400 before the body is parsed.
+	resp, err := http.Post(srv.URL+"/predict", "text/plain", strings.NewReader(`{"input":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("text/plain: status %d, want 400", resp.StatusCode)
+	}
+	if er := decodeErr(resp); er.Code != codeBadMedia {
+		t.Fatalf("text/plain: code %q, want %q", er.Code, codeBadMedia)
+	}
+
+	// JSON with parameters and +json suffixes pass the gate.
+	for _, ct := range []string{"application/json; charset=utf-8", "application/vnd.trident+json"} {
+		resp, err := http.Post(srv.URL+"/predict", ct, strings.NewReader(`{"input":[1]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, want 200", ct, resp.StatusCode)
+		}
+	}
+
+	// Malformed JSON keeps its own code, distinct from the media-type one.
+	resp, err = http.Post(srv.URL+"/predict", "application/json", strings.NewReader(`{"input":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated JSON: status %d, want 400", resp.StatusCode)
+	}
+	if er := decodeErr(resp); er.Code != codeBadJSON {
+		t.Fatalf("truncated JSON: code %q, want %q", er.Code, codeBadJSON)
+	}
+
+	// Unknown model on a single-model server: 404 with the typed code.
+	resp, err = http.Post(srv.URL+"/predict", "application/json",
+		strings.NewReader(`{"model":"nope","input":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d, want 404", resp.StatusCode)
+	}
+	if er := decodeErr(resp); er.Code != codeUnknownModel {
+		t.Fatalf("unknown model: code %q, want %q", er.Code, codeUnknownModel)
+	}
 }
 
 // --- Real graph: maintainer, chaos, journal replay ---

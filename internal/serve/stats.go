@@ -180,6 +180,65 @@ func (s *stats) snapshot(queueDepth int, h Health, draining bool) Snapshot {
 	return sn
 }
 
+// Aggregate merges per-replica snapshots into one fleet view: counters and
+// batch-size histograms are summed (so the ledger identity survives —
+// aggregate Lost() is the sum of the parts'), queue depths add, and the
+// fleet is draining only when every part is. Latency percentiles and rate
+// estimates cannot be recovered exactly from already-reduced snapshots, so
+// they are served-weighted means of the per-replica values — a documented
+// approximation, good enough for the /stats dashboard and exact when the
+// replicas are similarly loaded. Health is taken from the most degraded
+// part (max faults+masked rows) since a fleet is as healthy as its worst
+// replica makes visible.
+func Aggregate(snaps ...Snapshot) Snapshot {
+	var agg Snapshot
+	if len(snaps) == 0 {
+		return agg
+	}
+	agg.Draining = true
+	var weight float64
+	worst := -1
+	for i, sn := range snaps {
+		agg.Submitted += sn.Submitted
+		agg.Served += sn.Served
+		agg.Failed += sn.Failed
+		agg.RejectedQueueFull += sn.RejectedQueueFull
+		agg.RejectedDeadline += sn.RejectedDeadline
+		agg.RejectedShutdown += sn.RejectedShutdown
+		agg.DeadlineExpired += sn.DeadlineExpired
+		agg.BadInput += sn.BadInput
+		agg.Batches += sn.Batches
+		agg.QueueDepth += sn.QueueDepth
+		agg.Draining = agg.Draining && sn.Draining
+		if len(sn.BatchSizeHist) > len(agg.BatchSizeHist) {
+			agg.BatchSizeHist = append(agg.BatchSizeHist,
+				make([]uint64, len(sn.BatchSizeHist)-len(agg.BatchSizeHist))...)
+		}
+		for j, c := range sn.BatchSizeHist {
+			agg.BatchSizeHist[j] += c
+		}
+		w := float64(sn.Served)
+		agg.P50Ms += w * sn.P50Ms
+		agg.P99Ms += w * sn.P99Ms
+		agg.PerSampleUs += w * sn.PerSampleUs
+		agg.MaintMs += w * sn.MaintMs
+		weight += w
+		if deg := sn.Health.Faults + sn.Health.MaskedRows; worst < 0 || deg > snaps[worst].Health.Faults+snaps[worst].Health.MaskedRows {
+			agg.Health = sn.Health
+			worst = i
+		}
+	}
+	if weight > 0 {
+		agg.P50Ms /= weight
+		agg.P99Ms /= weight
+		agg.PerSampleUs /= weight
+		agg.MaintMs /= weight
+	} else {
+		agg.P50Ms, agg.P99Ms, agg.PerSampleUs, agg.MaintMs = 0, 0, 0, 0
+	}
+	return agg
+}
+
 // percentile reads the p-quantile from a sorted window (nearest-rank).
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	idx := int(p * float64(len(sorted)))

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyRingWraparound pins the sliding-window percentile behavior
+// past 4096 entries: once the ring wraps, old samples are gone and the
+// percentiles reflect only the newest latWindow observations.
+func TestLatencyRingWraparound(t *testing.T) {
+	s := newStats(4)
+	// Fill the ring exactly once with 1ms samples.
+	for i := 0; i < latWindow; i++ {
+		s.served(time.Millisecond)
+	}
+	sn := s.snapshot(0, Health{}, false)
+	if sn.P50Ms != 1 || sn.P99Ms != 1 {
+		t.Fatalf("full ring: p50 %.3f p99 %.3f, want 1/1", sn.P50Ms, sn.P99Ms)
+	}
+	// Overwrite the whole window with 3ms samples: the 1ms era must be
+	// fully evicted, not blended.
+	for i := 0; i < latWindow; i++ {
+		s.served(3 * time.Millisecond)
+	}
+	sn = s.snapshot(0, Health{}, false)
+	if sn.P50Ms != 3 || sn.P99Ms != 3 {
+		t.Fatalf("wrapped ring: p50 %.3f p99 %.3f, want 3/3", sn.P50Ms, sn.P99Ms)
+	}
+	if sn.Served != 2*latWindow {
+		t.Fatalf("served %d, want %d", sn.Served, 2*latWindow)
+	}
+	// A partial second lap mixes eras: exactly half the window is new.
+	for i := 0; i < latWindow/2; i++ {
+		s.served(5 * time.Millisecond)
+	}
+	sn = s.snapshot(0, Health{}, false)
+	if sn.P50Ms < 3 || sn.P50Ms > 5 {
+		t.Fatalf("half-wrapped p50 %.3f outside [3,5]", sn.P50Ms)
+	}
+	if sn.P99Ms != 5 {
+		t.Fatalf("half-wrapped p99 %.3f, want 5", sn.P99Ms)
+	}
+}
+
+// TestBatchHistBounds pins the histogram's bounds behavior: sizes beyond
+// MaxBatch (possible only through a bug or a future config change) must
+// not panic or corrupt adjacent counters — they are dropped, while the
+// batch and service-time accounting still runs.
+func TestBatchHistBounds(t *testing.T) {
+	s := newStats(4)
+	s.observeBatch(4, 4*time.Millisecond)   // top in-range bucket
+	s.observeBatch(1, time.Millisecond)     // bottom in-range bucket
+	s.observeBatch(10, 10*time.Millisecond) // out of range: counted, not binned
+	sn := s.snapshot(0, Health{}, false)
+	if len(sn.BatchSizeHist) != 5 {
+		t.Fatalf("hist length %d, want 5", len(sn.BatchSizeHist))
+	}
+	if sn.BatchSizeHist[4] != 1 || sn.BatchSizeHist[1] != 1 {
+		t.Fatalf("hist %v, want one count each at sizes 1 and 4", sn.BatchSizeHist)
+	}
+	if sn.Batches != 3 {
+		t.Fatalf("batches %d, want 3 (out-of-range batch still counts)", sn.Batches)
+	}
+	var binned uint64
+	for _, c := range sn.BatchSizeHist {
+		binned += c
+	}
+	if binned != 2 {
+		t.Fatalf("hist holds %d entries, want 2 (size-10 batch dropped)", binned)
+	}
+}
+
+// TestEstimatesBeforeFirstBatch pins the cold-start estimates: with zero
+// completed batches the per-sample EWMA falls back to the conservative
+// default (so admission control has a denominator) and the maintenance
+// estimate is zero (no window has ever run).
+func TestEstimatesBeforeFirstBatch(t *testing.T) {
+	s := newStats(8)
+	if got := s.perSampleEstimate(); got != defaultPerSample {
+		t.Fatalf("cold per-sample estimate %v, want default %v", got, defaultPerSample)
+	}
+	if got := s.maintEstimate(); got != 0 {
+		t.Fatalf("cold maintenance estimate %v, want 0", got)
+	}
+	sn := s.snapshot(0, Health{}, false)
+	if sn.PerSampleUs != 0 {
+		t.Fatalf("snapshot per-sample %.3f, want 0 (raw EWMA state, not the fallback)", sn.PerSampleUs)
+	}
+	// First observation seeds the EWMA exactly; the second blends.
+	s.observeBatch(2, 2*time.Millisecond) // 1ms/sample
+	if got := s.perSampleEstimate(); got != time.Millisecond {
+		t.Fatalf("seeded per-sample %v, want 1ms", got)
+	}
+	s.observeBatch(1, 3*time.Millisecond) // 3ms/sample
+	want := time.Duration((1-ewmaAlpha)*float64(time.Millisecond) + ewmaAlpha*float64(3*time.Millisecond))
+	if got := s.perSampleEstimate(); got != want {
+		t.Fatalf("blended per-sample %v, want %v", got, want)
+	}
+	s.observeMaint(10 * time.Millisecond)
+	if got := s.maintEstimate(); got != 10*time.Millisecond {
+		t.Fatalf("seeded maintenance %v, want 10ms", got)
+	}
+}
+
+// TestAggregateSnapshots pins the fleet-level reduction: counters and
+// histograms sum (preserving the ledger identity), rates are
+// served-weighted, draining is the conjunction, and health reflects the
+// most degraded replica.
+func TestAggregateSnapshots(t *testing.T) {
+	if agg := Aggregate(); agg.Submitted != 0 || agg.Draining {
+		t.Fatalf("empty aggregate %+v", agg)
+	}
+	a := Snapshot{
+		Submitted: 10, Served: 8, RejectedQueueFull: 2,
+		Batches: 4, BatchSizeHist: []uint64{0, 1, 3},
+		QueueDepth: 2, Draining: true,
+		P50Ms: 1, P99Ms: 2, PerSampleUs: 100, MaintMs: 5,
+		Health: Health{MaskedRows: 2, Faults: 1, Degraded: true},
+	}
+	b := Snapshot{
+		Submitted: 6, Served: 4, BadInput: 2,
+		Batches: 2, BatchSizeHist: []uint64{0, 0, 1, 1}, // longer hist than a's
+		Draining: false,
+		P50Ms:    3, P99Ms: 6, PerSampleUs: 200, MaintMs: 0,
+	}
+	agg := Aggregate(a, b)
+	if agg.Submitted != 16 || agg.Served != 12 || agg.RejectedQueueFull != 2 || agg.BadInput != 2 {
+		t.Fatalf("summed counters %+v", agg)
+	}
+	if agg.Lost() != a.Lost()+b.Lost() {
+		t.Fatalf("aggregate lost %d != parts %d+%d", agg.Lost(), a.Lost(), b.Lost())
+	}
+	wantHist := []uint64{0, 1, 4, 1}
+	if len(agg.BatchSizeHist) != len(wantHist) {
+		t.Fatalf("hist %v, want %v", agg.BatchSizeHist, wantHist)
+	}
+	for i := range wantHist {
+		if agg.BatchSizeHist[i] != wantHist[i] {
+			t.Fatalf("hist %v, want %v", agg.BatchSizeHist, wantHist)
+		}
+	}
+	if agg.Draining {
+		t.Fatal("aggregate draining with one warm part")
+	}
+	if agg.QueueDepth != 2 {
+		t.Fatalf("queue depth %d, want 2", agg.QueueDepth)
+	}
+	// Served-weighted: a has 8 of 12 served, b has 4.
+	wantP50 := (8.0*1 + 4.0*3) / 12.0
+	if diff := agg.P50Ms - wantP50; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("weighted p50 %.6f, want %.6f", agg.P50Ms, wantP50)
+	}
+	if agg.Health.MaskedRows != 2 || !agg.Health.Degraded {
+		t.Fatalf("aggregate health %+v, want the degraded part's", agg.Health)
+	}
+	if agg2 := Aggregate(Snapshot{Submitted: 3, RejectedQueueFull: 3, P50Ms: 7}); agg2.P50Ms != 0 {
+		t.Fatalf("zero-served aggregate p50 %.3f, want 0", agg2.P50Ms)
+	}
+}
