@@ -38,10 +38,10 @@ tier2-reliability:
 
 # Benchmark trajectory: the kernel/batch/recompilation microbenchmarks, the
 # training pair, the two regenerating-table benchmarks, the serving
-# throughput pair, and the routed-replica pair, BENCH_COUNT repetitions with
-# allocation reporting, parsed into the machine-readable trajectory file
-# (BENCH_OUT, default
-# BENCH_PR9.json). cmd/benchjson exits non-zero unless the factored kernel
+# throughput pair, the routed-replica pair, and the pipelined-execution
+# pair, BENCH_COUNT repetitions with allocation reporting, parsed into the
+# machine-readable trajectory file (BENCH_OUT, default
+# BENCH_PR10.json). cmd/benchjson exits non-zero unless the factored kernel
 # holds ≥2× over the reference triple loop on the 64×64 bank, the compiled
 # batch kernel ≥1.5× over the factored kernel on the 256×256 batched MVM,
 # the incremental dirty-row recompile ≥5× over a full snapshot rebuild on
@@ -51,12 +51,15 @@ tier2-reliability:
 # multi-core CI enforces it), the micro-batching serve front-end ≥1.2×
 # requests/second over single-request dispatch, batched in-situ training
 # ≥2× per-sample throughput over the sequential TrainSample schedule on the
-# 256×256 layer, and two-replica routed serving ≥1.3× a single replica
+# 256×256 layer, two-replica routed serving ≥1.3× a single replica
 # under maintenance churn (ApplyParallelGate: recorded but waived below 2
-# CPUs, where the sibling replicas cannot actually run concurrently).
-BENCH_OUT ?= BENCH_PR9.json
+# CPUs, where the sibling replicas cannot actually run concurrently), and
+# 4-stage pipelined DeepCNN batch execution ≥1.4× the sequential batched
+# path (recorded but waived below 4 CPUs, where four stage workers cannot
+# actually overlap).
+BENCH_OUT ?= BENCH_PR10.json
 BENCH_COUNT ?= 6
-BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMCompiled|BenchmarkBankMVMFactored|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankMVMBatchFactored|BenchmarkBankMVMBatchParallel|BenchmarkBankRecompileFull|BenchmarkBankRecompileIncremental|BenchmarkBankProgram|BenchmarkTrainStep|BenchmarkTrainBatch|BenchmarkTransposeCompiled|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond|BenchmarkServeBatcher|BenchmarkServeUnbatched|BenchmarkRouterOneReplica|BenchmarkRouterTwoReplicas)$$
+BENCH_PATTERN = ^(BenchmarkBankMVM|BenchmarkBankMVMCompiled|BenchmarkBankMVMFactored|BenchmarkBankMVMReference|BenchmarkBankMVMBatch|BenchmarkBankMVMBatchFactored|BenchmarkBankMVMBatchParallel|BenchmarkBankRecompileFull|BenchmarkBankRecompileIncremental|BenchmarkBankProgram|BenchmarkTrainStep|BenchmarkTrainBatch|BenchmarkTransposeCompiled|BenchmarkTableIII_PowerBreakdown|BenchmarkFigure6_InferencesPerSecond|BenchmarkServeBatcher|BenchmarkServeUnbatched|BenchmarkRouterOneReplica|BenchmarkRouterTwoReplicas|BenchmarkDeepCNNBatchSequential|BenchmarkDeepCNNBatchPipelined)$$
 
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . > bench.out

@@ -978,3 +978,79 @@ func BenchmarkRouterOneReplica(b *testing.B) {
 func BenchmarkRouterTwoReplicas(b *testing.B) {
 	benchRouter(b, 2)
 }
+
+// pipeBenchBatch is the per-op batch size of the pipelined-execution pair:
+// both benchmarks push exactly this many samples per op, so their ns/op
+// ratio is the batch-throughput speedup of stage pipelining.
+const pipeBenchBatch = 64
+
+// pipeBenchGraph builds the pipelined-throughput workload: a four-conv
+// DeepCNN graph (input, four convs, GAP, dense — seven nodes), deep enough
+// that a 4-stage cut puts real convolution work in every stage. Noise is
+// off so the pair times the execution schedule, not the RNG.
+func pipeBenchGraph(b *testing.B) *core.Graph {
+	b.Helper()
+	d, err := core.NewDeepCNN(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
+		LearningRate: 0.1,
+	}, []tensor.Conv2DSpec{
+		{InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1},
+		{InC: 4, InH: 8, InW: 8, OutC: 6, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1},
+		{InC: 6, InH: 8, InW: 8, OutC: 6, KH: 3, KW: 3,
+			StrideH: 2, StrideW: 2, PadH: 1, PadW: 1, Groups: 1},
+		{InC: 6, InH: 4, InW: 4, OutC: 8, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1},
+	}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Graph
+}
+
+// BenchmarkDeepCNNBatchSequential streams pipeBenchBatch-sample batches
+// through the sequential batched forward path — the reference side of the
+// ≥1.4× pipelined-execution gate.
+func BenchmarkDeepCNNBatchSequential(b *testing.B) {
+	g := pipeBenchGraph(b)
+	xs := benchInput(pipeBenchBatch*g.InputSize(), 13)
+	var dst []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dst, err = g.ForwardBatchInto(dst, xs, pipeBenchBatch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*pipeBenchBatch/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// BenchmarkDeepCNNBatchPipelined streams the same batches through a
+// 4-stage pipeline over the same graph shape: each stage owns a contiguous
+// node span on its own simulated chip and micro-batches flow through
+// double-buffered boundaries, so stage k computes micro-batch b while
+// stage k+1 computes b−1. The fast side of the ≥1.4× gate (recorded but
+// waived below four CPUs, where four stages cannot actually overlap).
+func BenchmarkDeepCNNBatchPipelined(b *testing.B) {
+	g := pipeBenchGraph(b)
+	cuts, err := dataflow.PlanStages(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewPipeline(g, cuts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := benchInput(pipeBenchBatch*g.InputSize(), 13)
+	var dst []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = p.ForwardBatchPipelined(dst, xs, pipeBenchBatch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*pipeBenchBatch/b.Elapsed().Seconds(), "samples/sec")
+}

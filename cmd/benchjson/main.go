@@ -1,5 +1,5 @@
 // Command benchjson turns `go test -bench` output into the machine-readable
-// benchmark-trajectory file (BENCH_PR9.json via `make bench`) and enforces
+// benchmark-trajectory file (BENCH_PR10.json via `make bench`) and enforces
 // the kernel speedup gates. By default the factored crosstalk kernel must
 // hold ≥2× over the reference triple loop on the 64×64 bank, the compiled
 // batch kernel ≥1.5× over the factored kernel on the 256×256 batched MVM,
@@ -7,11 +7,12 @@
 // the 256×256 bank, the worker-pool-parallel batch GEMM ≥1.5× over the
 // single-threaded batch on the 256×256 bank, the micro-batching serve
 // front-end ≥1.2× over single-request dispatch in requests served per
-// second, batched training ≥2× over per-sample steps, and the two-replica
-// router ≥1.3× over a single replica under maintenance churn — or the pipe
-// exits non-zero. Parallelism gates only bind on hosts with enough logical
-// CPUs; below that the measured ratio is recorded but the gate is waived
-// (see benchio.ApplyParallelGate).
+// second, batched training ≥2× over per-sample steps, the two-replica
+// router ≥1.3× over a single replica under maintenance churn, and 4-stage
+// pipelined DeepCNN batch execution ≥1.4× over the sequential batched path
+// — or the pipe exits non-zero. Parallelism gates only bind on hosts with
+// enough logical CPUs; below that the measured ratio is recorded but the
+// gate is waived (see benchio.ApplyParallelGate).
 //
 // Usage (as wired by `make bench`):
 //
@@ -44,7 +45,7 @@ type gateSpec struct {
 	minProcs  int
 }
 
-// defaultGates are the PR 9 trajectory requirements. The serve gate compares
+// defaultGates are the PR 10 trajectory requirements. The serve gate compares
 // ns/op of the two serving benchmarks, which is exactly inverse requests per
 // second: batching must buy at least 1.2× throughput over one-at-a-time
 // dispatch through the same batcher machinery. The training gate compares
@@ -55,7 +56,11 @@ type gateSpec struct {
 // under maintenance churn with two replicas against one: the router must
 // buy ≥1.3× by shifting traffic to the warm sibling during each drain —
 // waived below 2 CPUs, where the siblings cannot actually run
-// concurrently (ApplyParallelGate semantics).
+// concurrently (ApplyParallelGate semantics). The pipeline gate compares
+// 4-stage pipelined DeepCNN batch execution against the sequential batched
+// path on the same graph shape: double-buffered stage overlap must buy
+// ≥1.4× batch throughput — waived below 4 CPUs, where four stage workers
+// cannot actually overlap.
 var defaultGates = []gateSpec{
 	{fast: "BenchmarkBankMVMFactored/64x64", ref: "BenchmarkBankMVMReference/64x64", min: 2},
 	{fast: "BenchmarkBankMVMBatch/256x256", ref: "BenchmarkBankMVMBatchFactored/256x256", min: 1.5},
@@ -64,6 +69,7 @@ var defaultGates = []gateSpec{
 	{fast: "BenchmarkServeBatcher", ref: "BenchmarkServeUnbatched", min: 1.2},
 	{fast: "BenchmarkTrainBatch/256x256", ref: "BenchmarkTrainStep/256x256", min: 2},
 	{fast: "BenchmarkRouterTwoReplicas", ref: "BenchmarkRouterOneReplica", min: 1.3, minProcs: 2},
+	{fast: "BenchmarkDeepCNNBatchPipelined", ref: "BenchmarkDeepCNNBatchSequential", min: 1.4, minProcs: 4},
 }
 
 // gateFlags collects repeated -gate/-pgate values.

@@ -6,15 +6,16 @@ package main
 // benchmarks, two regenerating-table benchmarks, the serving-throughput
 // pair and the routed-replica pair through testing.Benchmark, prints a
 // summary table, writes the same
-// BENCH_PR9.json trajectory schema as cmd/benchjson, and enforces the same
+// BENCH_PR10.json trajectory schema as cmd/benchjson, and enforces the same
 // speedup gates (factored ≥2× reference on 64×64; compiled batch ≥1.5×
 // factored batch on 256×256; incremental recompile ≥5× full recompile on
 // 256×256; pool-parallel batch ≥1.5× single-threaded batch on 256×256,
 // waived on hosts with a single CPU; micro-batching serve ≥1.2×
 // single-request dispatch in req/sec; batched training ≥2× the sequential
 // per-sample schedule on the 256×256 layer; two-replica routed serving
-// ≥1.3× a single replica under maintenance churn, waived below 2 CPUs) —
-// so a deployment host without
+// ≥1.3× a single replica under maintenance churn, waived below 2 CPUs;
+// 4-stage pipelined DeepCNN batch execution ≥1.4× the sequential batched
+// path, waived below 4 CPUs) — so a deployment host without
 // the test tree can still measure and gate the hot paths. -cpuprofile /
 // -memprofile capture pprof profiles of the benchmark run for
 // `go tool pprof`. SIGINT/SIGTERM stop the run at a benchmark boundary: the
@@ -40,11 +41,13 @@ import (
 
 	"trident/internal/benchio"
 	"trident/internal/core"
+	"trident/internal/dataflow"
 	"trident/internal/experiments"
 	"trident/internal/mrr"
 	"trident/internal/optics"
 	"trident/internal/report"
 	"trident/internal/serve"
+	"trident/internal/tensor"
 )
 
 // benchBankSizes mirrors the bank-geometry sweep of the go test benchmarks.
@@ -52,7 +55,7 @@ var benchBankSizes = []int{16, 64, 256}
 
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR9.json", "trajectory file to write")
+	out := fs.String("o", "BENCH_PR10.json", "trajectory file to write")
 	min := fs.Float64("min", 2, "required factored/reference speedup on the 64×64 bank (0 disables the gate)")
 	minBatch := fs.Float64("min-batch", 1.5, "required compiled/factored batch speedup on the 256×256 bank (0 disables the gate)")
 	minRecompile := fs.Float64("min-recompile", 5, "required incremental/full recompile speedup on the 256×256 bank (0 disables the gate)")
@@ -60,6 +63,7 @@ func cmdBench(args []string) {
 	minServe := fs.Float64("min-serve", 1.2, "required micro-batched/unbatched serving throughput ratio (0 disables the gate)")
 	minTrain := fs.Float64("min-train", 2, "required batched/per-sample training speedup on the 256×256 layer (0 disables the gate)")
 	minRouter := fs.Float64("min-router", 1.3, "required two-replica/one-replica routed throughput ratio under maintenance churn, waived below 2 CPUs (0 disables the gate)")
+	minPipeline := fs.Float64("min-pipeline", 1.4, "required pipelined/sequential DeepCNN batch throughput at 4 stages, waived below 4 CPUs (0 disables the gate)")
 	batch := fs.Int("batch", 32, "batch size for the batched-path benchmarks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the benchmark run to this file")
@@ -254,6 +258,15 @@ func cmdBench(args []string) {
 	add("BenchmarkRouterTwoReplicas", func(b *testing.B) {
 		benchRouterThroughput(b, 2)
 	})
+	// Pipelined-execution pair: the same 4-conv DeepCNN batch through the
+	// sequential batched forward vs a 4-stage pipeline with double-buffered
+	// boundaries — the ratio is what stage-sharded overlap buys.
+	add("BenchmarkDeepCNNBatchSequential", func(b *testing.B) {
+		benchDeepCNNBatch(b, false)
+	})
+	add("BenchmarkDeepCNNBatchPipelined", func(b *testing.B) {
+		benchDeepCNNBatch(b, true)
+	})
 
 	// Profiles cover only the benchmark work above; stop/write them before
 	// gating so a failed gate (log.Fatal skips defers) still leaves usable
@@ -278,7 +291,7 @@ func cmdBench(args []string) {
 	// reference benchmarks may be missing.
 	interrupted := ctx.Err() != nil
 	if interrupted {
-		*min, *minBatch, *minRecompile, *minParallel, *minServe, *minTrain, *minRouter = 0, 0, 0, 0, 0, 0, 0
+		*min, *minBatch, *minRecompile, *minParallel, *minServe, *minTrain, *minRouter, *minPipeline = 0, 0, 0, 0, 0, 0, 0, 0
 	}
 	if *min > 0 {
 		if err := rep.ApplyGate("BenchmarkBankMVMFactored/64x64", "BenchmarkBankMVMReference/64x64", *min); err != nil {
@@ -314,6 +327,12 @@ func cmdBench(args []string) {
 	if *minRouter > 0 {
 		if err := rep.ApplyParallelGate("BenchmarkRouterTwoReplicas", "BenchmarkRouterOneReplica",
 			*minRouter, rep.MaxProcs, 2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *minPipeline > 0 {
+		if err := rep.ApplyParallelGate("BenchmarkDeepCNNBatchPipelined", "BenchmarkDeepCNNBatchSequential",
+			*minPipeline, rep.MaxProcs, 4); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -384,6 +403,59 @@ func benchTrainStep(b *testing.B, batched bool) {
 		}
 	}
 	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// benchDeepCNNBatch pushes 64-sample batches through a four-conv DeepCNN
+// graph (noise off): pipelined=false pays the sequential batched forward,
+// pipelined=true shards the graph into a balanced 4-stage pipeline and
+// streams micro-batches through double-buffered boundaries. Both sides
+// process the same samples per op, so their ns/op ratio is the
+// batch-throughput speedup of stage pipelining — the in-process twin of
+// the BenchmarkDeepCNNBatch pair in the test tree.
+func benchDeepCNNBatch(b *testing.B, pipelined bool) {
+	const pipeBatch = 64
+	d, err := core.NewDeepCNN(core.NetworkConfig{
+		PE:           core.PEConfig{Rows: 8, Cols: 8, DisableNoise: true},
+		LearningRate: 0.1,
+	}, []tensor.Conv2DSpec{
+		{InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1},
+		{InC: 4, InH: 8, InW: 8, OutC: 6, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1},
+		{InC: 6, InH: 8, InW: 8, OutC: 6, KH: 3, KW: 3,
+			StrideH: 2, StrideW: 2, PadH: 1, PadW: 1, Groups: 1},
+		{InC: 6, InH: 4, InW: 4, OutC: 8, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1},
+	}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	var p *core.Pipeline
+	if pipelined {
+		cuts, err := dataflow.PlanStages(g, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p, err = core.NewPipeline(g, cuts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	xs := benchVector(pipeBatch*g.InputSize(), 13)
+	var dst []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pipelined {
+			dst, err = p.ForwardBatchPipelined(dst, xs, pipeBatch)
+		} else {
+			dst, err = g.ForwardBatchInto(dst, xs, pipeBatch)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*pipeBatch/b.Elapsed().Seconds(), "samples/sec")
 }
 
 // newBenchBank builds a programmed size×size PCM bank on the extended

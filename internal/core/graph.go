@@ -83,6 +83,14 @@ type graphNode struct {
 	// Batched-serving scratch, sample-major.
 	batchVal []float64
 
+	// joinEvents counts optical join passes booked at this node (adds and
+	// concats, one per sample). Keeping an integer count per node instead of
+	// accumulating float energy on a shared graph ledger makes the booking
+	// order-independent and single-writer-per-node, so pipelined stages can
+	// book joins concurrently and the materialized ledger stays bit-identical
+	// to the sequential walk.
+	joinEvents int64
+
 	// Batched-training state and scratch (TrainBatch), all sample-major.
 	batchDerivs  []float64 // dense: batch×Out LDSU-latched derivatives
 	batchPatches []float64 // conv: batch×(In·pixels) im2col slabs
@@ -104,7 +112,6 @@ type Graph struct {
 	outputSet bool
 	layers    []*DenseLayer // every hardware layer, in construction order
 	buildErr  error
-	joins     *Ledger // optical join-node energy (adds + concats)
 
 	// Batched-serving scratch (see PredictBatch), reused across calls.
 	batchLogits []float64
@@ -148,7 +155,7 @@ func NewGraph(cfg NetworkConfig, inputShape ...int) (*Graph, error) {
 	default:
 		return nil, fmt.Errorf("core: graph input shape must be [n] or [c h w], got %v", inputShape)
 	}
-	return &Graph{cfg: cfg, nodes: []*graphNode{in}, joins: NewLedger()}, nil
+	return &Graph{cfg: cfg, nodes: []*graphNode{in}}, nil
 }
 
 // Input returns the input node's ID.
@@ -324,13 +331,40 @@ func (g *Graph) SetOutput(id NodeID) error {
 	return nil
 }
 
-// bookJoin books one optical join pass: n per-element events drawing the
-// given per-element power for one clock period, on the graph-owned join
-// ledger (tile ledgers stay per-PE).
-func (g *Graph) bookJoin(cat EnergyCategory, n int, per units.Power) {
+// bookJoin books one optical join pass at this node. The energy is
+// materialized later by joinLedger from the integer event count, so booking
+// is a single atomic-free increment with one writer per node (the stage that
+// owns the node) and the ledger is independent of execution interleaving.
+func (n *graphNode) bookJoin() { n.joinEvents++ }
+
+// joinLedger materializes the optical join-node energy from the per-node
+// event counts in fixed node order: each event is n.size per-element
+// detections (add) or re-encodes (concat) drawing the per-element power for
+// one clock period. Multiplying the exact per-pass energy by an integer
+// count yields the same float64 as the sequential accumulation did, pass by
+// pass, because each node's passes all cost the identical amount.
+func (g *Graph) joinLedger() *Ledger {
+	out := NewLedger()
 	period := device.ClockRate.Period()
-	g.joins.Add(cat, units.Energy(float64(per.OverTime(period))*float64(n)))
-	g.joins.Advance(period)
+	for _, n := range g.nodes {
+		if n.joinEvents == 0 {
+			continue
+		}
+		var cat EnergyCategory
+		var per units.Power
+		switch n.kind {
+		case nodeAdd:
+			cat, per = CatResidualJoin, residualJoinPower()
+		case nodeConcat:
+			cat, per = CatWavelengthMerge, wavelengthMergePower()
+		default:
+			continue
+		}
+		perPass := units.Energy(float64(per.OverTime(period)) * float64(n.size))
+		out.Add(cat, units.Energy(float64(perPass)*float64(n.joinEvents)))
+		out.Advance(units.Duration(float64(period) * float64(n.joinEvents)))
+	}
+	return out
 }
 
 // residualJoinPower is the per-element detection cost of an add node: one
@@ -396,7 +430,7 @@ func (g *Graph) forwardNode(n *graphNode) error {
 		for i := range n.val {
 			n.val[i] = a[i] + b[i]
 		}
-		g.bookJoin(CatResidualJoin, n.size, residualJoinPower())
+		n.bookJoin()
 	case nodeConcat:
 		n.val = growFloats(n.val, n.size)
 		off := 0
@@ -405,7 +439,7 @@ func (g *Graph) forwardNode(n *graphNode) error {
 			copy(n.val[off:off+p.size], p.val)
 			off += p.size
 		}
-		g.bookJoin(CatWavelengthMerge, n.size, wavelengthMergePower())
+		n.bookJoin()
 	}
 	return nil
 }
@@ -678,7 +712,7 @@ func (g *Graph) ForwardBatchIntoCtx(ctx context.Context, dst, xs []float64, batc
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: batched forward cancelled before node %d: %w", i, err)
 		}
-		if err := g.forwardNodeBatch(g.nodes[i], batch); err != nil {
+		if err := g.forwardNodeBatch(g.nodes[i], batch, g.batchValOf); err != nil {
 			return nil, err
 		}
 	}
@@ -688,11 +722,21 @@ func (g *Graph) ForwardBatchIntoCtx(ctx context.Context, dst, xs []float64, batc
 	return dst, nil
 }
 
-func (g *Graph) forwardNodeBatch(n *graphNode, batch int) error {
+// batchValOf is the default batch-value resolver: a node's input comes from
+// its producer's graph-owned batch scratch. Pipeline stages substitute a
+// resolver that redirects only the stage's external input to the
+// double-buffered handoff slot (see pipeline.go); every intra-stage edge
+// still resolves here.
+func (g *Graph) batchValOf(id NodeID) []float64 { return g.nodes[id].batchVal }
+
+// forwardNodeBatch runs one node over a whole batch, reading producer
+// values through `val` (shape metadata still comes from the producer node —
+// only the backing data is resolver-supplied).
+func (g *Graph) forwardNodeBatch(n *graphNode, batch int, val func(NodeID) []float64) error {
 	prod := g.nodes[n.in[0]]
 	switch n.kind {
 	case nodeDense:
-		y, err := n.layer.ForwardBatchInto(n.batchVal, prod.batchVal, batch)
+		y, err := n.layer.ForwardBatchInto(n.batchVal, val(n.in[0]), batch)
 		if err != nil {
 			return err
 		}
@@ -700,8 +744,9 @@ func (g *Graph) forwardNodeBatch(n *graphNode, batch int) error {
 	case nodeConv:
 		n.batchVal = growFloats(n.batchVal, batch*n.size)
 		s := n.spec
+		pv := val(n.in[0])
 		for smp := 0; smp < batch; smp++ {
-			img := tensor.FromSlice(prod.batchVal[smp*prod.size:(smp+1)*prod.size], prod.c, prod.h, prod.w)
+			img := tensor.FromSlice(pv[smp*prod.size:(smp+1)*prod.size], prod.c, prod.h, prod.w)
 			n.patches = tensor.Im2Col(n.patches, img, s, 0)
 			pixels := n.patches.Dim(1)
 			if n.pre == nil || n.pre.Dim(1) != pixels {
@@ -719,8 +764,9 @@ func (g *Graph) forwardNodeBatch(n *graphNode, batch int) error {
 	case nodeGAP:
 		pixels := prod.h * prod.w
 		n.batchVal = growFloats(n.batchVal, batch*n.size)
+		pv := val(n.in[0])
 		for smp := 0; smp < batch; smp++ {
-			data := prod.batchVal[smp*prod.size : (smp+1)*prod.size]
+			data := pv[smp*prod.size : (smp+1)*prod.size]
 			gap := n.batchVal[smp*n.size : (smp+1)*n.size]
 			for oc := 0; oc < n.size; oc++ {
 				var s float64
@@ -731,16 +777,16 @@ func (g *Graph) forwardNodeBatch(n *graphNode, batch int) error {
 			}
 		}
 	case nodeAdd:
-		other := g.nodes[n.in[1]]
 		n.batchVal = growFloats(n.batchVal, batch*n.size)
+		av, bv := val(n.in[0]), val(n.in[1])
 		for smp := 0; smp < batch; smp++ {
-			a := prod.batchVal[smp*n.size : (smp+1)*n.size]
-			b := other.batchVal[smp*n.size : (smp+1)*n.size]
+			a := av[smp*n.size : (smp+1)*n.size]
+			b := bv[smp*n.size : (smp+1)*n.size]
 			out := n.batchVal[smp*n.size : (smp+1)*n.size]
 			for i := range out {
 				out[i] = a[i] + b[i]
 			}
-			g.bookJoin(CatResidualJoin, n.size, residualJoinPower())
+			n.bookJoin()
 		}
 	case nodeConcat:
 		n.batchVal = growFloats(n.batchVal, batch*n.size)
@@ -749,10 +795,10 @@ func (g *Graph) forwardNodeBatch(n *graphNode, batch int) error {
 			off := 0
 			for _, id := range n.in {
 				p := g.nodes[id]
-				copy(out[off:off+p.size], p.batchVal[smp*p.size:(smp+1)*p.size])
+				copy(out[off:off+p.size], val(id)[smp*p.size:(smp+1)*p.size])
 				off += p.size
 			}
-			g.bookJoin(CatWavelengthMerge, n.size, wavelengthMergePower())
+			n.bookJoin()
 		}
 	}
 	return nil
@@ -823,8 +869,9 @@ func (g *Graph) Layers() []*DenseLayer { return g.layers }
 // plus the optical join-node bookings.
 func (g *Graph) Ledger() *Ledger {
 	out := mergeTileLedgers(g.layers)
-	out.Merge(g.joins)
-	if j := g.joins.Elapsed(); j > out.Elapsed() {
+	joins := g.joinLedger()
+	out.Merge(joins)
+	if j := joins.Elapsed(); j > out.Elapsed() {
 		out.Advance(j - out.Elapsed())
 	}
 	return out

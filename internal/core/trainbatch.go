@@ -123,7 +123,7 @@ func (g *Graph) forwardTrainNodeBatch(n *graphNode, batch int) error {
 			}
 		}
 	default:
-		return g.forwardNodeBatch(n, batch)
+		return g.forwardNodeBatch(n, batch, g.batchValOf)
 	}
 	return nil
 }

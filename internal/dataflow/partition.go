@@ -1,0 +1,161 @@
+package dataflow
+
+// Stage partitioning for pipelined graph execution. The pipeline engine
+// (internal/core) hands over one cost per executable node on this package's
+// cost model plus a mask of legal cut points (boundaries no live value other
+// than the cut node's output crosses); PartitionBalanced finds the
+// contiguous K-way split minimizing the maximum stage cost over those legal
+// boundaries. The pipeline's steady-state throughput is set by its slowest
+// stage, so min-max is exactly the objective.
+//
+// The solver is an exact O(K·n²) dynamic program rather than a heuristic:
+// graphs have tens of nodes, so exactness is free, and it gives the
+// partition property tests a clean bound — when every boundary is legal the
+// optimum is within 2× of the ideal ⌈total/K⌉ lower bound (a single
+// over-heavy stage can always be split at the item straddling the ideal
+// width, so the optimal max stage is < ideal + max item ≤ 2× the bound).
+
+import "fmt"
+
+// GraphPlanner is the planning view of an execution graph: per-node costs
+// for nodes after the input node, and the legal-cut mask (legal[i] ⇒ a
+// stage boundary may fall after node i+1). internal/core.Graph implements
+// it; the indirection keeps dataflow free of a core dependency (core is
+// below dataflow in the import order: dataflow → models → core would cycle).
+type GraphPlanner interface {
+	PipelinePlan() (costs []int64, legal []bool)
+}
+
+// PartitionBalanced splits items 0..len(costs)−1 into at most k contiguous
+// segments, cutting only after items whose legalCut entry is true, and
+// minimizes the maximum segment cost. It returns the cut positions: item
+// indices each boundary falls after, strictly increasing, length ≤ k−1
+// (shorter when fewer legal cuts exist — a graph with no legal interior
+// boundary yields one stage, never an error).
+func PartitionBalanced(costs []int64, legalCut []bool, k int) ([]int, error) {
+	n := len(costs)
+	if n == 0 {
+		return nil, fmt.Errorf("dataflow: no items to partition")
+	}
+	if len(legalCut) != n {
+		return nil, fmt.Errorf("dataflow: legal-cut mask has %d entries for %d items", len(legalCut), n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dataflow: stage count %d must be ≥ 1", k)
+	}
+	for _, c := range costs {
+		if c < 0 {
+			return nil, fmt.Errorf("dataflow: negative item cost %d", c)
+		}
+	}
+	prefix := make([]int64, n+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	seg := func(i, j int) int64 { return prefix[j+1] - prefix[i] } // cost of items i..j
+
+	// dp[s][i]: minimal max-segment cost covering items 0..i with ≤ s+1
+	// segments, every interior boundary legal. cut[s][i] remembers the last
+	// boundary (−1 = the whole prefix is one segment at this level).
+	dp := make([][]int64, k)
+	cut := make([][]int, k)
+	for s := range dp {
+		dp[s] = make([]int64, n)
+		cut[s] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		dp[0][i] = seg(0, i)
+		cut[0][i] = -1
+	}
+	for s := 1; s < k; s++ {
+		for i := 0; i < n; i++ {
+			dp[s][i] = dp[s-1][i] // fewer segments is always admissible
+			cut[s][i] = -1
+			for j := 0; j < i; j++ {
+				if !legalCut[j] {
+					continue
+				}
+				c := dp[s-1][j]
+				if t := seg(j+1, i); t > c {
+					c = t
+				}
+				if c < dp[s][i] {
+					dp[s][i] = c
+					cut[s][i] = j
+				}
+			}
+		}
+	}
+	var cuts []int
+	for s, i := k-1, n-1; s > 0; s-- {
+		j := cut[s][i]
+		if j < 0 {
+			continue
+		}
+		cuts = append(cuts, j)
+		i = j
+	}
+	// Reconstruction walked right-to-left; flip to ascending.
+	for l, r := 0, len(cuts)-1; l < r; l, r = l+1, r-1 {
+		cuts[l], cuts[r] = cuts[r], cuts[l]
+	}
+	return cuts, nil
+}
+
+// IdealStageCost is the lower bound no K-way contiguous partition can beat:
+// the ceiling of the cost average, or the single heaviest item when that
+// dominates (an item is never split across stages).
+func IdealStageCost(costs []int64, k int) int64 {
+	if len(costs) == 0 || k < 1 {
+		return 0
+	}
+	var total, max int64
+	for _, c := range costs {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	ideal := (total + int64(k) - 1) / int64(k)
+	if max > ideal {
+		return max
+	}
+	return ideal
+}
+
+// MaxStageCost evaluates a cut set: the heaviest segment's total cost.
+func MaxStageCost(costs []int64, cuts []int) int64 {
+	var max, cur int64
+	next := 0
+	for i, c := range costs {
+		cur += c
+		if next < len(cuts) && cuts[next] == i {
+			if cur > max {
+				max = cur
+			}
+			cur = 0
+			next++
+		}
+	}
+	if cur > max {
+		max = cur
+	}
+	return max
+}
+
+// PlanStages runs the balanced partition over a graph's pipeline plan and
+// translates item cuts into graph node indices (item i is node i+1), ready
+// for core.NewPipeline. A plan may come back with fewer than k stages when
+// the graph has fewer legal boundaries — branches pin their whole span into
+// one stage by construction.
+func PlanStages(g GraphPlanner, k int) ([]int, error) {
+	costs, legal := g.PipelinePlan()
+	cuts, err := PartitionBalanced(costs, legal, k)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cuts {
+		cuts[i]++ // item index → graph node index
+	}
+	return cuts, nil
+}

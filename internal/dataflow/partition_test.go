@@ -1,0 +1,103 @@
+package dataflow
+
+import (
+	"testing"
+
+	"trident/internal/models"
+)
+
+// TestPartitionBalancedWithinTwiceIdeal is the satellite property: on every
+// paper model descriptor, at every stage count, the balanced partition's
+// heaviest stage stays within 2× of the ideal ⌈total/K⌉ bound (taking the
+// heaviest single layer as the floor — a layer is never split). The exact DP
+// guarantees this whenever every boundary is legal: any partition whose max
+// stage exceeded ideal+maxItem could be improved by moving the straddling
+// item, so the optimum cannot.
+func TestPartitionBalancedWithinTwiceIdeal(t *testing.T) {
+	geo := Geometry{PEs: 8, Rows: 64, Cols: 64}
+	for _, m := range models.All() {
+		mapping, err := Map(m, geo)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		costs := make([]int64, len(mapping.Layers))
+		legal := make([]bool, len(mapping.Layers))
+		for i, l := range mapping.Layers {
+			costs[i] = l.Tiles * l.Pixels
+			legal[i] = true
+		}
+		for _, k := range []int{2, 3, 4, 8} {
+			cuts, err := PartitionBalanced(costs, legal, k)
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", m.Name, k, err)
+			}
+			if len(cuts) > k-1 {
+				t.Fatalf("%s K=%d: %d cuts exceed K−1", m.Name, k, len(cuts))
+			}
+			for i := 1; i < len(cuts); i++ {
+				if cuts[i] <= cuts[i-1] {
+					t.Fatalf("%s K=%d: cuts %v not strictly increasing", m.Name, k, cuts)
+				}
+			}
+			max := MaxStageCost(costs, cuts)
+			ideal := IdealStageCost(costs, k)
+			if max > 2*ideal {
+				t.Errorf("%s K=%d: max stage cost %d exceeds 2× ideal %d (cuts %v)",
+					m.Name, k, max, ideal, cuts)
+			}
+		}
+	}
+}
+
+// TestPartitionBalancedRespectsLegalMask: the DP must never cut at an
+// illegal boundary, even when that forces a worse balance or fewer stages.
+func TestPartitionBalancedRespectsLegalMask(t *testing.T) {
+	costs := []int64{5, 5, 5, 5, 5, 5}
+	legal := []bool{false, false, true, false, false, false}
+	cuts, err := PartitionBalanced(costs, legal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 1 || cuts[0] != 2 {
+		t.Fatalf("cuts = %v, want the single legal boundary [2]", cuts)
+	}
+
+	// No legal boundary at all degrades to one stage, not an error.
+	none := make([]bool, len(costs))
+	cuts, err = PartitionBalanced(costs, none, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 0 {
+		t.Fatalf("cuts = %v, want none", cuts)
+	}
+}
+
+// TestPartitionBalancedExactBalance: a uniform workload splits perfectly.
+func TestPartitionBalancedExactBalance(t *testing.T) {
+	costs := []int64{3, 3, 3, 3, 3, 3, 3, 3}
+	legal := []bool{true, true, true, true, true, true, true, true}
+	cuts, err := PartitionBalanced(costs, legal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := MaxStageCost(costs, cuts), IdealStageCost(costs, 4); got != want {
+		t.Fatalf("max stage cost %d, want ideal %d (cuts %v)", got, want, cuts)
+	}
+}
+
+// TestPartitionBalancedRejectsBadInput covers the error paths.
+func TestPartitionBalancedRejectsBadInput(t *testing.T) {
+	if _, err := PartitionBalanced(nil, nil, 2); err == nil {
+		t.Fatal("empty cost list accepted")
+	}
+	if _, err := PartitionBalanced([]int64{1, 2}, []bool{true}, 2); err == nil {
+		t.Fatal("mismatched legal mask accepted")
+	}
+	if _, err := PartitionBalanced([]int64{1, 2}, []bool{true, true}, 0); err == nil {
+		t.Fatal("zero stage count accepted")
+	}
+	if _, err := PartitionBalanced([]int64{1, -2}, []bool{true, true}, 2); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"trident/internal/core"
+	"trident/internal/dataflow"
 	"trident/internal/reliability"
 )
 
@@ -24,7 +25,8 @@ type Instance struct {
 	b     *Batcher
 	j     *Journal
 	m     *Maintainer
-	graph *core.Graph // nil for synthetic engines
+	graph *core.Graph    // nil for synthetic engines
+	pipe  *core.Pipeline // non-nil when serving through a stage pipeline
 	mcfg  MaintainerConfig
 }
 
@@ -64,6 +66,14 @@ func NewInstance(name string, eng Engine, cfg Config) *Instance {
 // maintainer whose reliability scheduler drains this instance's batcher
 // through the execute token. The maintainer is constructed but not
 // running; drive it with Maintainer().Run or CheckNow.
+//
+// When cfg.PipelineStages ≥ 2 the graph is sharded into a balanced stage
+// pipeline and the batcher dispatches into it instead of the sequential
+// batched path. Everything else is unchanged: the pipeline call is
+// synchronous under the execute token, so maintenance acquiring the token
+// still drains the whole pipeline before touching a bank, and the op
+// journal replays bit-identically on a sequential twin because pipelined
+// outputs are bit-identical to sequential ones.
 func NewGraphInstance(name string, g *core.Graph, cfg Config, mcfg *MaintainerConfig) (*Instance, error) {
 	if g == nil {
 		return nil, fmt.Errorf("serve: instance %q needs a graph", name)
@@ -71,8 +81,22 @@ func NewGraphInstance(name string, g *core.Graph, cfg Config, mcfg *MaintainerCo
 	if cfg.Probe == nil {
 		cfg.Probe = GraphHealth(g)
 	}
-	inst := NewInstance(name, g, cfg)
+	var eng Engine = g
+	var pipe *core.Pipeline
+	if cfg.PipelineStages >= 2 {
+		cuts, err := dataflow.PlanStages(g, cfg.PipelineStages)
+		if err != nil {
+			return nil, fmt.Errorf("serve: instance %q stage plan: %w", name, err)
+		}
+		pipe, err = core.NewPipeline(g, cuts, 0)
+		if err != nil {
+			return nil, fmt.Errorf("serve: instance %q pipeline: %w", name, err)
+		}
+		eng = pipe
+	}
+	inst := NewInstance(name, eng, cfg)
 	inst.graph = g
+	inst.pipe = pipe
 	if mcfg != nil {
 		m, err := NewMaintainer(g, inst.b, inst.j, *mcfg)
 		if err != nil {
@@ -105,6 +129,10 @@ func (inst *Instance) Maintainer() *Maintainer { return inst.m }
 // Graph returns the underlying hardware graph, or nil for synthetic
 // engines.
 func (inst *Instance) Graph() *core.Graph { return inst.graph }
+
+// Pipeline returns the stage pipeline the instance serves through, or nil
+// when it dispatches sequentially (Config.PipelineStages < 2).
+func (inst *Instance) Pipeline() *core.Pipeline { return inst.pipe }
 
 // MaintainerConfig returns the maintenance configuration the instance was
 // built with — the recipe TwinChecker needs to replay this replica's
